@@ -1,0 +1,195 @@
+// Command wfit-advisor is an interactive semi-automatic index tuning
+// session: the DBA role the paper describes, at a terminal. SQL statements
+// typed (or piped) into the advisor are analyzed online by WFIT; the DBA
+// can inspect the current recommendation at any time, cast explicit
+// positive/negative votes on indices, and "materialize" the
+// recommendation (implicit feedback).
+//
+// Commands (anything else is parsed as SQL):
+//
+//	\rec               show the current recommendation
+//	\vote +t(c1,c2) …  cast votes; + for positive, - for negative
+//	\accept            materialize the current recommendation (implicit +votes)
+//	\status            tuner statistics (universe, partition, overhead)
+//	\help              this text
+//	\quit              exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/datagen"
+	"repro/internal/index"
+	"repro/internal/sqlmini"
+	"repro/internal/whatif"
+)
+
+func main() {
+	stateCnt := flag.Int("statecnt", 500, "stateCnt knob (bound on tracked configurations)")
+	idxCnt := flag.Int("idxcnt", 40, "idxCnt knob (bound on monitored candidates)")
+	flag.Parse()
+
+	cat, _ := datagen.Build()
+	reg := index.NewRegistry()
+	model := cost.NewModel(cat, reg, cost.DefaultParams())
+	opt := whatif.New(model)
+	parser := sqlmini.NewParser(cat)
+
+	options := core.DefaultOptions()
+	options.StateCnt = *stateCnt
+	options.IdxCnt = *idxCnt
+	tuner := core.NewWFIT(opt, options)
+
+	fmt.Println("wfit-advisor: semi-automatic index tuning (\\help for commands)")
+	session := &session{
+		tuner: tuner, parser: parser, reg: reg, model: model,
+		materialized: index.EmptySet,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("wfit> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "\\") {
+			if session.command(line) {
+				return
+			}
+			continue
+		}
+		session.analyze(line)
+	}
+}
+
+// session holds the interactive state.
+type session struct {
+	tuner        *core.WFIT
+	parser       *sqlmini.Parser
+	reg          *index.Registry
+	model        *cost.Model
+	materialized index.Set
+	statements   int
+}
+
+// analyze feeds one SQL statement to the tuner.
+func (s *session) analyze(sql string) {
+	st, err := s.parser.Parse(strings.TrimSuffix(sql, ";"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	s.statements++
+	st.ID = s.statements
+	s.tuner.AnalyzeQuery(st)
+	rec := s.tuner.Recommend()
+	fmt.Printf("analyzed %s; recommendation: %s\n", st.Kind, rec.Format(s.reg))
+	if diff := rec.Minus(s.materialized); !diff.Empty() {
+		fmt.Printf("  would create: %s\n", diff.Format(s.reg))
+	}
+	if diff := s.materialized.Minus(rec); !diff.Empty() {
+		fmt.Printf("  would drop:   %s\n", diff.Format(s.reg))
+	}
+}
+
+// command dispatches a backslash command; returns true to exit.
+func (s *session) command(line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\quit", "\\q", "\\exit":
+		return true
+	case "\\help", "\\h":
+		fmt.Println("  \\rec                 show current recommendation")
+		fmt.Println("  \\vote +tbl(c1,c2) …  cast explicit votes (+ positive, - negative)")
+		fmt.Println("  \\accept              materialize the recommendation (implicit +votes)")
+		fmt.Println("  \\status              tuner statistics")
+		fmt.Println("  \\quit                exit")
+	case "\\rec":
+		fmt.Println("recommendation:", s.tuner.Recommend().Format(s.reg))
+	case "\\status":
+		fmt.Printf("statements analyzed: %d\n", s.tuner.StatementsSeen())
+		fmt.Printf("candidates mined:    %d\n", s.tuner.UniverseSize())
+		fmt.Printf("partition changes:   %d\n", s.tuner.Repartitions())
+		p := s.tuner.Partition()
+		fmt.Printf("stable partition:    %d parts, %d states, largest part %d\n",
+			len(p), p.States(), p.MaxPartSize())
+		fmt.Printf("materialized:        %s\n", s.materialized.Format(s.reg))
+	case "\\accept":
+		rec := s.tuner.Recommend()
+		created := rec.Minus(s.materialized)
+		dropped := s.materialized.Minus(rec)
+		s.materialized = rec
+		s.tuner.SetMaterialized(rec)
+		// Implicit feedback: creations are positive votes, drops are
+		// negative votes (§3.1).
+		s.tuner.Feedback(created, dropped)
+		fmt.Printf("materialized %d indices (%d created, %d dropped)\n",
+			rec.Len(), created.Len(), dropped.Len())
+	case "\\vote":
+		var plus, minus []index.ID
+		ok := true
+		for _, spec := range fields[1:] {
+			if len(spec) < 2 || (spec[0] != '+' && spec[0] != '-') {
+				fmt.Printf("error: vote %q must start with + or -\n", spec)
+				ok = false
+				break
+			}
+			id, err := s.parseIndexSpec(spec[1:])
+			if err != nil {
+				fmt.Println("error:", err)
+				ok = false
+				break
+			}
+			if spec[0] == '+' {
+				plus = append(plus, id)
+			} else {
+				minus = append(minus, id)
+			}
+		}
+		if ok && (len(plus) > 0 || len(minus) > 0) {
+			s.tuner.Feedback(index.NewSet(plus...), index.NewSet(minus...))
+			fmt.Println("recommendation:", s.tuner.Recommend().Format(s.reg))
+		}
+	default:
+		fmt.Printf("unknown command %s (\\help for help)\n", fields[0])
+	}
+	return false
+}
+
+// parseIndexSpec parses "schema.table(col1,col2)" into an interned index.
+func (s *session) parseIndexSpec(spec string) (index.ID, error) {
+	open := strings.IndexByte(spec, '(')
+	if open < 0 || !strings.HasSuffix(spec, ")") {
+		return 0, fmt.Errorf("index spec %q must look like table(col1,col2)", spec)
+	}
+	table := spec[:open]
+	colPart := spec[open+1 : len(spec)-1]
+	cols := strings.Split(colPart, ",")
+	for i := range cols {
+		cols[i] = strings.TrimSpace(cols[i])
+	}
+	t, okT := s.model.Catalog().Table(table)
+	if !okT {
+		return 0, fmt.Errorf("unknown table %q", table)
+	}
+	for _, c := range cols {
+		if !t.HasColumn(c) {
+			return 0, fmt.Errorf("table %s has no column %q", table, c)
+		}
+	}
+	if id, ok := s.reg.Lookup(table, cols); ok {
+		return id, nil
+	}
+	return s.reg.Intern(cost.BuildIndexProto(s.model.Catalog(), s.model.Params(), table, cols)), nil
+}

@@ -1,0 +1,135 @@
+// Command wfitbench regenerates the experimental study of "Semi-Automatic
+// Index Tuning: Keeping DBAs in the Loop" (Schnaitter & Polyzotis, VLDB
+// 2012): Figures 8–12 plus the §6.2 overhead numbers, over the simulated
+// DBMS substrate.
+//
+// Usage:
+//
+//	wfitbench [-fig N] [-overhead] [-small] [-csv] [-seed S]
+//
+// Without -fig, every experiment runs in order. Output is an ASCII chart
+// per figure (OPT-normalized total work over the workload), optionally
+// followed by CSV series data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/report"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "run a single figure (8..12); 0 runs everything")
+	overhead := flag.Bool("overhead", false, "run only the overhead measurement")
+	small := flag.Bool("small", false, "use the scaled-down environment (fast sanity run)")
+	csv := flag.Bool("csv", false, "print CSV series after each chart")
+	seed := flag.Int64("seed", 0, "override the workload seed")
+	width := flag.Int("width", 72, "chart width")
+	height := flag.Int("height", 14, "chart height")
+	flag.Parse()
+
+	opts := bench.DefaultOptions()
+	if *small {
+		opts = bench.SmallOptions()
+	}
+	if *seed != 0 {
+		opts.Workload.Seed = *seed
+	}
+
+	fmt.Printf("building environment: %d statements, idxCnt=%d, stateCnts=%v ...\n",
+		opts.Workload.Phases*opts.Workload.PerPhase, opts.IdxCnt, opts.StateCnts)
+	start := time.Now()
+	env := bench.NewEnv(opts)
+	n := len(env.Opt.PrefixTotal) - 1
+	fmt.Printf("environment ready in %v: universe=%d candidates, C=%d\n",
+		time.Since(start).Round(time.Millisecond), env.Universe.Len(), env.FixedC.Len())
+	fmt.Printf("OPT total work=%.4g (schedule replay with true costs: %.4g, gap %+.2f%%)\n\n",
+		env.Opt.PrefixTotal[n], env.OptReplay[n],
+		100*(env.OptReplay[n]-env.Opt.PrefixTotal[n])/env.Opt.PrefixTotal[n])
+
+	if *overhead {
+		printOverhead(env)
+		return
+	}
+
+	run := func(n int) {
+		switch n {
+		case 8:
+			printRuns(env, "Figure 8: baseline performance (total work ratio, OPT=1)",
+				env.RunFig8(), *csv, *width, *height)
+		case 9:
+			printRuns(env, "Figure 9: effect of DBA feedback",
+				env.RunFig9(), *csv, *width, *height)
+		case 10:
+			printRuns(env, "Figure 10: feedback under the independence assumption",
+				env.RunFig10(), *csv, *width, *height)
+		case 11:
+			printRuns(env, "Figure 11: effect of delayed responses",
+				env.RunFig11(), *csv, *width, *height)
+		case 12:
+			res := env.RunFig12()
+			printRuns(env, "Figure 12: automatic maintenance of the stable partition",
+				res.Runs, *csv, *width, *height)
+			fmt.Printf("candidates mined online: %d (paper: ~300)\n", res.CandidateCnt)
+			fmt.Printf("partition changes:       %d (paper: 147)\n", res.Repartitions)
+			fmt.Printf("what-if calls:           %d total, per stmt min/mean/max = %.0f/%.1f/%.0f\n\n",
+				res.WhatIfCalls, res.WhatIfPerStmt.Min, res.WhatIfPerStmt.Mean, res.WhatIfPerStmt.Max)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %d (want 8..12)\n", n)
+			os.Exit(2)
+		}
+	}
+
+	if *fig != 0 {
+		run(*fig)
+		return
+	}
+	for _, n := range []int{8, 9, 10, 11, 12} {
+		run(n)
+	}
+	printOverhead(env)
+}
+
+// printRuns charts the OPT-normalized ratio curves of a set of runs.
+func printRuns(env *bench.Env, title string, runs []*bench.RunResult, csv bool, width, height int) {
+	var series []report.Series
+	for _, r := range runs {
+		series = append(series, report.Series{Name: r.Name, Y: r.Ratio})
+	}
+	fmt.Println(report.Chart(title, series, width, height))
+
+	rows := make([][]string, 0, len(runs))
+	for _, r := range runs {
+		n := len(r.TotWork) - 1
+		rows = append(rows, []string{
+			r.Name,
+			fmt.Sprintf("%.3f", r.Ratio[n]),
+			fmt.Sprintf("%.4g", r.TotWork[n]),
+			fmt.Sprintf("%.4g", r.TransitionCost),
+			fmt.Sprintf("%d", r.Changes),
+			r.AnalyzeTime.Round(time.Millisecond).String(),
+		})
+	}
+	fmt.Println(report.Table(
+		[]string{"algorithm", "final ratio", "total work", "transition cost", "changes", "analyze time"},
+		rows))
+	if csv {
+		fmt.Println(report.CSV(series))
+	}
+}
+
+// printOverhead reports the §6.2 overhead numbers.
+func printOverhead(env *bench.Env) {
+	o := env.RunOverhead()
+	fmt.Println("Overhead (§6.2), full WFIT with online candidate maintenance:")
+	fmt.Printf("  analysis time per statement: %v (paper: ~300ms on 2GHz Opteron + DB2)\n",
+		o.PerStmtAnalysis.Round(time.Microsecond))
+	fmt.Printf("  what-if calls per statement: min=%.0f p50=%.0f mean=%.1f p90=%.0f max=%.0f (paper: 5..100)\n",
+		o.WhatIfPerStmt.Min, o.WhatIfPerStmt.P50, o.WhatIfPerStmt.Mean,
+		o.WhatIfPerStmt.P90, o.WhatIfPerStmt.Max)
+	fmt.Printf("  total what-if calls: %d over %d statements\n", o.TotalWhatIf, o.Statements)
+}

@@ -1,0 +1,68 @@
+// Command workloadgen emits the benchmark workload (§6.1: eight phases of
+// 200 statements over TPC-C/TPC-H/TPC-E/NREF-shaped schemas) as SQL text,
+// one statement per line, with phase markers as SQL comments.
+//
+// Usage:
+//
+//	workloadgen [-phases N] [-per-phase N] [-seed S] [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/stmt"
+	"repro/internal/workload"
+)
+
+func main() {
+	phases := flag.Int("phases", 8, "number of workload phases")
+	perPhase := flag.Int("per-phase", 200, "statements per phase")
+	seed := flag.Int64("seed", 42, "generator seed")
+	stats := flag.Bool("stats", false, "print workload statistics instead of SQL")
+	flag.Parse()
+
+	cat, joins := datagen.Build()
+	opts := workload.DefaultOptions()
+	opts.Phases = *phases
+	opts.PerPhase = *perPhase
+	opts.Seed = *seed
+	wl := workload.Generate(cat, joins, opts)
+
+	if *stats {
+		printStats(wl)
+		return
+	}
+	lastPhase := -1
+	for i, s := range wl.Statements {
+		if ph := wl.PhaseOf[i]; ph != lastPhase {
+			fmt.Printf("-- phase %d\n", ph)
+			lastPhase = ph
+		}
+		fmt.Printf("%s;\n", s.SQL)
+	}
+}
+
+func printStats(wl *workload.Workload) {
+	queries, updates := 0, 0
+	tables := make(map[string]int)
+	joinsHist := make(map[int]int)
+	for _, s := range wl.Statements {
+		if s.Kind == stmt.Update {
+			updates++
+		} else {
+			queries++
+		}
+		joinsHist[len(s.Joins)]++
+		for _, t := range s.Tables {
+			tables[t]++
+		}
+	}
+	fmt.Printf("statements: %d (%d queries, %d updates)\n",
+		len(wl.Statements), queries, updates)
+	fmt.Printf("join counts: %v\n", joinsHist)
+	fmt.Printf("distinct tables touched: %d\n", len(tables))
+	fmt.Printf("base data: %.2f GB across %d tables\n",
+		wl.Catalog.TotalBytes()/(1<<30), len(wl.Catalog.Tables()))
+}

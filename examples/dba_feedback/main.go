@@ -1,0 +1,136 @@
+// DBA feedback: the scenario from the paper's introduction.
+//
+// The tuner recommends a set of indices. The DBA vetoes one that (say)
+// "interacts poorly with the locking subsystem" (explicit negative vote)
+// and endorses two alternatives (explicit positive votes). The example
+// then shows both halves of the semi-automatic contract:
+//
+//  1. consistency — recommendations immediately honor the votes, and
+//  2. recoverability — when the workload keeps contradicting the veto,
+//     the tuner eventually overrides it.
+//
+// Run with: go run ./examples/dba_feedback
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/datagen"
+	"repro/internal/index"
+	"repro/internal/sqlmini"
+	"repro/internal/whatif"
+)
+
+func main() {
+	cat, _ := datagen.Build()
+	reg := index.NewRegistry()
+	model := cost.NewModel(cat, reg, cost.DefaultParams())
+	optimizer := whatif.New(model)
+	parser := sqlmini.NewParser(cat)
+	tuner := core.NewWFIT(optimizer, core.DefaultOptions())
+
+	analyze := func(id int, sql string) {
+		s, err := parser.Parse(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.ID = id
+		tuner.AnalyzeQuery(s)
+	}
+	intern := func(table string, cols ...string) index.ID {
+		return reg.Intern(cost.BuildIndexProto(cat, model.Params(), table, cols))
+	}
+
+	// A workload where trades are filtered by date and price: the tuner
+	// will discover indices on tpce.trade.
+	tradeQuery := `SELECT count(*) FROM tpce.trade
+		WHERE t_dts BETWEEN 100000 AND 101000 AND t_bid_price BETWEEN 10 AND 12`
+	for i := 1; i <= 6; i++ {
+		analyze(i, tradeQuery)
+	}
+	fmt.Println("after the initial workload:")
+	fmt.Println("  recommendation:", tuner.Recommend().Format(reg))
+
+	// The DBA distrusts the composite index (past locking trouble) and
+	// prefers the two single-column indices instead.
+	composite := intern("tpce.trade", "t_dts", "t_bid_price")
+	dts := intern("tpce.trade", "t_dts")
+	price := intern("tpce.trade", "t_bid_price")
+
+	fmt.Println("\nDBA votes: -tpce.trade(t_dts,t_bid_price)  +tpce.trade(t_dts)  +tpce.trade(t_bid_price)")
+	tuner.Feedback(index.NewSet(dts, price), index.NewSet(composite))
+	rec := tuner.Recommend()
+	fmt.Println("  recommendation:", rec.Format(reg))
+	if rec.Contains(composite) {
+		log.Fatal("consistency violated: vetoed index still recommended")
+	}
+	if !rec.Contains(dts) || !rec.Contains(price) {
+		log.Fatal("consistency violated: endorsed indices missing")
+	}
+
+	// The workload keeps running. The two endorsed singles are nearly as
+	// good as the composite (index intersection), so the evidence against
+	// the veto accumulates only slowly — the DBA's preference stands.
+	fmt.Println("\nworkload continues; the endorsed singles are almost as good ...")
+	overridden := -1
+	for i := 7; i <= 30; i++ {
+		analyze(i, tradeQuery)
+		if tuner.Recommend().Contains(composite) {
+			overridden = i
+			break
+		}
+	}
+	if overridden < 0 {
+		fmt.Println("  the veto held: the alternative keeps the evidence below the override threshold")
+	} else {
+		fmt.Printf("  after statement %d the workload evidence overrode the veto\n", overridden)
+	}
+
+	// Now the DBA vetoes the singles too — leaving the hot query with no
+	// index at all. That contradiction is expensive, and WFIT overrides
+	// it quickly.
+	fmt.Println("\nDBA votes: -tpce.trade(t_dts)  -tpce.trade(t_bid_price)   (vetoing every alternative)")
+	tuner.Feedback(index.EmptySet, index.NewSet(dts, price))
+	fmt.Println("  recommendation:", tuner.Recommend().Format(reg))
+	overridden = -1
+	for i := 31; i <= 90; i++ {
+		analyze(i, tradeQuery)
+		rec := tuner.Recommend()
+		if rec.Contains(composite) || rec.Contains(dts) || rec.Contains(price) {
+			overridden = i
+			break
+		}
+	}
+	if overridden < 0 {
+		fmt.Println("  still no index after 60 statements (unexpected)")
+	} else {
+		fmt.Printf("  overridden after %d statements of foregone benefit:\n", overridden-30)
+		fmt.Println("  recommendation:", tuner.Recommend().Format(reg))
+	}
+
+	// The reverse direction: endorsing an index the workload will not
+	// support. The tuner honors the vote now and sheds it once updates
+	// make it expensive.
+	fmt.Println("\nDBA votes: +tpch.lineitem(l_tax) (misguided: l_tax is update-hot)")
+	taxIdx := intern("tpch.lineitem", "l_tax")
+	tuner.Feedback(index.NewSet(taxIdx), index.EmptySet)
+	fmt.Println("  recommendation now includes it:", tuner.Recommend().Contains(taxIdx))
+
+	dropped := -1
+	for i := 61; i <= 140; i++ {
+		analyze(i, `UPDATE tpch.lineitem SET l_tax = l_tax + 0.000001
+			WHERE l_extendedprice BETWEEN 65522.378 AND 65712.419`)
+		if !tuner.Recommend().Contains(taxIdx) {
+			dropped = i
+			break
+		}
+	}
+	if dropped < 0 {
+		fmt.Println("  endorsement still standing after 80 updates")
+	} else {
+		fmt.Printf("  recovered from the bad endorsement after %d update statements\n", dropped-60)
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: the minimal semi-automatic tuning loop.
+//
+// A WFIT tuner watches a short SQL workload arrive one statement at a
+// time and prints its index recommendation after each statement — the
+// core loop of the semi-automatic paradigm, with the DBA free to inspect
+// (and, in the other examples, veto) every choice.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/datagen"
+	"repro/internal/index"
+	"repro/internal/sqlmini"
+	"repro/internal/whatif"
+)
+
+func main() {
+	// The simulated DBMS: catalog with statistics, analytical what-if
+	// optimizer, and a SQL front end.
+	cat, _ := datagen.Build()
+	reg := index.NewRegistry()
+	model := cost.NewModel(cat, reg, cost.DefaultParams())
+	optimizer := whatif.New(model)
+	parser := sqlmini.NewParser(cat)
+
+	// The semi-automatic tuner with the paper's default knobs
+	// (idxCnt=40, stateCnt=500, histSize=100).
+	tuner := core.NewWFIT(optimizer, core.DefaultOptions())
+
+	workload := []string{
+		`SELECT count(*) FROM tpch.lineitem WHERE l_shipdate BETWEEN 100 AND 120`,
+		`SELECT count(*) FROM tpch.lineitem WHERE l_shipdate BETWEEN 300 AND 330`,
+		`SELECT count(*) FROM tpch.orders o, tpch.lineitem l
+		   WHERE o.o_orderdate BETWEEN 500 AND 520 AND l.l_orderkey = o.o_orderkey`,
+		`SELECT count(*) FROM tpch.orders o, tpch.lineitem l
+		   WHERE o.o_orderdate BETWEEN 710 AND 740 AND l.l_orderkey = o.o_orderkey`,
+		`UPDATE tpch.lineitem SET l_tax = l_tax + 0.000001
+		   WHERE l_extendedprice BETWEEN 65522.378 AND 65712.419`,
+		`SELECT count(*) FROM tpch.part WHERE p_size = 14 AND p_retailprice BETWEEN 1000 AND 1020`,
+	}
+
+	for i, sql := range workload {
+		s, err := parser.Parse(sql)
+		if err != nil {
+			log.Fatalf("statement %d: %v", i+1, err)
+		}
+		s.ID = i + 1
+		tuner.AnalyzeQuery(s)
+		fmt.Printf("statement %d (%s):\n  recommendation: %s\n",
+			s.ID, s.Kind, tuner.Recommend().Format(reg))
+	}
+
+	fmt.Printf("\nafter %d statements: %d candidate indices mined, %d what-if calls, partition of %d parts\n",
+		tuner.StatementsSeen(), tuner.UniverseSize(), optimizer.Calls(), len(tuner.Partition()))
+}

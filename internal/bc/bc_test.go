@@ -1,0 +1,172 @@
+package bc
+
+import (
+	"testing"
+
+	"repro/internal/index"
+)
+
+// fakeCost is a StatementCost driven by an explicit function.
+type fakeCost struct {
+	fn   func(cfg index.Set) float64
+	infl index.Set
+}
+
+func (f *fakeCost) Cost(cfg index.Set) float64          { return f.fn(cfg) }
+func (f *fakeCost) Influential(cfg index.Set) index.Set { return cfg.Intersect(f.infl) }
+
+func setup(create, drop float64) (*index.Registry, index.ID, index.ID) {
+	reg := index.NewRegistry()
+	a := reg.Intern(index.Index{Table: "t", Columns: []string{"a"}, CreateCost: create, DropCost: drop})
+	b := reg.Intern(index.Index{Table: "t", Columns: []string{"b"}, CreateCost: create, DropCost: drop})
+	return reg, a, b
+}
+
+// soloBenefit builds a cost function where index a saves `gain` per query.
+func soloBenefit(a index.ID, base, gain float64) *fakeCost {
+	return &fakeCost{
+		fn: func(cfg index.Set) float64 {
+			if cfg.Contains(a) {
+				return base - gain
+			}
+			return base
+		},
+		infl: index.NewSet(a),
+	}
+}
+
+func TestBCCreatesAfterAccumulatedBenefit(t *testing.T) {
+	reg, a, _ := setup(100, 1)
+	bc := New(reg, index.NewSet(a), index.EmptySet)
+	sc := soloBenefit(a, 200, 30)
+	steps := 0
+	for ; steps < 10 && !bc.Recommend().Contains(a); steps++ {
+		bc.AnalyzeStatement(sc)
+	}
+	// Benefit 30/query against creation cost 100: the fourth statement
+	// crosses the threshold.
+	if steps != 4 {
+		t.Fatalf("created after %d statements, want 4", steps)
+	}
+}
+
+func TestBCDropsAfterAccumulatedPenalty(t *testing.T) {
+	reg, a, _ := setup(50, 5)
+	bc := New(reg, index.NewSet(a), index.NewSet(a)) // starts materialized
+	// Updates: the index costs 20 extra per statement.
+	sc := soloBenefit(a, 200, -20)
+	steps := 0
+	for ; steps < 10 && bc.Recommend().Contains(a); steps++ {
+		bc.AnalyzeStatement(sc)
+	}
+	// Threshold −(create+drop) = −55 at 20/statement: dropped after 3.
+	if steps != 3 {
+		t.Fatalf("dropped after %d statements, want 3", steps)
+	}
+}
+
+func TestBCIgnoresHypotheticalMaintenance(t *testing.T) {
+	reg, a, _ := setup(50, 1)
+	bc := New(reg, index.NewSet(a), index.EmptySet)
+	hurt := soloBenefit(a, 200, -25)
+	help := soloBenefit(a, 200, 30)
+	// Penalties while absent do not accumulate (BC's optimism)...
+	for i := 0; i < 5; i++ {
+		bc.AnalyzeStatement(hurt)
+	}
+	if got := bc.Accumulator(a); got != 0 {
+		t.Fatalf("absent-index accumulator = %v, want 0", got)
+	}
+	// ...so the later benefits create it on the same timeline as if the
+	// penalties never happened.
+	steps := 0
+	for ; steps < 10 && !bc.Recommend().Contains(a); steps++ {
+		bc.AnalyzeStatement(help)
+	}
+	if steps != 2 {
+		t.Fatalf("created after %d, want 2 (50/30 rounded up)", steps)
+	}
+}
+
+func TestBCSplitsRealizedBenefit(t *testing.T) {
+	reg, a, b := setup(100, 1)
+	both := index.NewSet(a, b)
+	bc := New(reg, both, both) // both materialized
+	// The configuration saves 40 per statement, jointly attributed.
+	sc := &fakeCost{
+		fn: func(cfg index.Set) float64 {
+			if cfg.Contains(a) && cfg.Contains(b) {
+				return 160
+			}
+			return 200
+		},
+		infl: both,
+	}
+	bc.AnalyzeStatement(sc)
+	if da, db := bc.Accumulator(a), bc.Accumulator(b); da != 20 || db != 20 {
+		t.Fatalf("equal split violated: Δa=%v Δb=%v, want 20 each", da, db)
+	}
+}
+
+func TestBCMaintenancePenaltySplitDelaysDrops(t *testing.T) {
+	reg, a, b := setup(30, 1)
+	both := index.NewSet(a, b)
+	// Only a is genuinely harmful (−20/stmt); b is neutral but active.
+	sc := &fakeCost{
+		fn: func(cfg index.Set) float64 {
+			c := 100.0
+			if cfg.Contains(a) {
+				c += 20
+			}
+			return c
+		},
+		infl: both,
+	}
+	solo := New(reg, index.NewSet(a), index.NewSet(a))
+	pair := New(reg, both, both)
+	soloSteps, pairSteps := 0, 0
+	for ; soloSteps < 50 && solo.Recommend().Contains(a); soloSteps++ {
+		solo.AnalyzeStatement(sc)
+	}
+	for ; pairSteps < 50 && pair.Recommend().Contains(a); pairSteps++ {
+		pair.AnalyzeStatement(sc)
+	}
+	if pairSteps <= soloSteps {
+		t.Fatalf("blame dilution should delay the drop: solo=%d pair=%d", soloSteps, pairSteps)
+	}
+}
+
+func TestBCUntouchedStatementNoChange(t *testing.T) {
+	reg, a, _ := setup(50, 1)
+	bc := New(reg, index.NewSet(a), index.EmptySet)
+	bc.AnalyzeStatement(soloBenefit(a, 100, 20))
+	before := bc.Accumulator(a)
+	// A statement where the candidate is irrelevant.
+	bc.AnalyzeStatement(&fakeCost{fn: func(index.Set) float64 { return 9 }, infl: index.EmptySet})
+	if bc.Accumulator(a) != before {
+		t.Fatalf("irrelevant statement changed accumulator")
+	}
+}
+
+func TestBCClampBounds(t *testing.T) {
+	reg, a, _ := setup(40, 2)
+	bc := New(reg, index.NewSet(a), index.EmptySet)
+	// One enormous benefit should clamp at the creation cost, not beyond
+	// — and therefore trigger exactly one creation.
+	bc.AnalyzeStatement(soloBenefit(a, 10000, 9000))
+	if !bc.Recommend().Contains(a) {
+		t.Fatalf("huge benefit did not create")
+	}
+	if got := bc.Accumulator(a); got != 0 {
+		t.Fatalf("accumulator not reset after creation: %v", got)
+	}
+}
+
+func TestBCRespectsInitialConfig(t *testing.T) {
+	reg, a, b := setup(50, 1)
+	bc := New(reg, index.NewSet(a), index.NewSet(a, b))
+	// b is not a candidate, so the recommendation must not include it.
+	if got := bc.Recommend(); !got.Equal(index.NewSet(a)) {
+		t.Fatalf("initial recommendation = %v, want {a}", got)
+	}
+}

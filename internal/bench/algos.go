@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"repro/internal/bc"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/interaction"
+	"repro/internal/stmt"
+	"repro/internal/whatif"
+)
+
+// wfaPlusAlgo adapts the fixed-candidate WFIT (= WFA+ with feedback) to
+// the harness.
+type wfaPlusAlgo struct {
+	name string
+	p    *core.WFAPlus
+}
+
+// NewWFITFixedAlgo builds the simplified WFIT over a preset stable
+// partition — the configuration used by Figures 8–11.
+func (e *Env) NewWFITFixedAlgo(name string, partition interaction.Partition) Algorithm {
+	return &wfaPlusAlgo{
+		name: name,
+		p:    core.NewWFAPlus(e.Reg, partition, index.EmptySet),
+	}
+}
+
+// NewWFITIndAlgo builds WFIT-IND: every candidate in its own part, i.e.
+// all interactions assumed away.
+func (e *Env) NewWFITIndAlgo(name string) Algorithm {
+	return e.NewWFITFixedAlgo(name, interaction.Singletons(e.FixedC))
+}
+
+func (a *wfaPlusAlgo) Name() string { return a.name }
+func (a *wfaPlusAlgo) Analyze(_ int, _ *stmt.Statement, sc core.StatementCost) {
+	a.p.AnalyzeStatement(sc)
+}
+func (a *wfaPlusAlgo) Recommend() index.Set           { return a.p.Recommend() }
+func (a *wfaPlusAlgo) Feedback(plus, minus index.Set) { a.p.Feedback(plus, minus) }
+func (a *wfaPlusAlgo) SetMaterialized(index.Set)      {}
+
+// bcAlgo adapts the Bruno–Chaudhuri baseline. BC has no feedback channel.
+type bcAlgo struct {
+	name string
+	b    *bc.BC
+}
+
+// NewBCAlgo builds the BC baseline over the fixed candidate set.
+func (e *Env) NewBCAlgo(name string) Algorithm {
+	return &bcAlgo{name: name, b: bc.New(e.Reg, e.FixedC, index.EmptySet)}
+}
+
+func (a *bcAlgo) Name() string { return a.name }
+func (a *bcAlgo) Analyze(_ int, _ *stmt.Statement, sc core.StatementCost) {
+	a.b.AnalyzeStatement(sc)
+}
+func (a *bcAlgo) Recommend() index.Set           { return a.b.Recommend() }
+func (a *bcAlgo) Feedback(plus, minus index.Set) {}
+func (a *bcAlgo) SetMaterialized(index.Set)      {}
+
+// wfitAutoAlgo adapts the full WFIT with online candidate maintenance
+// (Figure 12's AUTO). It builds its own IBGs over its evolving universe
+// through a private what-if optimizer, whose call counter provides the
+// overhead statistics.
+type wfitAutoAlgo struct {
+	name string
+	t    *core.WFIT
+	opt  *whatif.Optimizer
+
+	// per-statement IBG node counts (= what-if calls per statement)
+	ibgNodes []int
+}
+
+// NewWFITAutoAlgo builds the full WFIT.
+func (e *Env) NewWFITAutoAlgo(name string, options core.Options) *WFITAutoAlgo {
+	o := whatif.New(e.Model)
+	return &WFITAutoAlgo{wfitAutoAlgo{
+		name: name,
+		t:    core.NewWFIT(o, options),
+		opt:  o,
+	}}
+}
+
+// WFITAutoAlgo exposes the AUTO adapter with its overhead accessors.
+type WFITAutoAlgo struct {
+	wfitAutoAlgo
+}
+
+func (a *WFITAutoAlgo) Name() string { return a.name }
+func (a *WFITAutoAlgo) Analyze(_ int, s *stmt.Statement, _ core.StatementCost) {
+	a.t.AnalyzeQuery(s)
+	a.ibgNodes = append(a.ibgNodes, a.t.LastIBGNodes())
+}
+func (a *WFITAutoAlgo) Recommend() index.Set           { return a.t.Recommend() }
+func (a *WFITAutoAlgo) Feedback(plus, minus index.Set) { a.t.Feedback(plus, minus) }
+func (a *WFITAutoAlgo) SetMaterialized(m index.Set)    { a.t.SetMaterialized(m) }
+
+// Tuner exposes the underlying WFIT (repartition counts, universe size).
+func (a *WFITAutoAlgo) Tuner() *core.WFIT { return a.t }
+
+// WhatIfCalls reports the real optimizer invocations performed so far.
+func (a *WFITAutoAlgo) WhatIfCalls() int64 { return a.opt.Calls() }
+
+// IBGNodeCounts returns per-statement IBG sizes (what-if calls/query).
+func (a *WFITAutoAlgo) IBGNodeCounts() []int { return a.ibgNodes }

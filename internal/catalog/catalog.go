@@ -1,0 +1,204 @@
+// Package catalog holds the logical schema and the table/column statistics
+// that drive the what-if cost model. It plays the role of the DBMS system
+// catalog: the simulator never touches base data, only these statistics,
+// mirroring how the paper evaluates algorithms with the optimizer's cost
+// model rather than wall-clock execution.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the number of bytes per page used to convert row widths into
+// page counts. 8 KiB matches common DBMS defaults.
+const PageSize = 8192
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name     string
+	Width    int     // average stored width in bytes
+	Distinct float64 // estimated number of distinct values
+	Min, Max float64 // value domain for range-selectivity estimation
+}
+
+// Table describes a base table and its statistics.
+type Table struct {
+	Schema  string // dataset name, e.g. "tpch"
+	Name    string // unqualified table name
+	Rows    float64
+	columns []Column
+	byName  map[string]int
+}
+
+// QualifiedName returns "schema.table".
+func (t *Table) QualifiedName() string { return t.Schema + "." + t.Name }
+
+// RowWidth returns the summed column widths plus per-row overhead.
+func (t *Table) RowWidth() int {
+	w := 24 // tuple header overhead
+	for _, c := range t.columns {
+		w += c.Width
+	}
+	return w
+}
+
+// Pages estimates the heap size of the table in pages.
+func (t *Table) Pages() float64 {
+	pages := t.Rows * float64(t.RowWidth()) / PageSize
+	if pages < 1 {
+		return 1
+	}
+	return pages
+}
+
+// Columns returns the table's columns in declaration order.
+func (t *Table) Columns() []Column { return t.columns }
+
+// Column returns the named column.
+func (t *Table) Column(name string) (Column, bool) {
+	i, ok := t.byName[name]
+	if !ok {
+		return Column{}, false
+	}
+	return t.columns[i], true
+}
+
+// HasColumn reports whether the table declares the column.
+func (t *Table) HasColumn(name string) bool {
+	_, ok := t.byName[name]
+	return ok
+}
+
+// AddColumn appends a column definition. It panics on duplicates, which
+// indicate a schema-definition bug.
+func (t *Table) AddColumn(c Column) {
+	if t.byName == nil {
+		t.byName = make(map[string]int)
+	}
+	if _, dup := t.byName[c.Name]; dup {
+		panic(fmt.Sprintf("catalog: duplicate column %s.%s", t.QualifiedName(), c.Name))
+	}
+	if c.Distinct <= 0 {
+		c.Distinct = 1
+	}
+	t.byName[c.Name] = len(t.columns)
+	t.columns = append(t.columns, c)
+}
+
+// Catalog is a collection of tables keyed by qualified name.
+type Catalog struct {
+	tables map[string]*Table
+	order  []string
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// AddTable registers a table. It panics on duplicate qualified names.
+func (c *Catalog) AddTable(t *Table) {
+	qn := t.QualifiedName()
+	if _, dup := c.tables[qn]; dup {
+		panic("catalog: duplicate table " + qn)
+	}
+	c.tables[qn] = t
+	c.order = append(c.order, qn)
+}
+
+// Table returns the table with the given qualified name.
+func (c *Catalog) Table(qualified string) (*Table, bool) {
+	t, ok := c.tables[qualified]
+	return t, ok
+}
+
+// MustTable returns the table or panics; for use with generated workloads
+// whose table names are known-valid.
+func (c *Catalog) MustTable(qualified string) *Table {
+	t, ok := c.tables[qualified]
+	if !ok {
+		panic("catalog: unknown table " + qualified)
+	}
+	return t
+}
+
+// Tables returns all tables in registration order.
+func (c *Catalog) Tables() []*Table {
+	out := make([]*Table, 0, len(c.order))
+	for _, qn := range c.order {
+		out = append(out, c.tables[qn])
+	}
+	return out
+}
+
+// TablesInSchema returns the tables belonging to one dataset, sorted by name.
+func (c *Catalog) TablesInSchema(schema string) []*Table {
+	var out []*Table
+	for _, qn := range c.order {
+		t := c.tables[qn]
+		if t.Schema == schema {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Schemas returns the distinct dataset names in first-seen order.
+func (c *Catalog) Schemas() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, qn := range c.order {
+		s := c.tables[qn].Schema
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TotalBytes estimates the total base-table footprint.
+func (c *Catalog) TotalBytes() float64 {
+	var total float64
+	for _, t := range c.tables {
+		total += t.Rows * float64(t.RowWidth())
+	}
+	return total
+}
+
+// RangeSelectivity estimates the fraction of rows of col in [lo, hi],
+// assuming a uniform distribution over [col.Min, col.Max]. Used by the SQL
+// front end; generated workloads carry explicit selectivities instead.
+func RangeSelectivity(col Column, lo, hi float64) float64 {
+	if hi < lo || col.Max <= col.Min {
+		return 0
+	}
+	if lo < col.Min {
+		lo = col.Min
+	}
+	if hi > col.Max {
+		hi = col.Max
+	}
+	if hi < lo {
+		return 0
+	}
+	sel := (hi - lo) / (col.Max - col.Min)
+	if sel <= 0 {
+		// A point inside the domain still selects ~1/distinct rows.
+		return 1 / col.Distinct
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+// EqSelectivity estimates the fraction of rows matching col = value.
+func EqSelectivity(col Column) float64 {
+	if col.Distinct <= 1 {
+		return 1
+	}
+	return 1 / col.Distinct
+}

@@ -1,0 +1,167 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testTable() *Table {
+	t := &Table{Schema: "s", Name: "t", Rows: 1000}
+	t.AddColumn(Column{Name: "a", Width: 4, Distinct: 100, Min: 0, Max: 100})
+	t.AddColumn(Column{Name: "b", Width: 8, Distinct: 10, Min: -5, Max: 5})
+	return t
+}
+
+func TestTableBasics(t *testing.T) {
+	tbl := testTable()
+	if got := tbl.QualifiedName(); got != "s.t" {
+		t.Fatalf("QualifiedName = %q", got)
+	}
+	if got := tbl.RowWidth(); got != 24+4+8 {
+		t.Fatalf("RowWidth = %d", got)
+	}
+	if !tbl.HasColumn("a") || tbl.HasColumn("zz") {
+		t.Fatalf("HasColumn wrong")
+	}
+	c, ok := tbl.Column("b")
+	if !ok || c.Width != 8 {
+		t.Fatalf("Column lookup wrong: %+v %v", c, ok)
+	}
+	if got := len(tbl.Columns()); got != 2 {
+		t.Fatalf("Columns = %d", got)
+	}
+}
+
+func TestTablePagesFloorsAtOne(t *testing.T) {
+	tiny := &Table{Schema: "s", Name: "tiny", Rows: 1}
+	tiny.AddColumn(Column{Name: "x", Width: 4, Distinct: 1})
+	if got := tiny.Pages(); got != 1 {
+		t.Fatalf("Pages = %v, want 1", got)
+	}
+	big := &Table{Schema: "s", Name: "big", Rows: 1e6}
+	big.AddColumn(Column{Name: "x", Width: 100, Distinct: 10})
+	want := 1e6 * float64(124) / PageSize
+	if math.Abs(big.Pages()-want) > 1e-9 {
+		t.Fatalf("Pages = %v, want %v", big.Pages(), want)
+	}
+}
+
+func TestDuplicateColumnPanics(t *testing.T) {
+	tbl := testTable()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("duplicate column did not panic")
+		}
+	}()
+	tbl.AddColumn(Column{Name: "a", Width: 2, Distinct: 5})
+}
+
+func TestCatalogRegistration(t *testing.T) {
+	c := New()
+	c.AddTable(testTable())
+	if _, ok := c.Table("s.t"); !ok {
+		t.Fatalf("registered table not found")
+	}
+	if _, ok := c.Table("s.missing"); ok {
+		t.Fatalf("phantom table found")
+	}
+	if got := c.MustTable("s.t"); got == nil {
+		t.Fatalf("MustTable returned nil")
+	}
+	if got := len(c.Tables()); got != 1 {
+		t.Fatalf("Tables = %d", got)
+	}
+	if got := c.Schemas(); len(got) != 1 || got[0] != "s" {
+		t.Fatalf("Schemas = %v", got)
+	}
+}
+
+func TestCatalogDuplicateTablePanics(t *testing.T) {
+	c := New()
+	c.AddTable(testTable())
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("duplicate table did not panic")
+		}
+	}()
+	c.AddTable(testTable())
+}
+
+func TestMustTableUnknownPanics(t *testing.T) {
+	c := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustTable on unknown did not panic")
+		}
+	}()
+	c.MustTable("nope.nope")
+}
+
+func TestTablesInSchemaSorted(t *testing.T) {
+	c := New()
+	tb := func(name string) *Table {
+		t := &Table{Schema: "x", Name: name, Rows: 10}
+		t.AddColumn(Column{Name: "c", Width: 4, Distinct: 2})
+		return t
+	}
+	c.AddTable(tb("zeta"))
+	c.AddTable(tb("alpha"))
+	got := c.TablesInSchema("x")
+	if len(got) != 2 || got[0].Name != "alpha" || got[1].Name != "zeta" {
+		t.Fatalf("TablesInSchema order wrong: %v %v", got[0].Name, got[1].Name)
+	}
+	if len(c.TablesInSchema("none")) != 0 {
+		t.Fatalf("unexpected tables for unknown schema")
+	}
+}
+
+func TestRangeSelectivity(t *testing.T) {
+	col := Column{Name: "a", Distinct: 100, Min: 0, Max: 100}
+	cases := []struct {
+		lo, hi, want float64
+	}{
+		{0, 100, 1},
+		{0, 50, 0.5},
+		{25, 75, 0.5},
+		{-50, 50, 0.5},      // clamped below
+		{50, 150, 0.5},      // clamped above
+		{-10, -5, 0},        // fully outside
+		{200, 300, 0},       // fully outside
+		{60, 40, 0},         // inverted
+		{50, 50, 1 / 100.0}, // point lookup falls back to 1/distinct
+	}
+	for _, tc := range cases {
+		if got := RangeSelectivity(col, tc.lo, tc.hi); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("RangeSelectivity(%v,%v) = %v, want %v", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+func TestRangeSelectivityDegenerateDomain(t *testing.T) {
+	col := Column{Name: "a", Distinct: 5, Min: 7, Max: 7}
+	if got := RangeSelectivity(col, 0, 10); got != 0 {
+		t.Fatalf("degenerate domain selectivity = %v", got)
+	}
+}
+
+func TestEqSelectivity(t *testing.T) {
+	if got := EqSelectivity(Column{Distinct: 50}); got != 0.02 {
+		t.Fatalf("EqSelectivity = %v", got)
+	}
+	if got := EqSelectivity(Column{Distinct: 0.5}); got != 1 {
+		t.Fatalf("EqSelectivity low-distinct = %v", got)
+	}
+}
+
+// TestRangeSelectivityBounds property: always in [0, 1].
+func TestRangeSelectivityBounds(t *testing.T) {
+	col := Column{Name: "a", Distinct: 1000, Min: -1000, Max: 1000}
+	f := func(lo, hi float64) bool {
+		s := RangeSelectivity(col, lo, hi)
+		return s >= 0 && s <= 1 && !math.IsNaN(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/interaction"
+)
+
+// TestFeedbackConsistency checks the consistency constraint of §3.1:
+// immediately after feedback, the recommendation contains every
+// positively-voted index and no negatively-voted index.
+func TestFeedbackConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	reg, ids := newTestRegistry(6, 25, 1)
+	partition := interaction.Partition{
+		index.NewSet(ids[0], ids[1], ids[2]),
+		index.NewSet(ids[3], ids[4], ids[5]),
+	}
+	plus := NewWFAPlus(reg, partition, index.EmptySet)
+
+	for step := 0; step < 30; step++ {
+		sc := partitionedCost(rng, partition, 150)
+		plus.AnalyzeStatement(sc)
+		// Random votes, disjoint by construction.
+		var pos, neg []index.ID
+		for _, id := range ids {
+			switch rng.Intn(4) {
+			case 0:
+				pos = append(pos, id)
+			case 1:
+				neg = append(neg, id)
+			}
+		}
+		fPlus, fMinus := index.NewSet(pos...), index.NewSet(neg...)
+		plus.Feedback(fPlus, fMinus)
+		rec := plus.Recommend()
+		if !fPlus.SubsetOf(rec) {
+			t.Fatalf("step %d: recommendation %v missing positive votes %v", step, rec, fPlus)
+		}
+		if !rec.Disjoint(fMinus) {
+			t.Fatalf("step %d: recommendation %v contains negative votes %v", step, rec, fMinus)
+		}
+	}
+}
+
+// TestFeedbackScoreBound verifies the internal-state bound (5.1): after
+// feedback switches the recommendation to Y, every configuration S
+// satisfies score(S) − score(Y) ≥ δ(S, Scons) + δ(Scons, S).
+func TestFeedbackScoreBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	reg, ids := newTestRegistry(4, 30, 1)
+	part := index.NewSet(ids...)
+	wfa := NewWFA(reg, part, index.EmptySet)
+	subsets := allSubsets(part)
+
+	for step := 0; step < 25; step++ {
+		wfa.AnalyzeStatement(randomCostFn(rng, part, 0, 80))
+		fPlus := index.NewSet(ids[rng.Intn(4)])
+		var fMinus index.Set
+		if other := ids[rng.Intn(4)]; !fPlus.Contains(other) {
+			fMinus = index.NewSet(other)
+		}
+		wfa.Feedback(fPlus, fMinus)
+
+		rec := wfa.Recommend()
+		recScore := wfa.WorkValue(rec) // δ(rec, rec) = 0
+		for _, s := range subsets {
+			scons := s.Minus(fMinus).Union(fPlus)
+			minDiff := reg.Delta(s, scons) + reg.Delta(scons, s)
+			score := wfa.WorkValue(s) + reg.Delta(s, rec)
+			if score-recScore < minDiff-1e-6 {
+				t.Fatalf("step %d: bound (5.1) violated for %v: score diff %v < %v",
+					step, s, score-recScore, minDiff)
+			}
+		}
+	}
+}
+
+// TestFeedbackRecovery exercises the recoverability requirement: after
+// bad feedback forces a useless index in (and a useful one out), a
+// workload that keeps contradicting the advice eventually overrides it.
+func TestFeedbackRecovery(t *testing.T) {
+	reg, ids := newTestRegistry(2, 40, 1)
+	good, bad := ids[0], ids[1]
+	part := index.NewSet(ids...)
+	wfa := NewWFA(reg, part, index.EmptySet)
+
+	// Workload strongly favors {good}, mildly penalizes {bad} (e.g. an
+	// index on updated columns).
+	mk := func() *fakeCost {
+		return &fakeCost{
+			fn: func(cfg index.Set) float64 {
+				c := 100.0
+				if cfg.Contains(good) {
+					c -= 80
+				}
+				if cfg.Contains(bad) {
+					c += 15
+				}
+				return c
+			},
+			infl: part,
+		}
+	}
+	for i := 0; i < 5; i++ {
+		wfa.AnalyzeStatement(mk())
+	}
+	if rec := wfa.Recommend(); !rec.Contains(good) || rec.Contains(bad) {
+		t.Fatalf("setup failed: rec = %v", rec)
+	}
+
+	// Adversarial feedback: drop good, create bad.
+	wfa.Feedback(index.NewSet(bad), index.NewSet(good))
+	if rec := wfa.Recommend(); rec.Contains(good) || !rec.Contains(bad) {
+		t.Fatalf("feedback not honored: rec = %v", rec)
+	}
+
+	// The workload keeps contradicting the advice; WFIT must recover.
+	recovered := false
+	for i := 0; i < 60; i++ {
+		wfa.AnalyzeStatement(mk())
+		rec := wfa.Recommend()
+		if rec.Contains(good) && !rec.Contains(bad) {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatalf("never recovered from bad feedback: rec = %v", wfa.Recommend())
+	}
+}
+
+// TestFeedbackSticksWithoutEvidence checks the flip side of recovery: when
+// the workload is indifferent, feedback-forced choices persist (votes can
+// only be overridden by workload evidence, §3.1).
+func TestFeedbackSticksWithoutEvidence(t *testing.T) {
+	reg, ids := newTestRegistry(2, 40, 1)
+	part := index.NewSet(ids...)
+	wfa := NewWFA(reg, part, index.EmptySet)
+
+	wfa.Feedback(index.NewSet(ids[0]), index.EmptySet)
+	if !wfa.Recommend().Contains(ids[0]) {
+		t.Fatalf("positive vote ignored")
+	}
+	indifferent := &fakeCost{fn: func(index.Set) float64 { return 10 }, infl: index.EmptySet}
+	for i := 0; i < 20; i++ {
+		wfa.AnalyzeStatement(indifferent)
+		if !wfa.Recommend().Contains(ids[0]) {
+			t.Fatalf("recommendation dropped voted index without workload evidence (step %d)", i)
+		}
+	}
+}
+
+// TestFeedbackEmptyVotesNoOp verifies that empty vote sets change nothing.
+func TestFeedbackEmptyVotesNoOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	reg, ids := newTestRegistry(3, 20, 1)
+	part := index.NewSet(ids...)
+	wfa := NewWFA(reg, part, index.EmptySet)
+	subsets := allSubsets(part)
+
+	wfa.AnalyzeStatement(randomCostFn(rng, part, 0, 50))
+	before := make(map[string]float64)
+	for _, s := range subsets {
+		before[s.Key()] = wfa.TrueWorkValue(s)
+	}
+	rec := wfa.Recommend()
+	wfa.Feedback(index.EmptySet, index.EmptySet)
+	if !wfa.Recommend().Equal(rec) {
+		t.Fatalf("empty feedback changed recommendation")
+	}
+	for _, s := range subsets {
+		if wfa.TrueWorkValue(s) != before[s.Key()] {
+			t.Fatalf("empty feedback changed work function at %v", s)
+		}
+	}
+}
+
+// TestFeedbackIdempotentOnConsistentState repeating the same votes twice
+// should leave the state unchanged the second time (diff ≥ minDiff holds
+// already).
+func TestFeedbackIdempotentOnConsistentState(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	reg, ids := newTestRegistry(3, 20, 1)
+	part := index.NewSet(ids...)
+	wfa := NewWFA(reg, part, index.EmptySet)
+	wfa.AnalyzeStatement(randomCostFn(rng, part, 0, 50))
+
+	fPlus, fMinus := index.NewSet(ids[0]), index.NewSet(ids[2])
+	wfa.Feedback(fPlus, fMinus)
+	subsets := allSubsets(part)
+	snapshot := make(map[string]float64)
+	for _, s := range subsets {
+		snapshot[s.Key()] = wfa.TrueWorkValue(s)
+	}
+	wfa.Feedback(fPlus, fMinus)
+	for _, s := range subsets {
+		if got := wfa.TrueWorkValue(s); got != snapshot[s.Key()] {
+			t.Fatalf("second identical feedback changed w(%v): %v -> %v", s, snapshot[s.Key()], got)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Package core implements the paper's primary contribution: the Work
+// Function Algorithm adapted to index tuning (WFA, §4.1), its partitioned
+// divide-and-conquer form (WFA+, §4.2), and the full semi-automatic tuner
+// WFIT (§5) with DBA feedback, online candidate selection, and
+// repartitioning.
+package core
+
+import "repro/internal/index"
+
+// StatementCost prices one workload statement under hypothetical index
+// configurations. An *ibg.Graph satisfies it: every probe is answered from
+// the index benefit graph without extra optimizer calls.
+type StatementCost interface {
+	// Cost returns cost(q, X) for an arbitrary candidate subset X.
+	Cost(cfg index.Set) float64
+	// Influential returns the members of cfg that can change the
+	// statement's cost; parts with no influential member may be skipped
+	// (their work function would shift uniformly, which never changes
+	// any decision).
+	Influential(cfg index.Set) index.Set
+}
+
+// Tuner is the common interface of the online tuning algorithms compared
+// in the experiments (WFIT, WFA+ under a fixed partition, BC).
+type Tuner interface {
+	// AnalyzeStatement observes the next workload statement, priced by
+	// sc, and updates the internal recommendation.
+	AnalyzeStatement(sc StatementCost)
+	// Recommend returns the current recommended index set.
+	Recommend() index.Set
+}

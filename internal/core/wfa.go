@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/index"
+)
+
+// MaxPartBits caps the number of candidate indices a single WFA instance
+// can track (2^20 configurations ≈ 8 MB of float64 state).
+const MaxPartBits = 20
+
+// WFA is the Work Function Algorithm over one candidate set (one part of
+// the stable partition), following Figure 3 of the paper. Configurations
+// are bitmasks over the part's indices; the work function is an array
+// indexed by mask.
+//
+// The update w'[S] = min_X { w[X] + cost(q,X) + δ(X,S) } runs as a
+// per-coordinate min-plus relaxation over the configuration hypercube,
+// which is exact because δ decomposes per index into direction-dependent
+// create/drop costs. That reduces the per-statement complexity from
+// O(4^n) to O(2^n · n).
+type WFA struct {
+	reg  *index.Registry
+	cand []index.ID       // part members, ascending; bit i = cand[i]
+	pos  map[index.ID]int // index ID -> bit position
+
+	create []float64 // δ+ per bit
+	drop   []float64 // δ− per bit
+
+	w       []float64 // work function, offset by -base (see below)
+	base    float64   // cumulative normalization offset
+	currRec uint32    // current recommendation mask
+
+	// scratch buffers reused across statements
+	v []float64
+}
+
+// NewWFA creates a WFA instance for the given candidate part, with the
+// initial materialized configuration init (intersected with the part, per
+// the WFA+ initialization). The work function starts at w0(S) = δ(S0, S).
+func NewWFA(reg *index.Registry, part index.Set, init index.Set) *WFA {
+	n := part.Len()
+	if n > MaxPartBits {
+		panic(fmt.Sprintf("core: part of %d indices exceeds MaxPartBits=%d", n, MaxPartBits))
+	}
+	a := &WFA{
+		reg:  reg,
+		cand: part.IDs(),
+		pos:  make(map[index.ID]int, n),
+	}
+	for i, id := range a.cand {
+		a.pos[id] = i
+		def := reg.Get(id)
+		a.create = append(a.create, def.CreateCost)
+		a.drop = append(a.drop, def.DropCost)
+	}
+	size := 1 << n
+	a.w = make([]float64, size)
+	a.v = make([]float64, size)
+	s0 := a.MaskOf(init)
+	a.currRec = s0
+	for s := uint32(0); s < uint32(size); s++ {
+		a.w[s] = a.deltaMask(s0, s)
+	}
+	return a
+}
+
+// NewWFAWithWork creates a WFA instance whose work function is initialized
+// by an arbitrary function of the configuration and whose recommendation
+// is preset. This is the entry point of WFIT's repartition step (Figure 5),
+// which rebuilds instances from sums of old per-part work functions.
+func NewWFAWithWork(reg *index.Registry, part index.Set, rec index.Set, work func(cfg index.Set) float64) *WFA {
+	a := NewWFA(reg, part, rec)
+	for s := 0; s < len(a.w); s++ {
+		a.w[s] = work(a.SetOf(uint32(s)))
+	}
+	a.base = 0
+	a.normalize()
+	return a
+}
+
+// Candidates returns the part this instance is responsible for.
+func (a *WFA) Candidates() index.Set { return index.NewSet(a.cand...) }
+
+// Size returns the number of tracked configurations (2^|part|).
+func (a *WFA) Size() int { return len(a.w) }
+
+// MaskOf converts a set to this part's bitmask (ignoring non-members).
+func (a *WFA) MaskOf(s index.Set) uint32 {
+	var m uint32
+	s.Each(func(id index.ID) {
+		if p, ok := a.pos[id]; ok {
+			m |= 1 << p
+		}
+	})
+	return m
+}
+
+// SetOf converts a bitmask back to an index set.
+func (a *WFA) SetOf(mask uint32) index.Set {
+	var ids []index.ID
+	for i := 0; i < len(a.cand); i++ {
+		if mask&(1<<i) != 0 {
+			ids = append(ids, a.cand[i])
+		}
+	}
+	return index.NewSet(ids...)
+}
+
+// deltaMask computes δ(from, to) within the part.
+func (a *WFA) deltaMask(from, to uint32) float64 {
+	diff := from ^ to
+	var total float64
+	for i := 0; diff != 0; i++ {
+		bit := uint32(1) << i
+		if diff&bit == 0 {
+			continue
+		}
+		if to&bit != 0 {
+			total += a.create[i]
+		} else {
+			total += a.drop[i]
+		}
+		diff &^= bit
+	}
+	return total
+}
+
+// Recommend returns the current recommendation as an index set.
+func (a *WFA) Recommend() index.Set { return a.SetOf(a.currRec) }
+
+// RecommendMask returns the current recommendation bitmask.
+func (a *WFA) RecommendMask() uint32 { return a.currRec }
+
+// WorkValue returns the normalized work function value of cfg. Values are
+// shifted by a per-instance constant (see Normalize); only differences are
+// meaningful, which is all any consumer (scores, feedback, repartition)
+// needs.
+func (a *WFA) WorkValue(cfg index.Set) float64 { return a.w[a.MaskOf(cfg)] }
+
+// TrueWorkValue returns the unnormalized work function value, for
+// diagnostics and the Lemma A.1 property tests.
+func (a *WFA) TrueWorkValue(cfg index.Set) float64 {
+	return a.w[a.MaskOf(cfg)] + a.base
+}
+
+// AnalyzeStatement implements WFA.analyzeQuery (Figure 3): update the work
+// function with the statement's cost, then re-select the recommendation by
+// minimal score among configurations whose work-function path ends at
+// themselves (p-membership), with deterministic tie-breaking.
+func (a *WFA) AnalyzeStatement(sc StatementCost) {
+	a.analyze(func(cfg index.Set) float64 { return sc.Cost(cfg) })
+}
+
+// AnalyzeWithCost is AnalyzeStatement with a bare cost function, used by
+// tests and by callers that already closed over a statement.
+func (a *WFA) AnalyzeWithCost(costFn func(cfg index.Set) float64) {
+	a.analyze(costFn)
+}
+
+func (a *WFA) analyze(costFn func(cfg index.Set) float64) {
+	size := len(a.w)
+	n := len(a.cand)
+
+	// Stage 1a: v[X] = w[X] + cost(q, X).
+	for s := 0; s < size; s++ {
+		a.v[s] = a.w[s] + costFn(a.SetOf(uint32(s)))
+	}
+	// Stage 1b: w'[S] = min_X v[X] + δ(X, S), via one relaxation pass per
+	// coordinate. Within a pass, S0 = S without the bit and S1 = with it:
+	// creating costs δ+, dropping costs δ−.
+	copy(a.w, a.v)
+	for i := 0; i < n; i++ {
+		bit := 1 << i
+		for s0 := 0; s0 < size; s0++ {
+			if s0&bit != 0 {
+				continue
+			}
+			s1 := s0 | bit
+			if c := a.w[s0] + a.create[i]; c < a.w[s1] {
+				a.w[s1] = c
+			}
+			if c := a.w[s1] + a.drop[i]; c < a.w[s0] {
+				a.w[s0] = c
+			}
+		}
+	}
+
+	// Stage 2: scores and recommendation. p-membership means the minimal
+	// path for S performs no transition after the statement: w'[S] = v[S].
+	minScore := math.Inf(1)
+	for s := 0; s < size; s++ {
+		if sc := a.w[s] + a.deltaMask(uint32(s), a.currRec); sc < minScore {
+			minScore = sc
+		}
+	}
+	eps := scoreEps(minScore)
+	best := int32(-1)
+	bestIsP := false
+	for s := 0; s < size; s++ {
+		sc := a.w[s] + a.deltaMask(uint32(s), a.currRec)
+		if sc > minScore+eps {
+			continue
+		}
+		isP := a.w[s] >= a.v[s]-eps // w' ≤ v always holds; equality = p-member
+		if best < 0 {
+			best, bestIsP = int32(s), isP
+			continue
+		}
+		// Tie-break order: p-membership first (the paper's explicit
+		// constraint), then a coordinate-wise rule in the spirit of the
+		// appendix's lexicographic preference: prefer the configuration
+		// that agrees with the current recommendation on the lowest
+		// differing index. This rule keeps recommendations stable under
+		// uniform cost shifts and decomposes exactly across stable
+		// partition parts, which is what Theorem 4.2 requires.
+		if isP != bestIsP {
+			if isP {
+				best, bestIsP = int32(s), true
+			}
+			continue
+		}
+		if preferMask(uint32(s), uint32(best), a.currRec) {
+			best, bestIsP = int32(s), isP
+		}
+	}
+	a.currRec = uint32(best)
+
+	a.normalize()
+}
+
+// normalize shifts the work function so its minimum is zero, accumulating
+// the shift in base. Uniform shifts never change scores, feedback deltas,
+// or repartition merges, but they keep 1600-statement runs well inside
+// float64 precision.
+func (a *WFA) normalize() {
+	min := a.w[0]
+	for _, v := range a.w[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	if min == 0 {
+		return
+	}
+	for i := range a.w {
+		a.w[i] -= min
+	}
+	a.base += min
+}
+
+// Feedback applies the per-part feedback adjustment of Figure 4: force the
+// recommendation consistent with the votes, then raise work-function
+// values so every configuration's score respects the bound (5.1) relative
+// to the new recommendation — as if the workload itself had justified the
+// switch.
+func (a *WFA) Feedback(plus, minus index.Set) {
+	plusMask := a.MaskOf(plus)
+	minusMask := a.MaskOf(minus)
+	if plusMask == 0 && minusMask == 0 {
+		return
+	}
+	a.currRec = a.currRec&^minusMask | plusMask
+	wRec := a.w[a.currRec]
+	for s := range a.w {
+		cons := uint32(s)&^minusMask | plusMask
+		minDiff := a.deltaMask(uint32(s), cons) + a.deltaMask(cons, uint32(s))
+		diff := a.w[s] + a.deltaMask(uint32(s), a.currRec) - wRec
+		if diff < minDiff {
+			a.w[s] += minDiff - diff
+		}
+	}
+}
+
+// scoreEps returns the comparison tolerance for score ties, scaled to the
+// magnitude of the values involved.
+func scoreEps(scale float64) float64 {
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return scale * 1e-9
+}
+
+// preferMask is the deterministic score tie-break: prefer x to y iff x
+// agrees with the reference configuration r on the lowest bit where x and
+// y differ. With r = currRec this makes currRec itself win any tie it
+// participates in, and the choice over a product of per-part candidate
+// sets equals the product of per-part choices.
+func preferMask(x, y, r uint32) bool {
+	diff := x ^ y
+	if diff == 0 {
+		return false
+	}
+	low := diff & -diff
+	return (x^r)&low == 0
+}

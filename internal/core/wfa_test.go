@@ -1,0 +1,396 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/interaction"
+)
+
+// fakeCost is a StatementCost backed by an explicit function.
+type fakeCost struct {
+	fn   func(cfg index.Set) float64
+	infl index.Set
+}
+
+func (f *fakeCost) Cost(cfg index.Set) float64 { return f.fn(cfg) }
+func (f *fakeCost) Influential(cfg index.Set) index.Set {
+	return cfg.Intersect(f.infl)
+}
+
+// newTestRegistry interns n single-column indices with the given create
+// and drop costs.
+func newTestRegistry(n int, create, drop float64) (*index.Registry, []index.ID) {
+	reg := index.NewRegistry()
+	ids := make([]index.ID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = reg.Intern(index.Index{
+			Table:      "t",
+			Columns:    []string{string(rune('a' + i))},
+			CreateCost: create,
+			DropCost:   drop,
+		})
+	}
+	return reg, ids
+}
+
+// costsByMember builds a cost function from a map keyed by the member set.
+func costTable(universe index.Set, table map[string]float64) *fakeCost {
+	return &fakeCost{
+		fn: func(cfg index.Set) float64 {
+			c, ok := table[cfg.Intersect(universe).Key()]
+			if !ok {
+				panic("costTable: missing entry for " + cfg.Key())
+			}
+			return c
+		},
+		infl: universe,
+	}
+}
+
+// TestWFAExample41 replays Example 4.1 from the paper step by step: one
+// index a with creation cost 20 and drop cost 0, three queries, and the
+// exact work-function values and recommendations the paper reports.
+func TestWFAExample41(t *testing.T) {
+	reg, ids := newTestRegistry(1, 20, 0)
+	a := ids[0]
+	sa := index.NewSet(a)
+	part := sa
+
+	wfa := NewWFA(reg, part, index.EmptySet)
+
+	// w0(∅) = 0, w0({a}) = 20.
+	if got := wfa.TrueWorkValue(index.EmptySet); got != 0 {
+		t.Fatalf("w0(∅) = %v, want 0", got)
+	}
+	if got := wfa.TrueWorkValue(sa); got != 20 {
+		t.Fatalf("w0({a}) = %v, want 20", got)
+	}
+
+	// q1: cost(∅)=15, cost({a})=5 → w1(∅)=15, w1({a})=25, recommend ∅.
+	wfa.AnalyzeStatement(costTable(sa, map[string]float64{"": 15, sa.Key(): 5}))
+	if got := wfa.TrueWorkValue(index.EmptySet); got != 15 {
+		t.Fatalf("w1(∅) = %v, want 15", got)
+	}
+	if got := wfa.TrueWorkValue(sa); got != 25 {
+		t.Fatalf("w1({a}) = %v, want 25", got)
+	}
+	if rec := wfa.Recommend(); !rec.Empty() {
+		t.Fatalf("after q1 recommend = %v, want ∅", rec)
+	}
+
+	// q2: cost(∅)=20, cost({a})=2 → w2(∅)=w2({a})=27; the p-membership
+	// tie-break switches the recommendation to {a}.
+	wfa.AnalyzeStatement(costTable(sa, map[string]float64{"": 20, sa.Key(): 2}))
+	if got := wfa.TrueWorkValue(index.EmptySet); got != 27 {
+		t.Fatalf("w2(∅) = %v, want 27", got)
+	}
+	if got := wfa.TrueWorkValue(sa); got != 27 {
+		t.Fatalf("w2({a}) = %v, want 27", got)
+	}
+	if rec := wfa.Recommend(); !rec.Equal(sa) {
+		t.Fatalf("after q2 recommend = %v, want {a}", rec)
+	}
+
+	// q3: cost(∅)=15, cost({a})=20 → w3(∅)=42, w3({a})=47;
+	// score(∅)=62 vs score({a})=47 keeps {a} despite q3 favoring ∅.
+	wfa.AnalyzeStatement(costTable(sa, map[string]float64{"": 15, sa.Key(): 20}))
+	if got := wfa.TrueWorkValue(index.EmptySet); got != 42 {
+		t.Fatalf("w3(∅) = %v, want 42", got)
+	}
+	if got := wfa.TrueWorkValue(sa); got != 47 {
+		t.Fatalf("w3({a}) = %v, want 47", got)
+	}
+	if rec := wfa.Recommend(); !rec.Equal(sa) {
+		t.Fatalf("after q3 recommend = %v, want {a}", rec)
+	}
+}
+
+// randomCostFn builds a deterministic random cost function over subsets of
+// universe, with costs in [lo, hi].
+func randomCostFn(rng *rand.Rand, universe index.Set, lo, hi float64) *fakeCost {
+	ids := universe.IDs()
+	table := make(map[string]float64, 1<<len(ids))
+	var fill func(i int, cur []index.ID)
+	fill = func(i int, cur []index.ID) {
+		if i == len(ids) {
+			table[index.NewSet(cur...).Key()] = lo + rng.Float64()*(hi-lo)
+			return
+		}
+		fill(i+1, cur)
+		fill(i+1, append(cur, ids[i]))
+	}
+	fill(0, nil)
+	return costTable(universe, table)
+}
+
+// TestWFALemmaA1 checks the work-function growth bound of Lemma A.1:
+// w_{i+1}(S) ≥ w_i(S) + min_X cost(q_{i+1}, X) for every S.
+func TestWFALemmaA1(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	reg, ids := newTestRegistry(4, 30, 1)
+	part := index.NewSet(ids...)
+	wfa := NewWFA(reg, part, index.NewSet(ids[0]))
+
+	subsets := allSubsets(part)
+	for step := 0; step < 40; step++ {
+		sc := randomCostFn(rng, part, 0, 50)
+		before := make(map[string]float64)
+		for _, s := range subsets {
+			before[s.Key()] = wfa.TrueWorkValue(s)
+		}
+		minCost := math.Inf(1)
+		for _, s := range subsets {
+			if c := sc.Cost(s); c < minCost {
+				minCost = c
+			}
+		}
+		wfa.AnalyzeStatement(sc)
+		for _, s := range subsets {
+			after := wfa.TrueWorkValue(s)
+			if after < before[s.Key()]+minCost-1e-9 {
+				t.Fatalf("step %d: Lemma A.1 violated for %v: %v < %v + %v",
+					step, s, after, before[s.Key()], minCost)
+			}
+		}
+	}
+}
+
+// allSubsets enumerates every subset of a set.
+func allSubsets(s index.Set) []index.Set {
+	ids := s.IDs()
+	out := make([]index.Set, 0, 1<<len(ids))
+	for mask := 0; mask < 1<<len(ids); mask++ {
+		var cur []index.ID
+		for i := range ids {
+			if mask&(1<<i) != 0 {
+				cur = append(cur, ids[i])
+			}
+		}
+		out = append(out, index.NewSet(cur...))
+	}
+	return out
+}
+
+// TestWFARecommendationIsPMember checks the structural invariant that the
+// recommendation's work-function path ends at the recommendation itself:
+// w(S) = w_prev(S) + cost(q, S).
+func TestWFARecommendationIsPMember(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	reg, ids := newTestRegistry(3, 25, 1)
+	part := index.NewSet(ids...)
+	wfa := NewWFA(reg, part, index.EmptySet)
+	subsets := allSubsets(part)
+
+	for step := 0; step < 60; step++ {
+		sc := randomCostFn(rng, part, 0, 40)
+		before := make(map[string]float64)
+		for _, s := range subsets {
+			before[s.Key()] = wfa.TrueWorkValue(s)
+		}
+		wfa.AnalyzeStatement(sc)
+		rec := wfa.Recommend()
+		got := wfa.TrueWorkValue(rec)
+		want := before[rec.Key()] + sc.Cost(rec)
+		if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("step %d: recommendation %v is not a p-member: w=%v, no-transition path=%v",
+				step, rec, got, want)
+		}
+	}
+}
+
+// partitionedCost builds a cost function that decomposes over the given
+// partition — i.e. the partition is genuinely stable (equation 2.1). Each
+// part contributes an independent benefit for its local subset.
+func partitionedCost(rng *rand.Rand, partition interaction.Partition, base float64) *fakeCost {
+	type partBen struct {
+		part index.Set
+		ben  map[string]float64
+	}
+	var parts []partBen
+	for _, p := range partition {
+		ben := make(map[string]float64)
+		for _, sub := range allSubsets(p) {
+			if sub.Empty() {
+				ben[sub.Key()] = 0
+			} else {
+				ben[sub.Key()] = rng.Float64() * base / float64(len(partition)+1)
+			}
+		}
+		parts = append(parts, partBen{part: p, ben: ben})
+	}
+	all := partition.Union()
+	return &fakeCost{
+		fn: func(cfg index.Set) float64 {
+			total := base
+			for _, pb := range parts {
+				total -= pb.ben[cfg.Intersect(pb.part).Key()]
+			}
+			return total
+		},
+		infl: all,
+	}
+}
+
+// TestTheorem42Equivalence verifies that WFA+ over a stable partition
+// makes exactly the same recommendations as monolithic WFA over the full
+// candidate set, on randomized workloads with genuinely decomposable
+// costs.
+func TestTheorem42Equivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 12; trial++ {
+		reg, ids := newTestRegistry(6, 20+rng.Float64()*30, 1)
+		all := index.NewSet(ids...)
+		partition := interaction.Partition{
+			index.NewSet(ids[0], ids[1], ids[2]),
+			index.NewSet(ids[3], ids[4]),
+			index.NewSet(ids[5]),
+		}
+		init := index.NewSet(ids[1], ids[5])
+
+		mono := NewWFA(reg, all, init)
+		plus := NewWFAPlus(reg, partition, init)
+
+		for step := 0; step < 50; step++ {
+			sc := partitionedCost(rng, partition, 200)
+			mono.AnalyzeStatement(sc)
+			plus.AnalyzeStatement(sc)
+			m, p := mono.Recommend(), plus.Recommend()
+			if !m.Equal(p) {
+				t.Fatalf("trial %d step %d: WFA=%v but WFA+=%v", trial, step, m, p)
+			}
+		}
+	}
+}
+
+// TestWFAPlusSkipsUntouchedParts confirms that skipping parts with no
+// influential index is not observable: feeding a statement whose cost is
+// constant on a part leaves that part's recommendation unchanged, exactly
+// as a full update with a uniform cost would.
+func TestWFAPlusSkipsUntouchedParts(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	reg, ids := newTestRegistry(4, 25, 1)
+	p1 := index.NewSet(ids[0], ids[1])
+	p2 := index.NewSet(ids[2], ids[3])
+	partition := interaction.Partition{p1, p2}
+
+	plus := NewWFAPlus(reg, partition, index.EmptySet)
+	// Train part 1 to want index 0.
+	for i := 0; i < 5; i++ {
+		ben := map[string]float64{}
+		for _, sub := range allSubsets(p1) {
+			c := 100.0
+			if sub.Contains(ids[0]) {
+				c = 10
+			}
+			ben[sub.Key()] = c
+		}
+		plus.AnalyzeStatement(&fakeCost{
+			fn:   func(cfg index.Set) float64 { return ben[cfg.Intersect(p1).Key()] },
+			infl: p1,
+		})
+	}
+	recBefore := plus.Recommend()
+	if !recBefore.Contains(ids[0]) {
+		t.Fatalf("setup failed: %v does not contain trained index", recBefore)
+	}
+	// Feed statements touching only part 2; part 1's recommendation must
+	// be stable.
+	for i := 0; i < 10; i++ {
+		sc := randomCostFn(rng, p2, 0, 50)
+		sc.infl = p2
+		plus.AnalyzeStatement(sc)
+		if got := plus.Recommend().Intersect(p1); !got.Equal(recBefore.Intersect(p1)) {
+			t.Fatalf("untouched part drifted: %v -> %v", recBefore, plus.Recommend())
+		}
+	}
+}
+
+// TestWFAHysteresis checks the behaviour Example 4.1 highlights: a single
+// statement favoring a drop does not outweigh the cost of re-creating the
+// index, so the recommendation stays put; persistent evidence eventually
+// flips it.
+func TestWFAHysteresis(t *testing.T) {
+	reg, ids := newTestRegistry(1, 50, 1)
+	a := ids[0]
+	sa := index.NewSet(a)
+	wfa := NewWFA(reg, sa, index.EmptySet)
+
+	helps := costTable(sa, map[string]float64{"": 100, sa.Key(): 5})
+	hurts := costTable(sa, map[string]float64{"": 5, sa.Key(): 40}) // e.g. updates
+
+	wfa.AnalyzeStatement(helps)
+	if !wfa.Recommend().Equal(sa) {
+		t.Fatalf("index not recommended after big benefit")
+	}
+	// One bad statement should not flip the recommendation…
+	wfa.AnalyzeStatement(hurts)
+	if !wfa.Recommend().Equal(sa) {
+		t.Fatalf("recommendation flipped after a single bad statement")
+	}
+	// …but persistent bad evidence should.
+	for i := 0; i < 10; i++ {
+		wfa.AnalyzeStatement(hurts)
+	}
+	if !wfa.Recommend().Empty() {
+		t.Fatalf("recommendation did not recover after persistent penalty: %v", wfa.Recommend())
+	}
+}
+
+// TestWFANormalizationInvariance runs the same workload through two WFA
+// instances, one of which gets an extra uniform-cost statement injected,
+// and checks the recommendations never diverge (uniform shifts are
+// unobservable).
+func TestWFANormalizationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	reg, ids := newTestRegistry(3, 30, 1)
+	part := index.NewSet(ids...)
+	a1 := NewWFA(reg, part, index.EmptySet)
+	a2 := NewWFA(reg, part, index.EmptySet)
+
+	uniform := &fakeCost{fn: func(index.Set) float64 { return 17 }, infl: index.EmptySet}
+	for step := 0; step < 30; step++ {
+		sc := randomCostFn(rng, part, 0, 60)
+		a1.AnalyzeStatement(sc)
+		a2.AnalyzeStatement(sc)
+		a2.AnalyzeStatement(uniform)
+		if !a1.Recommend().Equal(a2.Recommend()) {
+			t.Fatalf("step %d: uniform statement changed recommendation: %v vs %v",
+				step, a1.Recommend(), a2.Recommend())
+		}
+	}
+}
+
+func TestWFAMaskRoundTrip(t *testing.T) {
+	reg, ids := newTestRegistry(5, 10, 1)
+	part := index.NewSet(ids...)
+	wfa := NewWFA(reg, part, index.EmptySet)
+	for mask := uint32(0); mask < 32; mask++ {
+		if got := wfa.MaskOf(wfa.SetOf(mask)); got != mask {
+			t.Fatalf("round trip failed: %b -> %b", mask, got)
+		}
+	}
+	// Foreign indices are ignored by MaskOf.
+	other := reg.Intern(index.Index{Table: "u", Columns: []string{"z"}})
+	if got := wfa.MaskOf(index.NewSet(other, ids[0])); got != 1 {
+		t.Fatalf("MaskOf with foreign index = %b, want 1", got)
+	}
+}
+
+func TestNewWFAPartTooLargePanics(t *testing.T) {
+	reg, _ := newTestRegistry(1, 1, 1)
+	var ids []index.ID
+	for i := 0; i < MaxPartBits+1; i++ {
+		ids = append(ids, reg.Intern(index.Index{
+			Table: "big", Columns: []string{string(rune('a' + i))},
+		}))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("oversized part did not panic")
+		}
+	}()
+	NewWFA(reg, index.NewSet(ids...), index.EmptySet)
+}

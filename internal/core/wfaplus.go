@@ -1,0 +1,79 @@
+package core
+
+import (
+	"repro/internal/index"
+	"repro/internal/interaction"
+)
+
+// WFAPlus is the divide-and-conquer WFA of §4.2: one WFA instance per part
+// of a stable partition, with recommendations formed as the union of the
+// per-part recommendations. Theorem 4.2 shows it selects the same indices
+// as a monolithic WFA over the whole candidate set; Theorem 4.3 improves
+// the competitive ratio to 2^{cmax+1} − 1.
+//
+// WFAPlus is also the paper's "simplified WFIT" used whenever experiments
+// fix the candidate set and partition (§6.1): it accepts DBA feedback but
+// performs no candidate maintenance.
+type WFAPlus struct {
+	reg       *index.Registry
+	partition interaction.Partition
+	parts     []*WFA
+}
+
+// NewWFAPlus creates per-part WFA instances, each initialized with the
+// projection of the initial configuration onto its part.
+func NewWFAPlus(reg *index.Registry, partition interaction.Partition, init index.Set) *WFAPlus {
+	p := &WFAPlus{reg: reg, partition: partition.Normalize()}
+	for _, part := range p.partition {
+		p.parts = append(p.parts, NewWFA(reg, part, init.Intersect(part)))
+	}
+	return p
+}
+
+// Partition returns the stable partition in normalized order.
+func (p *WFAPlus) Partition() interaction.Partition { return p.partition }
+
+// Parts exposes the per-part WFA instances (read-mostly; used by
+// repartitioning and by tests).
+func (p *WFAPlus) Parts() []*WFA { return p.parts }
+
+// AnalyzeStatement feeds the statement to every part whose candidates can
+// influence its cost. Untouched parts would receive a uniform work-
+// function shift, which changes no decision, so they are skipped.
+func (p *WFAPlus) AnalyzeStatement(sc StatementCost) {
+	for _, part := range p.parts {
+		if sc.Influential(part.Candidates()).Empty() {
+			continue
+		}
+		part.AnalyzeStatement(sc)
+	}
+}
+
+// Recommend returns ⋃_k WFA(k).recommend().
+func (p *WFAPlus) Recommend() index.Set {
+	rec := index.EmptySet
+	for _, part := range p.parts {
+		rec = rec.Union(part.Recommend())
+	}
+	return rec
+}
+
+// Feedback applies DBA votes to every part (Figure 4). Votes outside the
+// candidate set are ignored here; the full WFIT extends the partition
+// instead.
+func (p *WFAPlus) Feedback(plus, minus index.Set) {
+	for _, part := range p.parts {
+		part.Feedback(plus.Intersect(part.Candidates()), minus)
+	}
+}
+
+// StateCount returns Σ 2^|Ck|, the number of tracked configurations.
+func (p *WFAPlus) StateCount() int {
+	total := 0
+	for _, part := range p.parts {
+		total += part.Size()
+	}
+	return total
+}
+
+var _ Tuner = (*WFAPlus)(nil)

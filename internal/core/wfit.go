@@ -1,0 +1,338 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/ibg"
+	"repro/internal/index"
+	"repro/internal/interaction"
+	"repro/internal/stmt"
+	"repro/internal/whatif"
+)
+
+// Options configures WFIT. The zero value is not useful; start from
+// DefaultOptions.
+type Options struct {
+	// IdxCnt bounds the number of monitored candidate indices (|C|).
+	IdxCnt int
+	// StateCnt bounds Σ 2^|Ck|, the tracked configurations.
+	StateCnt int
+	// HistSize bounds the per-index and per-pair statistic histories.
+	HistSize int
+	// RandCnt is the number of randomized restarts in choosePartition.
+	RandCnt int
+	// MaxPartSize caps a single part (WFA bitmask width).
+	MaxPartSize int
+	// DoiThreshold discards interactions with doi at or below it.
+	DoiThreshold float64
+	// AssumeIndependent disables interaction tracking entirely: every
+	// part becomes a singleton (the WFIT-IND variant of §6.2).
+	AssumeIndependent bool
+	// Seed drives the deterministic randomness of choosePartition.
+	Seed int64
+	// InitialMaterialized is S0, the materialized set at startup.
+	InitialMaterialized index.Set
+}
+
+// DefaultOptions returns the paper's experimental defaults (§6):
+// idxCnt = 40, stateCnt = 500, histSize = 100.
+func DefaultOptions() Options {
+	return Options{
+		IdxCnt:       40,
+		StateCnt:     500,
+		HistSize:     100,
+		RandCnt:      8,
+		MaxPartSize:  20,
+		DoiThreshold: 1e-6,
+		Seed:         1,
+	}
+}
+
+// WFIT is the end-to-end semi-automatic index tuner of §5. It extends
+// WFA+ with (i) a feedback mechanism integrated with the per-part work
+// functions, and (ii) automatic maintenance of the candidate set and its
+// stable partition via online benefit/interaction statistics.
+type WFIT struct {
+	opt       *whatif.Optimizer
+	extractor *cost.Extractor
+	reg       *index.Registry
+	options   Options
+
+	s0           index.Set // initial materialized set (used by repartition)
+	materialized index.Set // M: what the DBA has actually built
+	universe     index.Set // U: every index mined from the workload
+
+	idxStats *interaction.BenefitStats
+	intStats *interaction.InteractionStats
+	partn    *interaction.Partitioner
+
+	partition interaction.Partition
+	parts     []*WFA
+
+	n             int // statements analyzed
+	repartitions  int
+	lastIBGNodes  int
+	statsDisabled bool // fixed-partition mode (candidate maintenance off)
+}
+
+// NewWFIT builds a full WFIT instance. Per Figure 4's initialization, the
+// candidate set starts as S0 with singleton parts.
+func NewWFIT(opt *whatif.Optimizer, options Options) *WFIT {
+	t := newWFITBase(opt, options)
+	t.partition = interaction.Singletons(t.s0)
+	for _, part := range t.partition {
+		t.parts = append(t.parts, NewWFA(t.reg, part, t.s0.Intersect(part)))
+	}
+	t.universe = t.s0
+	return t
+}
+
+// NewWFITFixed builds the simplified WFIT used by the fixed-candidate
+// experiments: chooseCands always returns the given partition, so only the
+// recommendation logic and feedback mechanism are active.
+func NewWFITFixed(opt *whatif.Optimizer, options Options, partition interaction.Partition) *WFIT {
+	t := newWFITBase(opt, options)
+	t.partition = partition.Normalize()
+	for _, part := range t.partition {
+		t.parts = append(t.parts, NewWFA(t.reg, part, t.s0.Intersect(part)))
+	}
+	t.universe = t.partition.Union().Union(t.s0)
+	t.statsDisabled = true
+	return t
+}
+
+func newWFITBase(opt *whatif.Optimizer, options Options) *WFIT {
+	return &WFIT{
+		opt:          opt,
+		extractor:    cost.NewExtractor(opt.Model()),
+		reg:          opt.Model().Registry(),
+		options:      options,
+		s0:           options.InitialMaterialized,
+		materialized: options.InitialMaterialized,
+		idxStats:     interaction.NewBenefitStats(options.HistSize),
+		intStats:     interaction.NewInteractionStats(options.HistSize),
+		partn: &interaction.Partitioner{
+			StateCnt:    options.StateCnt,
+			MaxPartSize: options.MaxPartSize,
+			RandCnt:     options.RandCnt,
+			Rand:        rand.New(rand.NewSource(options.Seed)),
+		},
+	}
+}
+
+// StatementsSeen returns the number of analyzed statements.
+func (t *WFIT) StatementsSeen() int { return t.n }
+
+// Repartitions returns how often the stable partition changed.
+func (t *WFIT) Repartitions() int { return t.repartitions }
+
+// UniverseSize returns |U|, the number of candidate indices mined so far.
+func (t *WFIT) UniverseSize() int { return t.universe.Len() }
+
+// Partition returns the current stable partition.
+func (t *WFIT) Partition() interaction.Partition { return t.partition }
+
+// LastIBGNodes reports the node count (= what-if calls) of the most recent
+// statement's index benefit graph.
+func (t *WFIT) LastIBGNodes() int { return t.lastIBGNodes }
+
+// SetMaterialized records the DBA's actual physical configuration, which
+// candidate selection must keep covered (the M set of Figure 6).
+func (t *WFIT) SetMaterialized(m index.Set) { t.materialized = m }
+
+// Recommend returns the current recommendation ⋃_k currRec_k.
+func (t *WFIT) Recommend() index.Set {
+	rec := index.EmptySet
+	for _, part := range t.parts {
+		rec = rec.Union(part.Recommend())
+	}
+	return rec
+}
+
+// AnalyzeQuery implements WFIT.analyzeQuery (Figure 4): maintain the
+// candidate partition via chooseCands/repartition, then run the per-part
+// work-function updates against the statement's index benefit graph.
+func (t *WFIT) AnalyzeQuery(s *stmt.Statement) {
+	t.n++
+	var g *ibg.Graph
+	if t.statsDisabled {
+		g = ibg.Build(t.opt, s, t.universe)
+	} else {
+		g = t.chooseCandsAndRepartition(s)
+	}
+	t.lastIBGNodes = g.NodeCount()
+	for _, part := range t.parts {
+		if g.Influential(part.Candidates()).Empty() {
+			continue
+		}
+		part.AnalyzeStatement(g)
+	}
+}
+
+// chooseCandsAndRepartition implements chooseCands (Figure 6) and applies
+// repartition when the partition changes. It returns the statement's IBG
+// for reuse by the work-function updates.
+func (t *WFIT) chooseCandsAndRepartition(s *stmt.Statement) *ibg.Graph {
+	// Line 1: grow the universe with indices extracted from q.
+	extracted := t.extractor.Extract(s)
+	t.universe = t.universe.Union(extracted)
+	// Line 2: compute the IBG. The graph spans the indices this
+	// statement brings into play — its own extracted candidates plus the
+	// relevant monitored and materialized ones — not the whole mined
+	// universe: that is what keeps the per-statement what-if budget in
+	// the paper's 5–100 band while the universe grows into the hundreds.
+	// Statistics for universe members untouched by recent statements
+	// simply age out through the history window.
+	ibgSet := extracted.Union(t.partition.Union()).Union(t.materialized)
+	g := ibg.Build(t.opt, s, ibgSet)
+	// Line 3: update benefit and interaction statistics.
+	g.UsedUnion().Each(func(a index.ID) {
+		t.idxStats.Add(a, t.n, g.MaxBenefit(a))
+	})
+	if !t.options.AssumeIndependent {
+		for _, in := range g.Interactions(t.options.DoiThreshold) {
+			t.intStats.Add(in.A, in.B, t.n, in.Doi)
+		}
+	}
+	// Lines 4–5: D = M ∪ topIndices(U − M, idxCnt − |M|).
+	d := t.chooseTop()
+	// Line 6: choose the stable partition of D.
+	doi := t.doiFunc()
+	newPartition := t.partn.Choose(d, t.partition, doi)
+	if !newPartition.Equal(t.partition) {
+		t.repartition(newPartition)
+		t.repartitions++
+	}
+	return g
+}
+
+// doiFunc returns the current degree-of-interaction estimator, honoring
+// the independence assumption and the doi threshold.
+func (t *WFIT) doiFunc() interaction.DoiFunc {
+	if t.options.AssumeIndependent {
+		return func(a, b index.ID) float64 { return 0 }
+	}
+	return func(a, b index.ID) float64 {
+		d := t.intStats.Current(a, b, t.n)
+		if d <= t.options.DoiThreshold {
+			return 0
+		}
+		return d
+	}
+}
+
+// chooseTop implements topIndices: keep the materialized set M, then fill
+// up to idxCnt with the highest-scoring candidates. Currently-monitored
+// indices score benefit*; others are additionally charged their creation
+// cost against the accumulated benefit in the statistics window, so a
+// newcomer must gather enough recent evidence to pay for its own
+// materialization before it can evict a monitored index — which keeps C
+// stable (Section 5.2.2).
+func (t *WFIT) chooseTop() index.Set {
+	m := t.materialized.Intersect(t.universe)
+	budget := t.options.IdxCnt - m.Len()
+	if budget < 0 {
+		budget = 0
+	}
+	currentC := t.partition.Union()
+
+	type scored struct {
+		id    index.ID
+		score float64
+	}
+	var entries []scored
+	t.universe.Minus(m).Each(func(a index.ID) {
+		if currentC.Contains(a) {
+			entries = append(entries, scored{a, t.idxStats.Current(a, t.n)})
+			return
+		}
+		if t.idxStats.Current(a, t.n) <= 0 {
+			return // never beneficial: not worth monitoring yet
+		}
+		entries = append(entries, scored{a, t.idxStats.CurrentPenalized(a, t.n, t.reg.CreateCost(a))})
+	})
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].score != entries[j].score {
+			return entries[i].score > entries[j].score
+		}
+		return entries[i].id < entries[j].id
+	})
+	// Greedy fill with nested-family dedup: an index whose key columns
+	// nest with an already-chosen index on the same table is a
+	// near-redundant alternative; monitoring both wastes a slot and
+	// bloats parts with artificial interactions. Materialized indices
+	// are always kept (the partition must cover them).
+	d := m
+	taken := 0
+	for _, entry := range entries {
+		if taken >= budget {
+			break
+		}
+		def := t.reg.Get(entry.id)
+		redundant := false
+		d.Each(func(chosen index.ID) {
+			if index.Nested(def, t.reg.Get(chosen)) {
+				redundant = true
+			}
+		})
+		if !redundant {
+			d = d.Add(entry.id)
+			taken++
+		}
+	}
+	return d
+}
+
+// repartition implements Figure 5: initialize one WFA per new part with
+// work function x(m)[X] = Σ_k w(k)[Ck ∩ X] + δ(S0 ∩ Dm − C, X − C) and
+// recommendation Dm ∩ currRec. Old parts that do not overlap a new part
+// would contribute the same w(k)[∅] to every X — a uniform shift — and are
+// skipped.
+func (t *WFIT) repartition(newPartition interaction.Partition) {
+	oldParts := t.parts
+	oldC := t.partition.Union()
+	currRec := t.Recommend()
+
+	var parts []*WFA
+	for _, dm := range newPartition {
+		newIdx := dm.Minus(oldC)        // Dm − C
+		s0New := t.s0.Intersect(newIdx) // S0 ∩ Dm − C
+		var overlapping []*WFA
+		for _, old := range oldParts {
+			if !old.Candidates().Disjoint(dm) {
+				overlapping = append(overlapping, old)
+			}
+		}
+		work := func(x index.Set) float64 {
+			total := 0.0
+			for _, old := range overlapping {
+				total += old.WorkValue(old.Candidates().Intersect(x))
+			}
+			return total + t.reg.Delta(s0New, x.Intersect(newIdx))
+		}
+		parts = append(parts, NewWFAWithWork(t.reg, dm, dm.Intersect(currRec), work))
+	}
+	t.partition = newPartition.Normalize()
+	t.parts = parts
+}
+
+// Feedback implements WFIT.feedback (Figure 4). Positive votes for indices
+// outside the current candidate set extend the partition with singleton
+// parts first (through repartition), so the consistency constraint
+// F+ ⊆ S can always be honored.
+func (t *WFIT) Feedback(plus, minus index.Set) {
+	if unknown := plus.Minus(t.partition.Union()); !unknown.Empty() {
+		t.universe = t.universe.Union(unknown)
+		extended := append(interaction.Partition{}, t.partition...)
+		unknown.Each(func(id index.ID) {
+			extended = append(extended, index.NewSet(id))
+		})
+		t.repartition(extended)
+		t.repartitions++
+	}
+	for _, part := range t.parts {
+		part.Feedback(plus.Intersect(part.Candidates()), minus)
+	}
+}

@@ -1,0 +1,478 @@
+// Package cost implements the what-if optimizer simulator: an analytical
+// cost model that prices a statement under a hypothetical index
+// configuration. It stands in for the DB2 what-if interface the paper's
+// prototype used (§6), providing the two services WFIT needs from the DBMS:
+// cost(q, X) for arbitrary X, and candidate-index extraction.
+//
+// The model selects, per table, the cheapest of sequential scan, (covering)
+// index scan, and two-index intersection, and per join the cheaper of
+// index nested-loop and hash join over all left-deep join orders. Because
+// plan choice takes a minimum over paths that share indices, index benefits
+// interact exactly as they do in a real optimizer — which is the property
+// WFIT's interaction machinery (IBG, doi, stable partitions) exists to
+// handle.
+package cost
+
+import (
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/index"
+	"repro/internal/stmt"
+)
+
+// Params holds the cost-model constants, all in page-read units.
+type Params struct {
+	// RandomFetch is the cost of fetching one heap row through an index.
+	RandomFetch float64
+	// CPUPerRow is the per-row processing cost (scan filter, hash probe).
+	CPUPerRow float64
+	// ProbeCost is the cost to traverse an index from root to leaf.
+	ProbeCost float64
+	// UpdateRowCost is the heap write cost per updated row.
+	UpdateRowCost float64
+	// MaintPerRow is the per-row maintenance cost for each index whose
+	// key contains a modified column.
+	MaintPerRow float64
+	// CreateLeafFactor scales index leaf pages into build cost (sort and
+	// write passes) on top of one base-table scan.
+	CreateLeafFactor float64
+	// DropCost is the flat cost to drop any index; its smallness relative
+	// to creation costs is what makes δ asymmetric.
+	DropCost float64
+	// MaxPermutedTables bounds exhaustive join-order enumeration; larger
+	// queries fall back to the listed table order.
+	MaxPermutedTables int
+}
+
+// DefaultParams returns the parameter set used throughout the experiments.
+func DefaultParams() Params {
+	return Params{
+		RandomFetch:       1.0,
+		CPUPerRow:         0.002,
+		ProbeCost:         2.0,
+		UpdateRowCost:     1.0,
+		MaintPerRow:       3.0,
+		CreateLeafFactor:  2.0,
+		DropCost:          1.0,
+		MaxPermutedTables: 5,
+	}
+}
+
+// Model is the what-if cost model over a catalog and an index registry.
+// Model is read-only after construction and safe for concurrent use.
+type Model struct {
+	cat *catalog.Catalog
+	reg *index.Registry
+	p   Params
+}
+
+// NewModel builds a cost model.
+func NewModel(cat *catalog.Catalog, reg *index.Registry, p Params) *Model {
+	return &Model{cat: cat, reg: reg, p: p}
+}
+
+// Catalog returns the underlying catalog.
+func (m *Model) Catalog() *catalog.Catalog { return m.cat }
+
+// Registry returns the index registry the model resolves IDs against.
+func (m *Model) Registry() *index.Registry { return m.reg }
+
+// Params returns the model constants.
+func (m *Model) Params() Params { return m.p }
+
+// Cost returns the estimated cost of s under configuration cfg.
+func (m *Model) Cost(s *stmt.Statement, cfg index.Set) float64 {
+	c, _ := m.CostUsed(s, cfg)
+	return c
+}
+
+// CostUsed returns the estimated cost of s under cfg together with the set
+// of indices the chosen plan depends on (including indices that only incur
+// maintenance cost for updates). The used set U satisfies the index
+// benefit graph property: Cost(s, X) == Cost(s, U) for every U ⊆ X ⊆ cfg.
+func (m *Model) CostUsed(s *stmt.Statement, cfg index.Set) (float64, index.Set) {
+	if s.Kind == stmt.Update {
+		return m.updateCost(s, cfg)
+	}
+	return m.queryCost(s, cfg)
+}
+
+// Relevant reports whether the index could influence the cost of s: it
+// must live on a table the statement accesses.
+func (m *Model) Relevant(s *stmt.Statement, id index.ID) bool {
+	return s.HasTable(m.reg.Get(id).Table)
+}
+
+// RestrictConfig drops from cfg every index irrelevant to s. The cost
+// model guarantees Cost(s, cfg) == Cost(s, RestrictConfig(s, cfg)).
+func (m *Model) RestrictConfig(s *stmt.Statement, cfg index.Set) index.Set {
+	var keep []index.ID
+	cfg.Each(func(id index.ID) {
+		if m.Relevant(s, id) {
+			keep = append(keep, id)
+		}
+	})
+	return index.NewSet(keep...)
+}
+
+// accessResult describes the outcome of scanning or probing one table.
+type accessResult struct {
+	cost float64
+	rows float64 // output cardinality after all predicates
+	used []index.ID
+}
+
+// tableIndexes resolves the members of cfg that live on the given table.
+func (m *Model) tableIndexes(cfg index.Set, table string) []*index.Index {
+	var out []*index.Index
+	cfg.Each(func(id index.ID) {
+		def := m.reg.Get(id)
+		if def.Table == table {
+			out = append(out, def)
+		}
+	})
+	return out
+}
+
+// matchPreds computes how selective an index scan over idx can be, given
+// the table's predicates. B-tree matching rules: consecutive leading key
+// columns consume equality predicates; the first range predicate consumes
+// one more column and stops the match. Returns the combined selectivity of
+// the matched predicates and their count (sel=1, n=0 when unusable).
+func matchPreds(idx *index.Index, preds []stmt.Pred) (sel float64, matched int) {
+	sel = 1.0
+	for _, col := range idx.Columns {
+		var hit *stmt.Pred
+		for i := range preds {
+			if preds[i].Column == col {
+				hit = &preds[i]
+				break
+			}
+		}
+		if hit == nil {
+			return sel, matched
+		}
+		sel *= hit.Selectivity
+		matched++
+		if !hit.Eq {
+			return sel, matched // range predicate ends the key match
+		}
+	}
+	return sel, matched
+}
+
+// scanTable prices the cheapest standalone access to a table: sequential
+// scan, single index scan (covering or fetching), covering-only full index
+// scan, or two-index intersection.
+func (m *Model) scanTable(s *stmt.Statement, table string, avail []*index.Index) accessResult {
+	t := m.cat.MustTable(table)
+	preds := s.TablePreds(table)
+	selAll := s.PredSelectivity(table)
+	needed := s.NeededColumns(table)
+	rows := t.Rows
+
+	best := accessResult{
+		cost: t.Pages() + rows*m.p.CPUPerRow,
+		rows: rows * selAll,
+	}
+
+	type scored struct {
+		idx      *index.Index
+		sel      float64
+		matched  int
+		leafScan float64
+	}
+	var usable []scored
+
+	for _, idx := range avail {
+		sel, matched := matchPreds(idx, preds)
+		covering := idx.Covers(needed)
+		if matched > 0 {
+			leafScan := sel * idx.LeafPages
+			var c float64
+			if covering {
+				c = m.p.ProbeCost + leafScan + sel*rows*m.p.CPUPerRow
+			} else {
+				c = m.p.ProbeCost + leafScan + sel*rows*m.p.RandomFetch
+			}
+			if c < best.cost {
+				best = accessResult{cost: c, rows: rows * selAll, used: []index.ID{idx.ID}}
+			}
+			usable = append(usable, scored{idx, sel, matched, leafScan})
+		} else if covering {
+			// Index-only full scan: cheaper than a heap scan when the
+			// key is narrower than the row.
+			c := m.p.ProbeCost + idx.LeafPages + rows*m.p.CPUPerRow
+			if c < best.cost {
+				best = accessResult{cost: c, rows: rows * selAll, used: []index.ID{idx.ID}}
+			}
+		}
+	}
+
+	// Two-index intersection: scan both leaf ranges, intersect RID sets,
+	// fetch only rows matching both predicates.
+	for i := 0; i < len(usable); i++ {
+		for j := i + 1; j < len(usable); j++ {
+			a, b := usable[i], usable[j]
+			if a.idx.LeadingColumn() == b.idx.LeadingColumn() {
+				continue // same predicate: no extra filtering power
+			}
+			combined := a.sel * b.sel
+			c := 2*m.p.ProbeCost + a.leafScan + b.leafScan +
+				rows*(a.sel+b.sel)*m.p.CPUPerRow +
+				rows*combined*m.p.RandomFetch
+			if c < best.cost {
+				best = accessResult{
+					cost: c,
+					rows: rows * selAll,
+					used: []index.ID{a.idx.ID, b.idx.ID},
+				}
+			}
+		}
+	}
+	return best
+}
+
+// probeTable prices one index nested-loop probe into table via joinCol.
+// Index key columns after the join column may consume further predicates.
+// ok is false when no index leads with the join column.
+func (m *Model) probeTable(s *stmt.Statement, table, joinCol string, avail []*index.Index) (perProbe, rowsPerProbe float64, used []index.ID, ok bool) {
+	t := m.cat.MustTable(table)
+	col, found := t.Column(joinCol)
+	if !found {
+		return 0, 0, nil, false
+	}
+	preds := s.TablePreds(table)
+	selAll := s.PredSelectivity(table)
+	needed := s.NeededColumns(table)
+	matchRows := t.Rows / math.Max(col.Distinct, 1)
+
+	bestCost := math.Inf(1)
+	var bestUsed []index.ID
+	for _, idx := range avail {
+		if idx.LeadingColumn() != joinCol {
+			continue
+		}
+		// Predicates matched by key columns after the join column cut
+		// down the rows that must be fetched per probe.
+		rest := &index.Index{Table: idx.Table, Columns: idx.Columns[1:]}
+		extraSel, _ := matchPreds(rest, preds)
+		fetched := matchRows * extraSel
+		var c float64
+		if idx.Covers(needed) {
+			c = m.p.ProbeCost + fetched*m.p.CPUPerRow
+		} else {
+			c = m.p.ProbeCost + fetched*m.p.RandomFetch
+		}
+		if c < bestCost {
+			bestCost = c
+			bestUsed = []index.ID{idx.ID}
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		return 0, 0, nil, false
+	}
+	return bestCost, math.Max(matchRows*selAll, 1e-9), bestUsed, true
+}
+
+// joinDistinct returns the distinct count of the join column on the given
+// table, used for equi-join cardinality estimation.
+func (m *Model) joinDistinct(table, column string) float64 {
+	t := m.cat.MustTable(table)
+	if c, ok := t.Column(column); ok {
+		return math.Max(c.Distinct, 1)
+	}
+	return 1
+}
+
+// planContext memoizes per-table access results within one cost call, so
+// join-order enumeration does not recompute identical scans and probes.
+type planContext struct {
+	m     *Model
+	s     *stmt.Statement
+	avail map[string][]*index.Index
+
+	scans  map[string]accessResult
+	probes map[string]probeResult
+}
+
+type probeResult struct {
+	perProbe float64
+	used     []index.ID
+	ok       bool
+}
+
+func (pc *planContext) scan(table string) accessResult {
+	if r, ok := pc.scans[table]; ok {
+		return r
+	}
+	r := pc.m.scanTable(pc.s, table, pc.avail[table])
+	pc.scans[table] = r
+	return r
+}
+
+func (pc *planContext) probe(table, joinCol string) probeResult {
+	key := table + "\x00" + joinCol
+	if r, ok := pc.probes[key]; ok {
+		return r
+	}
+	perProbe, _, used, ok := pc.m.probeTable(pc.s, table, joinCol, pc.avail[table])
+	r := probeResult{perProbe: perProbe, used: used, ok: ok}
+	pc.probes[key] = r
+	return r
+}
+
+// queryCost prices a query by minimizing over left-deep join orders.
+func (m *Model) queryCost(s *stmt.Statement, cfg index.Set) (float64, index.Set) {
+	tables := s.Tables
+	if len(tables) == 1 {
+		r := m.scanTable(s, tables[0], m.tableIndexes(cfg, tables[0]))
+		return r.cost + r.rows*m.p.CPUPerRow, index.NewSet(r.used...)
+	}
+
+	pc := &planContext{
+		m:      m,
+		s:      s,
+		avail:  make(map[string][]*index.Index, len(tables)),
+		scans:  make(map[string]accessResult, len(tables)),
+		probes: make(map[string]probeResult, 2*len(tables)),
+	}
+	for _, t := range tables {
+		pc.avail[t] = m.tableIndexes(cfg, t)
+	}
+
+	bestCost := math.Inf(1)
+	var bestUsed []index.ID
+	tryOrder := func(order []string) {
+		cost, rows, used, ok := m.planOrder(pc, order)
+		if ok && cost < bestCost {
+			bestCost = cost + rows*m.p.CPUPerRow
+			bestUsed = used
+		}
+	}
+	if len(tables) <= m.p.MaxPermutedTables {
+		permute(append([]string(nil), tables...), 0, tryOrder)
+	} else {
+		tryOrder(tables)
+	}
+	if math.IsInf(bestCost, 1) {
+		// No connected order: price the cross product pessimistically.
+		var total, rows float64 = 0, 1
+		var used []index.ID
+		for _, t := range tables {
+			r := pc.scan(t)
+			total += r.cost
+			rows *= math.Max(r.rows, 1)
+			used = append(used, r.used...)
+		}
+		return total + rows*m.p.CPUPerRow, index.NewSet(used...)
+	}
+	return bestCost, index.NewSet(bestUsed...)
+}
+
+// planOrder prices one left-deep join order. Each joined table enters via
+// the cheaper of index nested-loop (driven by a connecting join predicate)
+// or hash join; disconnected orders are rejected.
+func (m *Model) planOrder(pc *planContext, order []string) (cost, rows float64, used []index.ID, ok bool) {
+	s := pc.s
+	first := pc.scan(order[0])
+	cost = first.cost
+	rows = first.rows
+	used = append(used, first.used...)
+	included := map[string]bool{order[0]: true}
+
+	for _, t := range order[1:] {
+		// Find a join predicate connecting t to the tables already in
+		// the plan.
+		var conn *stmt.Join
+		for i := range s.Joins {
+			j := &s.Joins[i]
+			if j.Touches(t) {
+				other := j.LeftTable
+				if other == t {
+					other = j.RightTable
+				}
+				if included[other] {
+					conn = j
+					break
+				}
+			}
+		}
+		if conn == nil {
+			return 0, 0, nil, false
+		}
+		joinCol := conn.ColumnOn(t)
+		d := m.joinDistinct(t, joinCol)
+
+		stepCost := math.Inf(1)
+		var stepUsed []index.ID
+		// Index nested-loop join.
+		if pr := pc.probe(t, joinCol); pr.ok {
+			if c := rows * pr.perProbe; c < stepCost {
+				stepCost = c
+				stepUsed = pr.used
+			}
+		}
+		// Hash join: scan the inner once, hash both sides.
+		inner := pc.scan(t)
+		hashCost := inner.cost + (rows+inner.rows)*m.p.CPUPerRow
+		if hashCost < stepCost {
+			stepCost = hashCost
+			stepUsed = inner.used
+		}
+
+		cost += stepCost
+		used = append(used, stepUsed...)
+		rows = math.Max(rows*inner.rows/d, 1e-9)
+		included[t] = true
+	}
+	return cost, rows, used, true
+}
+
+// updateCost prices an update: locate the affected rows via the cheapest
+// access path, write the heap, and maintain every configured index whose
+// key contains a modified column.
+func (m *Model) updateCost(s *stmt.Statement, cfg index.Set) (float64, index.Set) {
+	table := s.UpdateTable()
+	t := m.cat.MustTable(table)
+	avail := m.tableIndexes(cfg, table)
+
+	where := m.scanTable(s, table, avail)
+	affected := t.Rows * s.PredSelectivity(table)
+	total := where.cost + affected*m.p.UpdateRowCost
+	used := append([]index.ID(nil), where.used...)
+
+	for _, idx := range avail {
+		if containsAny(idx.Columns, s.SetColumns) {
+			total += m.p.ProbeCost + affected*m.p.MaintPerRow
+			used = append(used, idx.ID)
+		}
+	}
+	return total, index.NewSet(used...)
+}
+
+// containsAny reports whether cols and targets share any element.
+func containsAny(cols, targets []string) bool {
+	for _, c := range cols {
+		for _, t := range targets {
+			if c == t {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// permute enumerates permutations of order[k:] in place.
+func permute(order []string, k int, visit func([]string)) {
+	if k == len(order)-1 {
+		visit(order)
+		return
+	}
+	for i := k; i < len(order); i++ {
+		order[k], order[i] = order[i], order[k]
+		permute(order, k+1, visit)
+		order[k], order[i] = order[i], order[k]
+	}
+}

@@ -1,0 +1,438 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/index"
+	"repro/internal/stmt"
+)
+
+// newTestModel builds a model over the full benchmark catalog.
+func newTestModel(t testing.TB) (*Model, *catalog.Catalog, []datagen.Join) {
+	t.Helper()
+	cat, joins := datagen.Build()
+	reg := index.NewRegistry()
+	return NewModel(cat, reg, DefaultParams()), cat, joins
+}
+
+// mkIndex interns an index on the model's registry.
+func mkIndex(m *Model, table string, cols ...string) index.ID {
+	return m.Registry().Intern(BuildIndexProto(m.Catalog(), m.Params(), table, cols))
+}
+
+// selQuery builds a single-table query with one range predicate.
+func selQuery(table, col string, sel float64) *stmt.Statement {
+	return &stmt.Statement{
+		ID:     1,
+		Kind:   stmt.Query,
+		Tables: []string{table},
+		Preds:  []stmt.Pred{{Table: table, Column: col, Selectivity: sel}},
+	}
+}
+
+func TestSeqScanBaseline(t *testing.T) {
+	m, cat, _ := newTestModel(t)
+	q := selQuery("tpch.lineitem", "l_shipdate", 0.01)
+	got := m.Cost(q, index.EmptySet)
+	tbl := cat.MustTable("tpch.lineitem")
+	want := tbl.Pages() + tbl.Rows*m.Params().CPUPerRow
+	// Single-table query adds output CPU for the selected rows.
+	want += tbl.Rows * 0.01 * m.Params().CPUPerRow
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("empty-config cost = %v, want %v", got, want)
+	}
+}
+
+func TestIndexScanBeatsSeqScanWhenSelective(t *testing.T) {
+	m, _, _ := newTestModel(t)
+	q := selQuery("tpch.lineitem", "l_shipdate", 0.001)
+	empty := m.Cost(q, index.EmptySet)
+	ix := mkIndex(m, "tpch.lineitem", "l_shipdate")
+	withIx, used := m.CostUsed(q, index.NewSet(ix))
+	if withIx >= empty {
+		t.Fatalf("selective index scan not chosen: %v >= %v", withIx, empty)
+	}
+	if !used.Contains(ix) {
+		t.Fatalf("used set %v missing chosen index", used)
+	}
+}
+
+func TestUnselectivePredPrefersSeqScan(t *testing.T) {
+	m, _, _ := newTestModel(t)
+	// The projected column is not in the index, so an index scan would
+	// fetch 90% of the heap row by row — the sequential scan must win.
+	q := &stmt.Statement{
+		ID: 1, Kind: stmt.Query,
+		Tables: []string{"tpch.lineitem"},
+		Preds:  []stmt.Pred{{Table: "tpch.lineitem", Column: "l_shipdate", Selectivity: 0.9}},
+		Output: []stmt.OutputCol{{Table: "tpch.lineitem", Column: "l_quantity"}},
+	}
+	ix := mkIndex(m, "tpch.lineitem", "l_shipdate")
+	c, used := m.CostUsed(q, index.NewSet(ix))
+	if !used.Empty() {
+		t.Fatalf("unselective query should scan the heap, used=%v", used)
+	}
+	if c != m.Cost(q, index.EmptySet) {
+		t.Fatalf("cost changed despite unused index")
+	}
+}
+
+func TestCoveringIndexCheaperThanFetching(t *testing.T) {
+	m, _, _ := newTestModel(t)
+	q := &stmt.Statement{
+		ID: 1, Kind: stmt.Query,
+		Tables: []string{"tpch.lineitem"},
+		Preds:  []stmt.Pred{{Table: "tpch.lineitem", Column: "l_shipdate", Selectivity: 0.02}},
+		Output: []stmt.OutputCol{{Table: "tpch.lineitem", Column: "l_quantity"}},
+	}
+	plain := mkIndex(m, "tpch.lineitem", "l_shipdate")
+	covering := mkIndex(m, "tpch.lineitem", "l_shipdate", "l_quantity")
+	cPlain := m.Cost(q, index.NewSet(plain))
+	cCover := m.Cost(q, index.NewSet(covering))
+	if cCover >= cPlain {
+		t.Fatalf("covering index (%v) not cheaper than fetching (%v)", cCover, cPlain)
+	}
+}
+
+func TestIndexIntersection(t *testing.T) {
+	m, _, _ := newTestModel(t)
+	q := &stmt.Statement{
+		ID: 1, Kind: stmt.Query,
+		Tables: []string{"tpch.lineitem"},
+		Preds: []stmt.Pred{
+			{Table: "tpch.lineitem", Column: "l_shipdate", Selectivity: 0.05},
+			{Table: "tpch.lineitem", Column: "l_extendedprice", Selectivity: 0.05},
+		},
+	}
+	a := mkIndex(m, "tpch.lineitem", "l_shipdate")
+	b := mkIndex(m, "tpch.lineitem", "l_extendedprice")
+	solo := m.Cost(q, index.NewSet(a))
+	both, used := m.CostUsed(q, index.NewSet(a, b))
+	if both >= solo {
+		t.Fatalf("intersection did not beat single index: %v >= %v", both, solo)
+	}
+	if !used.Contains(a) || !used.Contains(b) {
+		t.Fatalf("intersection used = %v, want both indices", used)
+	}
+}
+
+func TestJoinIndexNestedLoop(t *testing.T) {
+	m, _, _ := newTestModel(t)
+	q := &stmt.Statement{
+		ID: 1, Kind: stmt.Query,
+		Tables: []string{"tpch.orders", "tpch.lineitem"},
+		Preds: []stmt.Pred{
+			{Table: "tpch.orders", Column: "o_orderdate", Selectivity: 0.002},
+		},
+		Joins: []stmt.Join{{
+			LeftTable: "tpch.lineitem", LeftColumn: "l_orderkey",
+			RightTable: "tpch.orders", RightColumn: "o_orderkey",
+		}},
+	}
+	joinIx := mkIndex(m, "tpch.lineitem", "l_orderkey")
+	selIx := mkIndex(m, "tpch.orders", "o_orderdate")
+
+	base := m.Cost(q, index.EmptySet)
+	withJoin := m.Cost(q, index.NewSet(joinIx, selIx))
+	if withJoin >= base {
+		t.Fatalf("join+selection indexes useless: %v >= %v", withJoin, base)
+	}
+}
+
+// TestCrossTableInteraction demonstrates why stable partitions matter:
+// join indexes on opposite sides of a join compete through the choice of
+// join order, so indices on different tables can interact. With both
+// predicates selective, each join index enables nested loops in its own
+// direction; the benefit of one shrinks once the other exists.
+func TestCrossTableInteraction(t *testing.T) {
+	m, _, _ := newTestModel(t)
+	q := &stmt.Statement{
+		ID: 1, Kind: stmt.Query,
+		Tables: []string{"tpch.orders", "tpch.lineitem"},
+		Preds: []stmt.Pred{
+			{Table: "tpch.orders", Column: "o_orderdate", Selectivity: 0.001},
+			{Table: "tpch.lineitem", Column: "l_shipdate", Selectivity: 0.001},
+		},
+		Joins: []stmt.Join{{
+			LeftTable: "tpch.lineitem", LeftColumn: "l_orderkey",
+			RightTable: "tpch.orders", RightColumn: "o_orderkey",
+		}},
+	}
+	ixLi := mkIndex(m, "tpch.lineitem", "l_orderkey")
+	ixOrd := mkIndex(m, "tpch.orders", "o_orderkey")
+
+	benefitAlone := m.Cost(q, index.EmptySet) - m.Cost(q, index.NewSet(ixLi))
+	ctx := index.NewSet(ixOrd)
+	benefitWithOther := m.Cost(q, ctx) - m.Cost(q, ctx.Add(ixLi))
+	if benefitAlone <= 0 {
+		t.Fatalf("join index has no benefit at all: %v", benefitAlone)
+	}
+	if benefitWithOther == benefitAlone {
+		t.Fatalf("no cross-table interaction: benefit %v in both contexts", benefitAlone)
+	}
+}
+
+func TestUpdateMaintenancePenalty(t *testing.T) {
+	m, _, _ := newTestModel(t)
+	u := &stmt.Statement{
+		ID: 1, Kind: stmt.Update,
+		Tables:     []string{"tpch.lineitem"},
+		Preds:      []stmt.Pred{{Table: "tpch.lineitem", Column: "l_extendedprice", Selectivity: 0.0005}},
+		SetColumns: []string{"l_tax"},
+	}
+	affected := mkIndex(m, "tpch.lineitem", "l_tax")
+	unaffected := mkIndex(m, "tpch.lineitem", "l_shipdate")
+
+	base := m.Cost(u, index.EmptySet)
+	withAffected, used := m.CostUsed(u, index.NewSet(affected))
+	if withAffected <= base {
+		t.Fatalf("maintained index should cost extra: %v <= %v", withAffected, base)
+	}
+	if !used.Contains(affected) {
+		t.Fatalf("maintained index missing from used set %v", used)
+	}
+	withUnaffected := m.Cost(u, index.NewSet(unaffected))
+	if withUnaffected != base {
+		t.Fatalf("index on untouched column changed update cost: %v vs %v", withUnaffected, base)
+	}
+}
+
+func TestUpdateWherePathUsesIndex(t *testing.T) {
+	m, _, _ := newTestModel(t)
+	u := &stmt.Statement{
+		ID: 1, Kind: stmt.Update,
+		Tables:     []string{"tpch.lineitem"},
+		Preds:      []stmt.Pred{{Table: "tpch.lineitem", Column: "l_extendedprice", Selectivity: 0.0001}},
+		SetColumns: []string{"l_tax"},
+	}
+	whereIx := mkIndex(m, "tpch.lineitem", "l_extendedprice")
+	base := m.Cost(u, index.EmptySet)
+	with := m.Cost(u, index.NewSet(whereIx))
+	if with >= base {
+		t.Fatalf("WHERE index did not reduce update cost: %v >= %v", with, base)
+	}
+}
+
+// TestQueryCostMonotone property: adding indices never increases the cost
+// of a read-only query (min over plans can only improve).
+func TestQueryCostMonotone(t *testing.T) {
+	m, _, _ := newTestModel(t)
+	rng := rand.New(rand.NewSource(61))
+	ids := []index.ID{
+		mkIndex(m, "tpch.lineitem", "l_shipdate"),
+		mkIndex(m, "tpch.lineitem", "l_extendedprice"),
+		mkIndex(m, "tpch.lineitem", "l_orderkey"),
+		mkIndex(m, "tpch.lineitem", "l_orderkey", "l_shipdate"),
+		mkIndex(m, "tpch.orders", "o_orderdate"),
+		mkIndex(m, "tpch.orders", "o_orderkey"),
+	}
+	q := &stmt.Statement{
+		ID: 1, Kind: stmt.Query,
+		Tables: []string{"tpch.orders", "tpch.lineitem"},
+		Preds: []stmt.Pred{
+			{Table: "tpch.orders", Column: "o_orderdate", Selectivity: 0.004},
+			{Table: "tpch.lineitem", Column: "l_shipdate", Selectivity: 0.01},
+			{Table: "tpch.lineitem", Column: "l_extendedprice", Selectivity: 0.02},
+		},
+		Joins: []stmt.Join{{
+			LeftTable: "tpch.lineitem", LeftColumn: "l_orderkey",
+			RightTable: "tpch.orders", RightColumn: "o_orderkey",
+		}},
+	}
+	for trial := 0; trial < 300; trial++ {
+		var sub []index.ID
+		for _, id := range ids {
+			if rng.Intn(2) == 0 {
+				sub = append(sub, id)
+			}
+		}
+		small := index.NewSet(sub...)
+		extra := ids[rng.Intn(len(ids))]
+		big := small.Add(extra)
+		cSmall, cBig := m.Cost(q, small), m.Cost(q, big)
+		if cBig > cSmall+1e-9 {
+			t.Fatalf("monotonicity violated: cost(%v)=%v > cost(%v)=%v", big, cBig, small, cSmall)
+		}
+	}
+}
+
+// TestUsedSetDeterminesCost property: cost(q, X) == cost(q, used(q, X)),
+// the contract the index benefit graph construction relies on.
+func TestUsedSetDeterminesCost(t *testing.T) {
+	m, _, _ := newTestModel(t)
+	rng := rand.New(rand.NewSource(67))
+	ids := []index.ID{
+		mkIndex(m, "tpch.lineitem", "l_shipdate"),
+		mkIndex(m, "tpch.lineitem", "l_extendedprice"),
+		mkIndex(m, "tpch.lineitem", "l_orderkey"),
+		mkIndex(m, "tpch.orders", "o_orderdate"),
+		mkIndex(m, "tpch.orders", "o_orderkey"),
+	}
+	stmts := []*stmt.Statement{
+		selQuery("tpch.lineitem", "l_shipdate", 0.005),
+		{
+			ID: 2, Kind: stmt.Query,
+			Tables: []string{"tpch.orders", "tpch.lineitem"},
+			Preds: []stmt.Pred{
+				{Table: "tpch.orders", Column: "o_orderdate", Selectivity: 0.003},
+				{Table: "tpch.lineitem", Column: "l_shipdate", Selectivity: 0.02},
+			},
+			Joins: []stmt.Join{{
+				LeftTable: "tpch.lineitem", LeftColumn: "l_orderkey",
+				RightTable: "tpch.orders", RightColumn: "o_orderkey",
+			}},
+		},
+		{
+			ID: 3, Kind: stmt.Update,
+			Tables:     []string{"tpch.lineitem"},
+			Preds:      []stmt.Pred{{Table: "tpch.lineitem", Column: "l_extendedprice", Selectivity: 0.0003}},
+			SetColumns: []string{"l_tax", "l_shipdate"},
+		},
+	}
+	for _, s := range stmts {
+		for trial := 0; trial < 100; trial++ {
+			var sub []index.ID
+			for _, id := range ids {
+				if rng.Intn(2) == 0 {
+					sub = append(sub, id)
+				}
+			}
+			cfg := index.NewSet(sub...)
+			c, used := m.CostUsed(s, cfg)
+			if !used.SubsetOf(cfg) {
+				t.Fatalf("stmt %d: used %v not within config %v", s.ID, used, cfg)
+			}
+			c2, used2 := m.CostUsed(s, used)
+			if c2 != c {
+				t.Fatalf("stmt %d: cost(used)=%v != cost(cfg)=%v (used=%v)", s.ID, c2, c, used)
+			}
+			if !used2.Equal(used) {
+				t.Fatalf("stmt %d: used not idempotent: %v -> %v", s.ID, used, used2)
+			}
+		}
+	}
+}
+
+func TestRestrictConfig(t *testing.T) {
+	m, _, _ := newTestModel(t)
+	onLineitem := mkIndex(m, "tpch.lineitem", "l_shipdate")
+	onTrade := mkIndex(m, "tpce.trade", "t_dts")
+	q := selQuery("tpch.lineitem", "l_shipdate", 0.01)
+	cfg := index.NewSet(onLineitem, onTrade)
+	restricted := m.RestrictConfig(q, cfg)
+	if !restricted.Equal(index.NewSet(onLineitem)) {
+		t.Fatalf("RestrictConfig = %v", restricted)
+	}
+	if m.Cost(q, cfg) != m.Cost(q, restricted) {
+		t.Fatalf("irrelevant index changed cost")
+	}
+}
+
+func TestBuildIndexProtoSizing(t *testing.T) {
+	m, cat, _ := newTestModel(t)
+	p := m.Params()
+	small := BuildIndexProto(cat, p, "tpch.region", []string{"r_regionkey"})
+	big := BuildIndexProto(cat, p, "tpch.lineitem", []string{"l_orderkey", "l_partkey"})
+	if small.LeafPages < 1 {
+		t.Fatalf("leaf pages must be at least 1")
+	}
+	if big.LeafPages <= small.LeafPages {
+		t.Fatalf("larger table should have larger index")
+	}
+	if big.CreateCost <= big.LeafPages {
+		t.Fatalf("creation must cost at least a scan of the leaves")
+	}
+	if big.DropCost >= big.CreateCost {
+		t.Fatalf("drop cost should be far below create cost")
+	}
+}
+
+func TestBuildIndexProtoUnknownColumnPanics(t *testing.T) {
+	m, cat, _ := newTestModel(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("unknown column did not panic")
+		}
+	}()
+	BuildIndexProto(cat, m.Params(), "tpch.lineitem", []string{"nope"})
+}
+
+func TestExtractorProducesRelevantCandidates(t *testing.T) {
+	m, _, _ := newTestModel(t)
+	ex := NewExtractor(m)
+	q := &stmt.Statement{
+		ID: 1, Kind: stmt.Query,
+		Tables: []string{"tpch.orders", "tpch.lineitem"},
+		Preds: []stmt.Pred{
+			{Table: "tpch.orders", Column: "o_orderdate", Selectivity: 0.004},
+			{Table: "tpch.lineitem", Column: "l_shipdate", Selectivity: 0.01},
+		},
+		Joins: []stmt.Join{{
+			LeftTable: "tpch.lineitem", LeftColumn: "l_orderkey",
+			RightTable: "tpch.orders", RightColumn: "o_orderkey",
+		}},
+	}
+	cands := ex.Extract(q)
+	if cands.Empty() {
+		t.Fatalf("no candidates extracted")
+	}
+	reg := m.Registry()
+	foundJoinComposite := false
+	cands.Each(func(id index.ID) {
+		def := reg.Get(id)
+		if !q.HasTable(def.Table) {
+			t.Errorf("candidate %v on unrelated table", def)
+		}
+		if def.Table == "tpch.lineitem" && len(def.Columns) == 2 &&
+			def.Columns[0] == "l_orderkey" && def.Columns[1] == "l_shipdate" {
+			foundJoinComposite = true
+		}
+	})
+	if !foundJoinComposite {
+		t.Errorf("expected (join,pred) composite candidate for lineitem; got %v", cands.Format(reg))
+	}
+	// Idempotence: extracting twice must not create new registry entries.
+	before := reg.Len()
+	again := ex.Extract(q)
+	if reg.Len() != before || !again.Equal(cands) {
+		t.Fatalf("extraction not idempotent")
+	}
+}
+
+func TestExtractorUpdateCandidates(t *testing.T) {
+	m, _, _ := newTestModel(t)
+	ex := NewExtractor(m)
+	u := &stmt.Statement{
+		ID: 1, Kind: stmt.Update,
+		Tables:     []string{"tpch.lineitem"},
+		Preds:      []stmt.Pred{{Table: "tpch.lineitem", Column: "l_extendedprice", Selectivity: 0.001}},
+		SetColumns: []string{"l_tax"},
+	}
+	cands := ex.Extract(u)
+	if cands.Empty() {
+		t.Fatalf("update produced no candidates")
+	}
+	reg := m.Registry()
+	cands.Each(func(id index.ID) {
+		def := reg.Get(id)
+		for _, c := range def.Columns {
+			if c == "l_tax" {
+				t.Errorf("update candidate should not include modified column: %v", def)
+			}
+		}
+	})
+}
+
+func TestDatasetFootprint(t *testing.T) {
+	_, cat, _ := newTestModel(t)
+	gb := cat.TotalBytes() / (1 << 30)
+	if gb < 1.5 || gb > 6 {
+		t.Fatalf("benchmark catalog size %.2f GB out of expected band (paper: ~2.9 GB)", gb)
+	}
+	if got := len(cat.Schemas()); got != 4 {
+		t.Fatalf("expected 4 datasets, got %d", got)
+	}
+}

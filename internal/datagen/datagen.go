@@ -1,0 +1,99 @@
+// Package datagen defines the four benchmark datasets used by the paper's
+// experimental study: TPC-C, TPC-H, TPC-E and NREF, totalling roughly 3 GB
+// of base-table data. Only schema and statistics are materialized — the
+// evaluation uses the optimizer's cost model, exactly as in the paper
+// (§6.1, "the database size is not a crucial statistic for our study").
+//
+// Each dataset also declares its join graph (foreign-key-shaped equi-join
+// edges), which the workload generator uses to synthesize multi-table
+// queries, and which candidate extraction uses to propose join-column
+// indices.
+package datagen
+
+import "repro/internal/catalog"
+
+// Join is one equi-join edge of a dataset's join graph.
+type Join struct {
+	LeftTable   string // qualified name
+	LeftColumn  string
+	RightTable  string // qualified name
+	RightColumn string
+}
+
+// Dataset names.
+const (
+	TPCC = "tpcc"
+	TPCH = "tpch"
+	TPCE = "tpce"
+	NREF = "nref"
+)
+
+// AllDatasets lists every dataset in the benchmark's canonical order.
+var AllDatasets = []string{TPCC, TPCH, TPCE, NREF}
+
+// colDef is a compact column description used by the schema builders.
+type colDef struct {
+	name     string
+	width    int
+	distinct float64
+	min, max float64
+}
+
+// addTable registers a table with its columns in cat.
+func addTable(cat *catalog.Catalog, schema, name string, rows float64, cols []colDef) {
+	t := &catalog.Table{Schema: schema, Name: name, Rows: rows}
+	for _, c := range cols {
+		min, max := c.min, c.max
+		if min == 0 && max == 0 {
+			// Default domain: dense integers 1..distinct.
+			min, max = 1, c.distinct
+		}
+		t.AddColumn(catalog.Column{
+			Name:     c.name,
+			Width:    c.width,
+			Distinct: c.distinct,
+			Min:      min,
+			Max:      max,
+		})
+	}
+	cat.AddTable(t)
+}
+
+// Build constructs a catalog holding all four datasets and returns it with
+// the combined join graph.
+func Build() (*catalog.Catalog, []Join) {
+	cat := catalog.New()
+	var joins []Join
+	for _, ds := range AllDatasets {
+		joins = append(joins, BuildDataset(cat, ds)...)
+	}
+	return cat, joins
+}
+
+// BuildDataset adds one dataset's tables to cat and returns its join graph.
+// It panics on an unknown dataset name.
+func BuildDataset(cat *catalog.Catalog, dataset string) []Join {
+	switch dataset {
+	case TPCC:
+		return buildTPCC(cat)
+	case TPCH:
+		return buildTPCH(cat)
+	case TPCE:
+		return buildTPCE(cat)
+	case NREF:
+		return buildNREF(cat)
+	}
+	panic("datagen: unknown dataset " + dataset)
+}
+
+// JoinsFor filters a combined join graph down to one dataset.
+func JoinsFor(joins []Join, dataset string) []Join {
+	prefix := dataset + "."
+	var out []Join
+	for _, j := range joins {
+		if len(j.LeftTable) > len(prefix) && j.LeftTable[:len(prefix)] == prefix {
+			out = append(out, j)
+		}
+	}
+	return out
+}

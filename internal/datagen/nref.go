@@ -1,0 +1,59 @@
+package datagen
+
+import "repro/internal/catalog"
+
+// buildNREF defines an NREF-shaped schema (the PIR non-redundant protein
+// reference database used as the benchmark's real-life dataset).
+func buildNREF(cat *catalog.Catalog) []Join {
+	addTable(cat, NREF, "protein", 1500000, []colDef{
+		{name: "nref_id", width: 8, distinct: 1500000},
+		{name: "tax_id", width: 4, distinct: 150000},
+		{name: "length", width: 4, distinct: 8000, min: 10, max: 36000},
+		{name: "mol_weight", width: 8, distinct: 500000, min: 1000, max: 4e6},
+		{name: "last_updated", width: 8, distinct: 3000, min: 0, max: 3000},
+		{name: "protein_name", width: 60, distinct: 900000},
+		{name: "seq_crc", width: 16, distinct: 1400000},
+	})
+	addTable(cat, NREF, "neighboring_seq", 5000000, []colDef{
+		{name: "nref_id", width: 8, distinct: 1200000},
+		{name: "neighbor_id", width: 8, distinct: 1200000},
+		{name: "pct_identity", width: 8, distinct: 10000, min: 0, max: 100},
+		{name: "align_len", width: 4, distinct: 8000, min: 10, max: 36000},
+	})
+	addTable(cat, NREF, "source", 1800000, []colDef{
+		{name: "nref_id", width: 8, distinct: 1500000},
+		{name: "source_db", width: 12, distinct: 8},
+		{name: "source_acc", width: 16, distinct: 1800000},
+		{name: "entry_date", width: 8, distinct: 4000, min: 0, max: 4000},
+	})
+	addTable(cat, NREF, "taxonomy", 200000, []colDef{
+		{name: "tax_id", width: 4, distinct: 200000},
+		{name: "parent_tax_id", width: 4, distinct: 60000},
+		{name: "rank_level", width: 4, distinct: 30, min: 1, max: 30},
+		{name: "lineage_len", width: 4, distinct: 40, min: 1, max: 40},
+		{name: "tax_name", width: 40, distinct: 200000},
+	})
+	addTable(cat, NREF, "organism", 300000, []colDef{
+		{name: "tax_id", width: 4, distinct: 150000},
+		{name: "organism_id", width: 8, distinct: 300000},
+		{name: "genome_size", width: 8, distinct: 100000, min: 1e5, max: 1e10},
+		{name: "gc_content", width: 8, distinct: 6000, min: 20, max: 80},
+		{name: "organism_name", width: 40, distinct: 280000},
+	})
+	addTable(cat, NREF, "citation", 900000, []colDef{
+		{name: "nref_id", width: 8, distinct: 700000},
+		{name: "pub_year", width: 4, distinct: 60, min: 1960, max: 2012},
+		{name: "journal_id", width: 4, distinct: 4000},
+		{name: "citation_cnt", width: 4, distinct: 2000, min: 0, max: 20000},
+		{name: "title", width: 80, distinct: 850000},
+	})
+
+	q := func(t string) string { return NREF + "." + t }
+	return []Join{
+		{q("neighboring_seq"), "nref_id", q("protein"), "nref_id"},
+		{q("source"), "nref_id", q("protein"), "nref_id"},
+		{q("protein"), "tax_id", q("taxonomy"), "tax_id"},
+		{q("organism"), "tax_id", q("taxonomy"), "tax_id"},
+		{q("citation"), "nref_id", q("protein"), "nref_id"},
+	}
+}

@@ -1,0 +1,97 @@
+package datagen
+
+import "repro/internal/catalog"
+
+// buildTPCC defines a TPC-C-shaped schema at roughly 20 warehouses.
+func buildTPCC(cat *catalog.Catalog) []Join {
+	const wh = 20 // warehouses
+
+	addTable(cat, TPCC, "warehouse", wh, []colDef{
+		{name: "w_id", width: 4, distinct: wh},
+		{name: "w_tax", width: 8, distinct: 200, min: 0, max: 0.2},
+		{name: "w_ytd", width: 8, distinct: wh, min: 0, max: 1e7},
+		{name: "w_name", width: 10, distinct: wh},
+		{name: "w_state", width: 2, distinct: 50},
+	})
+	addTable(cat, TPCC, "district", wh*10, []colDef{
+		{name: "d_id", width: 4, distinct: 10},
+		{name: "d_w_id", width: 4, distinct: wh},
+		{name: "d_tax", width: 8, distinct: 200, min: 0, max: 0.2},
+		{name: "d_ytd", width: 8, distinct: wh * 10, min: 0, max: 1e6},
+		{name: "d_next_o_id", width: 4, distinct: 3000, min: 1, max: 10000},
+		{name: "d_name", width: 10, distinct: wh * 10},
+	})
+	addTable(cat, TPCC, "customer", wh*30000, []colDef{
+		{name: "c_id", width: 4, distinct: 30000},
+		{name: "c_d_id", width: 4, distinct: 10},
+		{name: "c_w_id", width: 4, distinct: wh},
+		{name: "c_balance", width: 8, distinct: 100000, min: -5000, max: 50000},
+		{name: "c_discount", width: 8, distinct: 5000, min: 0, max: 0.5},
+		{name: "c_credit_lim", width: 8, distinct: 1000, min: 0, max: 50000},
+		{name: "c_last", width: 16, distinct: 1000},
+		{name: "c_since", width: 8, distinct: 365 * 8, min: 0, max: 2920},
+		{name: "c_payment_cnt", width: 4, distinct: 200, min: 0, max: 200},
+		{name: "c_data", width: 300, distinct: wh * 30000},
+	})
+	addTable(cat, TPCC, "history", wh*30000, []colDef{
+		{name: "h_c_id", width: 4, distinct: 30000},
+		{name: "h_c_w_id", width: 4, distinct: wh},
+		{name: "h_date", width: 8, distinct: 365 * 2, min: 0, max: 730},
+		{name: "h_amount", width: 8, distinct: 10000, min: 1, max: 5000},
+		{name: "h_data", width: 24, distinct: 100000},
+	})
+	addTable(cat, TPCC, "neworder", wh*9000, []colDef{
+		{name: "no_o_id", width: 4, distinct: 9000, min: 1, max: 30000},
+		{name: "no_d_id", width: 4, distinct: 10},
+		{name: "no_w_id", width: 4, distinct: wh},
+	})
+	addTable(cat, TPCC, "orders", wh*30000, []colDef{
+		{name: "o_id", width: 4, distinct: 30000},
+		{name: "o_c_id", width: 4, distinct: 30000},
+		{name: "o_d_id", width: 4, distinct: 10},
+		{name: "o_w_id", width: 4, distinct: wh},
+		{name: "o_entry_d", width: 8, distinct: 365 * 2, min: 0, max: 730},
+		{name: "o_carrier_id", width: 4, distinct: 10},
+		{name: "o_ol_cnt", width: 4, distinct: 11, min: 5, max: 15},
+	})
+	addTable(cat, TPCC, "orderline", wh*300000, []colDef{
+		{name: "ol_o_id", width: 4, distinct: 30000},
+		{name: "ol_d_id", width: 4, distinct: 10},
+		{name: "ol_w_id", width: 4, distinct: wh},
+		{name: "ol_number", width: 4, distinct: 15, min: 1, max: 15},
+		{name: "ol_i_id", width: 4, distinct: 100000},
+		{name: "ol_delivery_d", width: 8, distinct: 365 * 2, min: 0, max: 730},
+		{name: "ol_quantity", width: 4, distinct: 10, min: 1, max: 10},
+		{name: "ol_amount", width: 8, distinct: 100000, min: 0, max: 10000},
+	})
+	addTable(cat, TPCC, "item", 100000, []colDef{
+		{name: "i_id", width: 4, distinct: 100000},
+		{name: "i_im_id", width: 4, distinct: 10000},
+		{name: "i_price", width: 8, distinct: 10000, min: 1, max: 100},
+		{name: "i_name", width: 24, distinct: 100000},
+		{name: "i_data", width: 50, distinct: 100000},
+	})
+	addTable(cat, TPCC, "stock", wh*100000, []colDef{
+		{name: "s_i_id", width: 4, distinct: 100000},
+		{name: "s_w_id", width: 4, distinct: wh},
+		{name: "s_quantity", width: 4, distinct: 100, min: 0, max: 100},
+		{name: "s_ytd", width: 8, distinct: 10000, min: 0, max: 100000},
+		{name: "s_order_cnt", width: 4, distinct: 1000, min: 0, max: 1000},
+		{name: "s_data", width: 50, distinct: wh * 100000},
+		{name: "s_dist_01", width: 24, distinct: wh * 100000},
+		{name: "s_dist_02", width: 24, distinct: wh * 100000},
+	})
+
+	q := func(t string) string { return TPCC + "." + t }
+	return []Join{
+		{q("district"), "d_w_id", q("warehouse"), "w_id"},
+		{q("customer"), "c_d_id", q("district"), "d_id"},
+		{q("orders"), "o_c_id", q("customer"), "c_id"},
+		{q("orderline"), "ol_o_id", q("orders"), "o_id"},
+		{q("orderline"), "ol_i_id", q("item"), "i_id"},
+		{q("neworder"), "no_o_id", q("orders"), "o_id"},
+		{q("history"), "h_c_id", q("customer"), "c_id"},
+		{q("stock"), "s_i_id", q("item"), "i_id"},
+		{q("stock"), "s_w_id", q("warehouse"), "w_id"},
+	}
+}

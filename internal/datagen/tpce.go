@@ -1,0 +1,88 @@
+package datagen
+
+import "repro/internal/catalog"
+
+// buildTPCE defines a subset of the TPC-E schema (the market/trade side
+// used by the example queries in the paper, e.g. security ⋈ company ⋈
+// daily_market).
+func buildTPCE(cat *catalog.Catalog) []Join {
+	addTable(cat, TPCE, "company", 5000, []colDef{
+		{name: "co_id", width: 8, distinct: 5000},
+		{name: "co_open_date", width: 8, distinct: 70000, min: 0, max: 73000},
+		{name: "co_rate", width: 8, distinct: 100, min: 0, max: 10},
+		{name: "co_name", width: 40, distinct: 5000},
+		{name: "co_sp_rate", width: 4, distinct: 10},
+		{name: "co_country", width: 16, distinct: 50},
+	})
+	addTable(cat, TPCE, "security", 6850, []colDef{
+		{name: "s_symb", width: 8, distinct: 6850},
+		{name: "s_co_id", width: 8, distinct: 5000},
+		{name: "s_pe", width: 8, distinct: 5000, min: 0, max: 120},
+		{name: "s_exch_date", width: 8, distinct: 18000, min: 0, max: 18000},
+		{name: "s_52wk_high", width: 8, distinct: 5000, min: 1, max: 1000},
+		{name: "s_52wk_low", width: 8, distinct: 5000, min: 0.1, max: 900},
+		{name: "s_dividend", width: 8, distinct: 1000, min: 0, max: 50},
+		{name: "s_yield", width: 8, distinct: 1000, min: 0, max: 20},
+		{name: "s_name", width: 40, distinct: 6850},
+	})
+	addTable(cat, TPCE, "daily_market", 4500000, []colDef{
+		{name: "dm_s_symb", width: 8, distinct: 6850},
+		{name: "dm_date", width: 8, distinct: 1305, min: 0, max: 1305},
+		{name: "dm_close", width: 8, distinct: 100000, min: 0.1, max: 1000},
+		{name: "dm_high", width: 8, distinct: 100000, min: 0.1, max: 1100},
+		{name: "dm_low", width: 8, distinct: 100000, min: 0.05, max: 950},
+		{name: "dm_vol", width: 8, distinct: 1000000, min: 0, max: 1e7},
+	})
+	addTable(cat, TPCE, "customer", 50000, []colDef{
+		{name: "c_id", width: 8, distinct: 50000},
+		{name: "c_tier", width: 4, distinct: 3, min: 1, max: 3},
+		{name: "c_dob", width: 8, distinct: 25000, min: 0, max: 30000},
+		{name: "c_area_1", width: 4, distinct: 300},
+		{name: "c_st_id", width: 4, distinct: 2},
+		{name: "c_l_name", width: 20, distinct: 40000},
+	})
+	addTable(cat, TPCE, "customer_account", 250000, []colDef{
+		{name: "ca_id", width: 8, distinct: 250000},
+		{name: "ca_c_id", width: 8, distinct: 50000},
+		{name: "ca_bal", width: 8, distinct: 200000, min: -10000, max: 1e6},
+		{name: "ca_tax_st", width: 4, distinct: 3},
+		{name: "ca_name", width: 30, distinct: 250000},
+	})
+	addTable(cat, TPCE, "trade", 3000000, []colDef{
+		{name: "t_id", width: 8, distinct: 3000000},
+		{name: "t_ca_id", width: 8, distinct: 250000},
+		{name: "t_s_symb", width: 8, distinct: 6850},
+		{name: "t_dts", width: 8, distinct: 1000000, min: 0, max: 1e6},
+		{name: "t_qty", width: 4, distinct: 800, min: 1, max: 800},
+		{name: "t_bid_price", width: 8, distinct: 100000, min: 0.1, max: 1000},
+		{name: "t_trade_price", width: 8, distinct: 100000, min: 0.1, max: 1000},
+		{name: "t_chrg", width: 8, distinct: 100, min: 0, max: 50},
+		{name: "t_st_id", width: 4, distinct: 5},
+		{name: "t_tt_id", width: 4, distinct: 5},
+		{name: "t_exec_name", width: 30, distinct: 50000},
+	})
+	addTable(cat, TPCE, "holding", 500000, []colDef{
+		{name: "h_t_id", width: 8, distinct: 500000},
+		{name: "h_ca_id", width: 8, distinct: 250000},
+		{name: "h_s_symb", width: 8, distinct: 6850},
+		{name: "h_dts", width: 8, distinct: 500000, min: 0, max: 1e6},
+		{name: "h_price", width: 8, distinct: 100000, min: 0.1, max: 1000},
+		{name: "h_qty", width: 4, distinct: 800, min: 1, max: 800},
+	})
+	addTable(cat, TPCE, "watch_item", 500000, []colDef{
+		{name: "wi_wl_id", width: 8, distinct: 50000},
+		{name: "wi_s_symb", width: 8, distinct: 6850},
+	})
+
+	q := func(t string) string { return TPCE + "." + t }
+	return []Join{
+		{q("security"), "s_co_id", q("company"), "co_id"},
+		{q("daily_market"), "dm_s_symb", q("security"), "s_symb"},
+		{q("trade"), "t_s_symb", q("security"), "s_symb"},
+		{q("trade"), "t_ca_id", q("customer_account"), "ca_id"},
+		{q("customer_account"), "ca_c_id", q("customer"), "c_id"},
+		{q("holding"), "h_t_id", q("trade"), "t_id"},
+		{q("holding"), "h_s_symb", q("security"), "s_symb"},
+		{q("watch_item"), "wi_s_symb", q("security"), "s_symb"},
+	}
+}

@@ -1,0 +1,86 @@
+package datagen
+
+import "repro/internal/catalog"
+
+// buildTPCH defines a TPC-H-shaped schema at scale factor 1.
+func buildTPCH(cat *catalog.Catalog) []Join {
+	addTable(cat, TPCH, "region", 5, []colDef{
+		{name: "r_regionkey", width: 4, distinct: 5},
+		{name: "r_name", width: 12, distinct: 5},
+	})
+	addTable(cat, TPCH, "nation", 25, []colDef{
+		{name: "n_nationkey", width: 4, distinct: 25},
+		{name: "n_regionkey", width: 4, distinct: 5},
+		{name: "n_name", width: 12, distinct: 25},
+	})
+	addTable(cat, TPCH, "supplier", 10000, []colDef{
+		{name: "s_suppkey", width: 4, distinct: 10000},
+		{name: "s_nationkey", width: 4, distinct: 25},
+		{name: "s_acctbal", width: 8, distinct: 9000, min: -1000, max: 10000},
+		{name: "s_name", width: 18, distinct: 10000},
+		{name: "s_comment", width: 60, distinct: 10000},
+	})
+	addTable(cat, TPCH, "part", 200000, []colDef{
+		{name: "p_partkey", width: 4, distinct: 200000},
+		{name: "p_size", width: 4, distinct: 50, min: 1, max: 50},
+		{name: "p_retailprice", width: 8, distinct: 20000, min: 900, max: 2100},
+		{name: "p_brand", width: 10, distinct: 25},
+		{name: "p_type", width: 20, distinct: 150},
+		{name: "p_container", width: 10, distinct: 40},
+		{name: "p_name", width: 32, distinct: 200000},
+	})
+	addTable(cat, TPCH, "partsupp", 800000, []colDef{
+		{name: "ps_partkey", width: 4, distinct: 200000},
+		{name: "ps_suppkey", width: 4, distinct: 10000},
+		{name: "ps_availqty", width: 4, distinct: 10000, min: 1, max: 10000},
+		{name: "ps_supplycost", width: 8, distinct: 100000, min: 1, max: 1000},
+		{name: "ps_comment", width: 120, distinct: 800000},
+	})
+	addTable(cat, TPCH, "customer", 150000, []colDef{
+		{name: "c_custkey", width: 4, distinct: 150000},
+		{name: "c_nationkey", width: 4, distinct: 25},
+		{name: "c_acctbal", width: 8, distinct: 100000, min: -1000, max: 10000},
+		{name: "c_mktsegment", width: 10, distinct: 5},
+		{name: "c_name", width: 18, distinct: 150000},
+		{name: "c_address", width: 30, distinct: 150000},
+	})
+	addTable(cat, TPCH, "orders", 1500000, []colDef{
+		{name: "o_orderkey", width: 4, distinct: 1500000},
+		{name: "o_custkey", width: 4, distinct: 100000},
+		{name: "o_totalprice", width: 8, distinct: 1000000, min: 800, max: 600000},
+		{name: "o_orderdate", width: 8, distinct: 2400, min: 0, max: 2400},
+		{name: "o_orderpriority", width: 15, distinct: 5},
+		{name: "o_orderstatus", width: 1, distinct: 3},
+		{name: "o_shippriority", width: 4, distinct: 1},
+		{name: "o_comment", width: 48, distinct: 1500000},
+	})
+	addTable(cat, TPCH, "lineitem", 6000000, []colDef{
+		{name: "l_orderkey", width: 4, distinct: 1500000},
+		{name: "l_partkey", width: 4, distinct: 200000},
+		{name: "l_suppkey", width: 4, distinct: 10000},
+		{name: "l_linenumber", width: 4, distinct: 7, min: 1, max: 7},
+		{name: "l_quantity", width: 8, distinct: 50, min: 1, max: 50},
+		{name: "l_extendedprice", width: 8, distinct: 1000000, min: 900, max: 105000},
+		{name: "l_discount", width: 8, distinct: 11, min: 0, max: 0.1},
+		{name: "l_tax", width: 8, distinct: 9, min: 0, max: 0.08},
+		{name: "l_shipdate", width: 8, distinct: 2500, min: 0, max: 2500},
+		{name: "l_commitdate", width: 8, distinct: 2500, min: 0, max: 2500},
+		{name: "l_receiptdate", width: 8, distinct: 2500, min: 0, max: 2500},
+		{name: "l_returnflag", width: 1, distinct: 3},
+		{name: "l_linestatus", width: 1, distinct: 2},
+		{name: "l_shipmode", width: 10, distinct: 7},
+	})
+
+	q := func(t string) string { return TPCH + "." + t }
+	return []Join{
+		{q("nation"), "n_regionkey", q("region"), "r_regionkey"},
+		{q("supplier"), "s_nationkey", q("nation"), "n_nationkey"},
+		{q("customer"), "c_nationkey", q("nation"), "n_nationkey"},
+		{q("partsupp"), "ps_partkey", q("part"), "p_partkey"},
+		{q("partsupp"), "ps_suppkey", q("supplier"), "s_suppkey"},
+		{q("orders"), "o_custkey", q("customer"), "c_custkey"},
+		{q("lineitem"), "l_orderkey", q("orders"), "o_orderkey"},
+		{q("lineitem"), "l_partkey", q("part"), "p_partkey"},
+		{q("lineitem"), "l_suppkey", q("supplier"), "s_suppkey"},
+	}
+}

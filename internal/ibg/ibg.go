@@ -1,0 +1,381 @@
+// Package ibg implements the Index Benefit Graph of Schnaitter et al.
+// (PVLDB 2(1), 2009 — reference [16] of the paper): a compact encoding of
+// the what-if costs of all relevant index subsets for one statement.
+//
+// Each node holds a configuration Y, its optimizer cost, and the set
+// used(Y) of indices the chosen plan depends on; children remove one used
+// index at a time. Two structural facts make the graph useful:
+//
+//  1. cost(q, X) equals the cost of the node reached by walking from the
+//     root and repeatedly stepping away from any used index not in X, so
+//     a single optimizer call per node answers every configuration probe.
+//  2. Indices that appear in no used set are cost-irrelevant, so benefit
+//     and degree-of-interaction analyses only enumerate subsets of the
+//     (small) union of used sets.
+//
+// WFIT builds one Graph per statement (line 2 of chooseCands, Figure 6)
+// and serves all subsequent cost(q, X) probes — from WFA's work-function
+// update, OPT's dynamic program, and the statistics maintenance — without
+// further optimizer calls. After construction the graph answers probes
+// with bitmask walks over the used union and a flat memo array: no
+// allocation, no optimizer.
+package ibg
+
+import (
+	"math"
+
+	"repro/internal/index"
+	"repro/internal/stmt"
+	"repro/internal/whatif"
+)
+
+// MaxNodes caps graph construction; beyond it the graph stops expanding
+// and lookups degrade gracefully to the deepest reached node.
+const MaxNodes = 4096
+
+// exactEnumBits bounds the used-union size for exact benefit and doi
+// enumeration; larger graphs fall back to node-derived contexts.
+const exactEnumBits = 12
+
+// node is one IBG vertex. Configurations and used sets are bitmasks over
+// the graph's used-union (only used indices influence walks and costs).
+type node struct {
+	cost     float64
+	cfgMask  uint32
+	usedMask uint32
+	children []*node // indexed by bit position in the used union
+}
+
+// Graph is the index benefit graph of one statement over a candidate set.
+type Graph struct {
+	stmt      *stmt.Statement
+	top       index.Set
+	usedIDs   []index.ID
+	usedPos   map[index.ID]int
+	root      *node
+	nodeCount int
+	truncated bool
+	usedUnion index.Set
+
+	// costMemo caches CostMask results; NaN marks unset entries. Only
+	// allocated when the used union is small enough.
+	costMemo []float64
+}
+
+// buildNode is the construction-time representation before masks exist.
+type buildNode struct {
+	cfg      index.Set
+	cost     float64
+	used     index.Set
+	children map[index.ID]*buildNode
+}
+
+// Build constructs the IBG of s over the candidate set, restricted to the
+// indices the cost model considers relevant to s. Each node costs exactly
+// one what-if optimization (served through opt, so repeated builds reuse
+// its cache).
+func Build(opt *whatif.Optimizer, s *stmt.Statement, candidates index.Set) *Graph {
+	top := opt.Model().RestrictConfig(s, candidates)
+	g := &Graph{stmt: s, top: top, usedPos: make(map[index.ID]int)}
+
+	nodes := make(map[string]*buildNode)
+	expand := func(cfg index.Set) *buildNode {
+		c, used := opt.CostUsed(s, cfg)
+		n := &buildNode{cfg: cfg, cost: c, used: used, children: make(map[index.ID]*buildNode)}
+		nodes[cfg.Key()] = n
+		return n
+	}
+	rootB := expand(top)
+	queue := []*buildNode{rootB}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if len(nodes) >= MaxNodes {
+			g.truncated = true
+			break
+		}
+		n.used.Each(func(a index.ID) {
+			childCfg := n.cfg.Remove(a)
+			key := childCfg.Key()
+			child, ok := nodes[key]
+			if !ok {
+				child = expand(childCfg)
+				queue = append(queue, child)
+			}
+			n.children[a] = child
+		})
+	}
+	g.nodeCount = len(nodes)
+
+	// Freeze: compute the used union and rewrite nodes into the compact
+	// mask-based form.
+	union := index.EmptySet
+	for _, n := range nodes {
+		union = union.Union(n.used)
+	}
+	g.usedUnion = union
+	g.usedIDs = union.IDs()
+	for i, id := range g.usedIDs {
+		g.usedPos[id] = i
+	}
+	frozen := make(map[*buildNode]*node, len(nodes))
+	var freeze func(b *buildNode) *node
+	freeze = func(b *buildNode) *node {
+		if f, ok := frozen[b]; ok {
+			return f
+		}
+		f := &node{
+			cost:     b.cost,
+			cfgMask:  g.maskOf(b.cfg),
+			usedMask: g.maskOf(b.used),
+		}
+		frozen[b] = f
+		if len(b.children) > 0 {
+			f.children = make([]*node, len(g.usedIDs))
+			for a, cb := range b.children {
+				f.children[g.usedPos[a]] = freeze(cb)
+			}
+		}
+		return f
+	}
+	g.root = freeze(rootB)
+
+	if bits := len(g.usedIDs); bits <= 20 {
+		g.costMemo = make([]float64, 1<<bits)
+		for i := range g.costMemo {
+			g.costMemo[i] = math.NaN()
+		}
+	}
+	return g
+}
+
+// maskOf projects a set onto the used-union bit space.
+func (g *Graph) maskOf(s index.Set) uint32 {
+	var m uint32
+	s.Each(func(id index.ID) {
+		if p, ok := g.usedPos[id]; ok {
+			m |= 1 << p
+		}
+	})
+	return m
+}
+
+// setOf converts a used-union mask back to a set.
+func (g *Graph) setOf(mask uint32) index.Set {
+	var ids []index.ID
+	for i := range g.usedIDs {
+		if mask&(1<<i) != 0 {
+			ids = append(ids, g.usedIDs[i])
+		}
+	}
+	return index.NewSet(ids...)
+}
+
+// Statement returns the statement the graph was built for.
+func (g *Graph) Statement() *stmt.Statement { return g.stmt }
+
+// Top returns the root configuration (all relevant candidates).
+func (g *Graph) Top() index.Set { return g.top }
+
+// NodeCount reports how many nodes (= what-if calls) the graph holds.
+func (g *Graph) NodeCount() int { return g.nodeCount }
+
+// Truncated reports whether construction hit MaxNodes.
+func (g *Graph) Truncated() bool { return g.truncated }
+
+// UsedUnion returns the union of used sets over all nodes: the indices
+// that can influence the statement's cost.
+func (g *Graph) UsedUnion() index.Set { return g.usedUnion }
+
+// Influential returns the members of cfg that can change the statement's
+// cost. It makes *Graph satisfy the core.StatementCost interface.
+func (g *Graph) Influential(cfg index.Set) index.Set {
+	return cfg.Intersect(g.usedUnion)
+}
+
+// find walks from the root to the node covering mask (used ⊆ mask).
+func (g *Graph) find(mask uint32) *node {
+	n := g.root
+	for {
+		rem := n.usedMask &^ mask
+		if rem == 0 || n.children == nil {
+			return n
+		}
+		bit := lowestBit(rem)
+		child := n.children[bit]
+		if child == nil {
+			// Truncated graph: approximate with the deepest node.
+			return n
+		}
+		n = child
+	}
+}
+
+// lowestBit returns the position of the lowest set bit.
+func lowestBit(m uint32) int {
+	pos := 0
+	for m&1 == 0 {
+		m >>= 1
+		pos++
+	}
+	return pos
+}
+
+// CostMask returns cost(q, X) for X given as a used-union mask.
+func (g *Graph) CostMask(mask uint32) float64 {
+	if g.costMemo != nil {
+		if v := g.costMemo[mask]; !math.IsNaN(v) {
+			return v
+		}
+		v := g.find(mask).cost
+		g.costMemo[mask] = v
+		return v
+	}
+	return g.find(mask).cost
+}
+
+// Cost returns cost(q, X) for any X (indices outside the used union never
+// change the cost and are ignored).
+func (g *Graph) Cost(x index.Set) float64 {
+	return g.CostMask(g.maskOf(x))
+}
+
+// Used returns the used set of the plan for configuration X.
+func (g *Graph) Used(x index.Set) index.Set {
+	return g.setOf(g.find(g.maskOf(x)).usedMask)
+}
+
+// EmptyCost returns cost(q, ∅).
+func (g *Graph) EmptyCost() float64 { return g.CostMask(0) }
+
+// Benefit returns benefit_q({a}, X) = cost(X) − cost(X ∪ {a}). Negative
+// values arise for updates when a must be maintained.
+func (g *Graph) Benefit(a index.ID, x index.Set) float64 {
+	pos, ok := g.usedPos[a]
+	if !ok {
+		return 0
+	}
+	m := g.maskOf(x) &^ (1 << pos)
+	return g.CostMask(m) - g.CostMask(m|(1<<pos))
+}
+
+// MaxBenefit returns max_X benefit_q({a}, X), the βn statistic of
+// chooseCands. Exact over subsets of the used union when small; otherwise
+// maximized over node-derived contexts.
+func (g *Graph) MaxBenefit(a index.ID) float64 {
+	pos, ok := g.usedPos[a]
+	if !ok {
+		// Never used by any plan: the index cannot improve the
+		// statement. (Maintained indices on updates are part of used
+		// sets, so harmful indices do not take this branch.)
+		return 0
+	}
+	bit := uint32(1) << pos
+	full := g.fullMask()
+	best := math.Inf(-1)
+	visit := func(ctx uint32) {
+		ctx &^= bit
+		if b := g.CostMask(ctx) - g.CostMask(ctx|bit); b > best {
+			best = b
+		}
+	}
+	if len(g.usedIDs) <= exactEnumBits {
+		forEachSubmask(full&^bit, visit)
+	} else {
+		g.visitNodeContexts(visit)
+	}
+	if math.IsInf(best, -1) {
+		return 0
+	}
+	return best
+}
+
+// DOI returns the degree of interaction doi_q(a, b) =
+// max_X |cost(X) − cost(X∪{a}) − cost(X∪{b}) + cost(X∪{a,b})|
+// (the Section 2 definition expanded). Zero when either index is unused.
+func (g *Graph) DOI(a, b index.ID) float64 {
+	if a == b {
+		return 0
+	}
+	pa, okA := g.usedPos[a]
+	pb, okB := g.usedPos[b]
+	if !okA || !okB {
+		return 0
+	}
+	bitA, bitB := uint32(1)<<pa, uint32(1)<<pb
+	best := 0.0
+	visit := func(ctx uint32) {
+		ctx &^= bitA | bitB
+		v := math.Abs(g.CostMask(ctx) - g.CostMask(ctx|bitA) -
+			g.CostMask(ctx|bitB) + g.CostMask(ctx|bitA|bitB))
+		if v > best {
+			best = v
+		}
+	}
+	if len(g.usedIDs) <= exactEnumBits {
+		forEachSubmask(g.fullMask()&^(bitA|bitB), visit)
+	} else {
+		g.visitNodeContexts(visit)
+	}
+	return best
+}
+
+// fullMask is the mask with every used-union bit set.
+func (g *Graph) fullMask() uint32 {
+	if len(g.usedIDs) == 32 {
+		return ^uint32(0)
+	}
+	return (1 << len(g.usedIDs)) - 1
+}
+
+// forEachSubmask enumerates every submask of rest (including 0 and rest).
+func forEachSubmask(rest uint32, visit func(uint32)) {
+	m := rest
+	for {
+		visit(m)
+		if m == 0 {
+			return
+		}
+		m = (m - 1) & rest
+	}
+}
+
+// visitNodeContexts visits each graph node's configuration mask — the
+// fallback context pool when exact enumeration is infeasible.
+func (g *Graph) visitNodeContexts(visit func(uint32)) {
+	var walk func(n *node, seen map[*node]bool)
+	seen := make(map[*node]bool)
+	walk = func(n *node, seen map[*node]bool) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		visit(n.cfgMask)
+		for _, c := range n.children {
+			if c != nil {
+				walk(c, seen)
+			}
+		}
+	}
+	walk(g.root, seen)
+}
+
+// Interaction is one interacting index pair with its degree.
+type Interaction struct {
+	A, B index.ID // A < B
+	Doi  float64
+}
+
+// Interactions returns every pair of used indices with doi above the
+// threshold, ordered deterministically (ascending A, then B).
+func (g *Graph) Interactions(threshold float64) []Interaction {
+	var out []Interaction
+	for i := 0; i < len(g.usedIDs); i++ {
+		for j := i + 1; j < len(g.usedIDs); j++ {
+			if d := g.DOI(g.usedIDs[i], g.usedIDs[j]); d > threshold {
+				out = append(out, Interaction{A: g.usedIDs[i], B: g.usedIDs[j], Doi: d})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package ibg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/datagen"
+	"repro/internal/index"
+	"repro/internal/stmt"
+	"repro/internal/whatif"
+)
+
+// testSetup builds the shared catalog, model, optimizer, and a pool of
+// interned indices for IBG tests.
+func testSetup(t testing.TB) (*whatif.Optimizer, *cost.Model, []index.ID) {
+	t.Helper()
+	cat, _ := datagen.Build()
+	reg := index.NewRegistry()
+	m := cost.NewModel(cat, reg, cost.DefaultParams())
+	mk := func(table string, cols ...string) index.ID {
+		return reg.Intern(cost.BuildIndexProto(cat, m.Params(), table, cols))
+	}
+	ids := []index.ID{
+		mk("tpch.lineitem", "l_shipdate"),
+		mk("tpch.lineitem", "l_extendedprice"),
+		mk("tpch.lineitem", "l_orderkey"),
+		mk("tpch.lineitem", "l_orderkey", "l_shipdate"),
+		mk("tpch.orders", "o_orderdate"),
+		mk("tpch.orders", "o_orderkey"),
+		mk("tpce.trade", "t_dts"), // irrelevant to the test statements
+	}
+	return whatif.New(m), m, ids
+}
+
+func joinQuery() *stmt.Statement {
+	return &stmt.Statement{
+		ID: 1, Kind: stmt.Query,
+		Tables: []string{"tpch.orders", "tpch.lineitem"},
+		Preds: []stmt.Pred{
+			{Table: "tpch.orders", Column: "o_orderdate", Selectivity: 0.002},
+			{Table: "tpch.lineitem", Column: "l_shipdate", Selectivity: 0.008},
+			{Table: "tpch.lineitem", Column: "l_extendedprice", Selectivity: 0.02},
+		},
+		Joins: []stmt.Join{{
+			LeftTable: "tpch.lineitem", LeftColumn: "l_orderkey",
+			RightTable: "tpch.orders", RightColumn: "o_orderkey",
+		}},
+	}
+}
+
+func updateStmt() *stmt.Statement {
+	return &stmt.Statement{
+		ID: 2, Kind: stmt.Update,
+		Tables:     []string{"tpch.lineitem"},
+		Preds:      []stmt.Pred{{Table: "tpch.lineitem", Column: "l_extendedprice", Selectivity: 0.0005}},
+		SetColumns: []string{"l_tax", "l_shipdate"},
+	}
+}
+
+// TestIBGCostMatchesWhatIf is the central contract: for every subset of
+// the candidates, the IBG lookup must equal a direct what-if optimization.
+func TestIBGCostMatchesWhatIf(t *testing.T) {
+	opt, m, ids := testSetup(t)
+	for _, s := range []*stmt.Statement{joinQuery(), updateStmt()} {
+		cands := index.NewSet(ids...)
+		g := Build(opt, s, cands)
+		rng := rand.New(rand.NewSource(71))
+		for trial := 0; trial < 200; trial++ {
+			var sub []index.ID
+			for _, id := range ids {
+				if rng.Intn(2) == 0 {
+					sub = append(sub, id)
+				}
+			}
+			cfg := index.NewSet(sub...)
+			got := g.Cost(cfg)
+			want := m.Cost(s, m.RestrictConfig(s, cfg))
+			if math.Abs(got-want) > 1e-9*(1+want) {
+				t.Fatalf("stmt %d cfg %v: IBG=%v direct=%v", s.ID, cfg, got, want)
+			}
+		}
+	}
+}
+
+func TestIBGTopRestrictedToRelevant(t *testing.T) {
+	opt, m, ids := testSetup(t)
+	q := joinQuery()
+	g := Build(opt, q, index.NewSet(ids...))
+	reg := m.Registry()
+	g.Top().Each(func(id index.ID) {
+		if tbl := reg.Get(id).Table; tbl != "tpch.orders" && tbl != "tpch.lineitem" {
+			t.Errorf("irrelevant index %v in IBG top", reg.Get(id))
+		}
+	})
+	if g.NodeCount() == 0 {
+		t.Fatalf("empty IBG")
+	}
+}
+
+// TestIBGNodeCountIsWhatIfCalls verifies the overhead accounting: building
+// a graph from a cold cache performs exactly NodeCount optimizer calls.
+func TestIBGNodeCountIsWhatIfCalls(t *testing.T) {
+	opt, _, ids := testSetup(t)
+	q := joinQuery()
+	opt.ResetStats()
+	g := Build(opt, q, index.NewSet(ids...))
+	if got, want := opt.Calls(), int64(g.NodeCount()); got != want {
+		t.Fatalf("what-if calls = %d, nodes = %d", got, want)
+	}
+	// Rebuilding hits the cache entirely.
+	opt.ResetStats()
+	_ = Build(opt, q, index.NewSet(ids...))
+	if opt.Calls() != 0 {
+		t.Fatalf("rebuild performed %d fresh calls", opt.Calls())
+	}
+}
+
+// TestDOISymmetry checks doi(a,b) == doi(b,a) (Section 2 notes this
+// follows from the definition).
+func TestDOISymmetry(t *testing.T) {
+	opt, _, ids := testSetup(t)
+	for _, s := range []*stmt.Statement{joinQuery(), updateStmt()} {
+		g := Build(opt, s, index.NewSet(ids...))
+		used := g.UsedUnion().IDs()
+		for i := 0; i < len(used); i++ {
+			for j := i + 1; j < len(used); j++ {
+				ab := g.DOI(used[i], used[j])
+				ba := g.DOI(used[j], used[i])
+				if math.Abs(ab-ba) > 1e-9 {
+					t.Fatalf("doi asymmetric: %v vs %v", ab, ba)
+				}
+			}
+		}
+	}
+}
+
+// TestDOIDetectsIntersectionInteraction: two single-column indices on the
+// same table that can be intersected must have positive doi.
+func TestDOIDetectsIntersectionInteraction(t *testing.T) {
+	opt, _, ids := testSetup(t)
+	q := joinQuery()
+	g := Build(opt, q, index.NewSet(ids...))
+	// ids[0] = lineitem(l_shipdate), ids[1] = lineitem(l_extendedprice).
+	if !g.UsedUnion().Contains(ids[0]) || !g.UsedUnion().Contains(ids[1]) {
+		t.Skipf("intersection candidates unused in this plan space")
+	}
+	if d := g.DOI(ids[0], ids[1]); d <= 0 {
+		t.Fatalf("expected positive doi for intersectable indices, got %v", d)
+	}
+}
+
+func TestDOIZeroForUnusedIndex(t *testing.T) {
+	opt, _, ids := testSetup(t)
+	q := joinQuery()
+	g := Build(opt, q, index.NewSet(ids...))
+	unused := ids[6] // tpce.trade index, irrelevant
+	for _, other := range ids[:6] {
+		if d := g.DOI(unused, other); d != 0 {
+			t.Fatalf("unused index has doi %v with %v", d, other)
+		}
+	}
+	if g.DOI(ids[0], ids[0]) != 0 {
+		t.Fatalf("doi(a,a) must be 0")
+	}
+}
+
+// TestMaxBenefitMatchesEnumeration compares MaxBenefit against brute-force
+// maximization over all contexts.
+func TestMaxBenefitMatchesEnumeration(t *testing.T) {
+	opt, m, ids := testSetup(t)
+	for _, s := range []*stmt.Statement{joinQuery(), updateStmt()} {
+		g := Build(opt, s, index.NewSet(ids...))
+		relevant := g.Top().IDs()
+		for _, a := range g.UsedUnion().IDs() {
+			want := math.Inf(-1)
+			rest := index.NewSet(relevant...).Remove(a)
+			forEachSubset(rest, func(x index.Set) {
+				b := m.Cost(s, x) - m.Cost(s, x.Add(a))
+				if b > want {
+					want = b
+				}
+			})
+			got := g.MaxBenefit(a)
+			if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("stmt %d MaxBenefit(%v) = %v, brute force = %v", s.ID, a, got, want)
+			}
+		}
+	}
+}
+
+func forEachSubset(s index.Set, visit func(index.Set)) {
+	ids := s.IDs()
+	for mask := 0; mask < 1<<len(ids); mask++ {
+		var cur []index.ID
+		for i := range ids {
+			if mask&(1<<i) != 0 {
+				cur = append(cur, ids[i])
+			}
+		}
+		visit(index.NewSet(cur...))
+	}
+}
+
+// TestDOIMatchesEnumeration compares the IBG doi against brute force over
+// the full relevant context space.
+func TestDOIMatchesEnumeration(t *testing.T) {
+	opt, m, ids := testSetup(t)
+	q := joinQuery()
+	g := Build(opt, q, index.NewSet(ids...))
+	used := g.UsedUnion().IDs()
+	relevant := index.NewSet(g.Top().IDs()...)
+	for i := 0; i < len(used); i++ {
+		for j := i + 1; j < len(used); j++ {
+			a, b := used[i], used[j]
+			want := 0.0
+			ctx := relevant.Remove(a).Remove(b)
+			forEachSubset(ctx, func(x index.Set) {
+				v := math.Abs(m.Cost(q, x) - m.Cost(q, x.Add(a)) -
+					m.Cost(q, x.Add(b)) + m.Cost(q, x.Add(a).Add(b)))
+				if v > want {
+					want = v
+				}
+			})
+			got := g.DOI(a, b)
+			if math.Abs(got-want) > 1e-6*(1+want) {
+				t.Fatalf("DOI(%v,%v) = %v, brute force = %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestBenefitSign: benefits are positive for helpful indices on queries
+// and negative for maintained indices on updates.
+func TestBenefitSign(t *testing.T) {
+	opt, _, ids := testSetup(t)
+	q := joinQuery()
+	g := Build(opt, q, index.NewSet(ids...))
+	if b := g.Benefit(ids[0], index.EmptySet); b <= 0 {
+		t.Fatalf("selective index benefit = %v, want > 0", b)
+	}
+	u := updateStmt()
+	gu := Build(opt, u, index.NewSet(ids...))
+	// ids[0] = lineitem(l_shipdate): l_shipdate is modified, so the index
+	// must be maintained; without helping the WHERE clause its benefit is
+	// negative.
+	if b := gu.Benefit(ids[0], index.EmptySet); b >= 0 {
+		t.Fatalf("maintained index benefit = %v, want < 0", b)
+	}
+}
+
+func TestInteractionsDeterministicOrder(t *testing.T) {
+	opt, _, ids := testSetup(t)
+	q := joinQuery()
+	g := Build(opt, q, index.NewSet(ids...))
+	first := g.Interactions(0)
+	second := g.Interactions(0)
+	if len(first) != len(second) {
+		t.Fatalf("non-deterministic interaction count")
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("non-deterministic interaction order at %d", i)
+		}
+		if first[i].A >= first[i].B {
+			t.Fatalf("interaction pair not normalized: %+v", first[i])
+		}
+	}
+}
+
+func TestEmptyCandidates(t *testing.T) {
+	opt, m, _ := testSetup(t)
+	q := joinQuery()
+	g := Build(opt, q, index.EmptySet)
+	if g.NodeCount() != 1 {
+		t.Fatalf("empty-candidate IBG has %d nodes", g.NodeCount())
+	}
+	if got, want := g.EmptyCost(), m.Cost(q, index.EmptySet); got != want {
+		t.Fatalf("EmptyCost = %v, want %v", got, want)
+	}
+}

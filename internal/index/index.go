@@ -1,0 +1,380 @@
+// Package index models secondary indices, immutable index sets, and the
+// asymmetric transition cost δ between materialized configurations.
+//
+// Indices are interned in a Registry so that every distinct (table, column
+// list) pair maps to exactly one ID. Algorithms in this repository pass
+// around compact Set values (sorted ID slices) and consult the Registry for
+// per-index metadata such as creation and drop costs.
+package index
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ID identifies an interned index within a Registry.
+type ID uint32
+
+// Invalid is the zero ID; Registry never assigns it.
+const Invalid ID = 0
+
+// Index describes one secondary index on a table. The cost fields are in
+// the same abstract unit as statement costs produced by the what-if
+// optimizer (page reads).
+type Index struct {
+	ID      ID
+	Table   string   // qualified table name, e.g. "tpch.lineitem"
+	Columns []string // key columns, significant order
+
+	// LeafPages estimates the size of the index leaf level in pages.
+	LeafPages float64
+	// Height estimates the number of non-leaf levels traversed per probe.
+	Height float64
+	// CreateCost is δ+(a): the cost to materialize the index.
+	CreateCost float64
+	// DropCost is δ−(a): the cost to drop the index. Typically much
+	// smaller than CreateCost, which is what makes δ asymmetric.
+	DropCost float64
+}
+
+// Key returns the canonical interning key for the index definition.
+func Key(table string, columns []string) string {
+	return table + "(" + strings.Join(columns, ",") + ")"
+}
+
+// Key returns the canonical identity of this index.
+func (ix *Index) Key() string { return Key(ix.Table, ix.Columns) }
+
+// String renders the index like "tpch.lineitem(l_shipdate,l_partkey)".
+func (ix *Index) String() string { return ix.Key() }
+
+// LeadingColumn returns the first key column.
+func (ix *Index) LeadingColumn() string { return ix.Columns[0] }
+
+// Nested reports whether two indexes on the same table are near-redundant
+// alternatives for the same access patterns: either their key column sets
+// nest (one contains the other), or they share the leading key column (so
+// both serve the same probe and prefix-scan patterns). Candidate selection
+// keeps only the best representative per such family, as a DBMS advisor
+// would.
+func Nested(a, b *Index) bool {
+	if a.Table != b.Table {
+		return false
+	}
+	if a.LeadingColumn() == b.LeadingColumn() {
+		return true
+	}
+	small, large := a, b
+	if len(small.Columns) > len(large.Columns) {
+		small, large = large, small
+	}
+	return large.Covers(small.Columns)
+}
+
+// Covers reports whether every column in cols appears somewhere in the
+// index key (used for covering-scan decisions).
+func (ix *Index) Covers(cols []string) bool {
+	for _, c := range cols {
+		found := false
+		for _, k := range ix.Columns {
+			if k == c {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Registry interns index definitions and owns the ID space. The zero value
+// is ready to use. Registry is not safe for concurrent mutation.
+type Registry struct {
+	byKey map[string]ID
+	defs  []*Index // defs[i] has ID i+1
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]ID)}
+}
+
+// Intern registers the index defined by proto (ID field ignored) and
+// returns its canonical ID. If an index with the same table and columns is
+// already registered, the existing ID is returned and the stored definition
+// is left untouched.
+func (r *Registry) Intern(proto Index) ID {
+	if r.byKey == nil {
+		r.byKey = make(map[string]ID)
+	}
+	key := Key(proto.Table, proto.Columns)
+	if id, ok := r.byKey[key]; ok {
+		return id
+	}
+	if len(proto.Columns) == 0 {
+		panic("index: Intern called with no key columns")
+	}
+	id := ID(len(r.defs) + 1)
+	def := proto // copy
+	def.ID = id
+	def.Columns = append([]string(nil), proto.Columns...)
+	r.defs = append(r.defs, &def)
+	r.byKey[key] = id
+	return id
+}
+
+// Lookup returns the ID for an index definition if it has been interned.
+func (r *Registry) Lookup(table string, columns []string) (ID, bool) {
+	id, ok := r.byKey[Key(table, columns)]
+	return id, ok
+}
+
+// Get returns the definition for id. It panics on an unknown ID, which
+// always indicates a programming error (IDs only come from Intern).
+func (r *Registry) Get(id ID) *Index {
+	if id == Invalid || int(id) > len(r.defs) {
+		panic(fmt.Sprintf("index: unknown ID %d", id))
+	}
+	return r.defs[id-1]
+}
+
+// Len reports how many indices have been interned.
+func (r *Registry) Len() int { return len(r.defs) }
+
+// All returns the definitions of every interned index in ID order.
+func (r *Registry) All() []*Index {
+	out := make([]*Index, len(r.defs))
+	copy(out, r.defs)
+	return out
+}
+
+// CreateCost returns δ+(id).
+func (r *Registry) CreateCost(id ID) float64 { return r.Get(id).CreateCost }
+
+// DropCost returns δ−(id).
+func (r *Registry) DropCost(id ID) float64 { return r.Get(id).DropCost }
+
+// Delta computes the transition cost δ(from, to): the cost to create every
+// index in to−from plus the cost to drop every index in from−to. Delta
+// satisfies the triangle inequality but is not symmetric.
+func (r *Registry) Delta(from, to Set) float64 {
+	var total float64
+	i, j := 0, 0
+	for i < len(from.ids) || j < len(to.ids) {
+		switch {
+		case j >= len(to.ids) || (i < len(from.ids) && from.ids[i] < to.ids[j]):
+			total += r.Get(from.ids[i]).DropCost
+			i++
+		case i >= len(from.ids) || from.ids[i] > to.ids[j]:
+			total += r.Get(to.ids[j]).CreateCost
+			j++
+		default: // equal: present on both sides
+			i++
+			j++
+		}
+	}
+	return total
+}
+
+// Set is an immutable, sorted set of index IDs. The zero value is the
+// empty set. Sets are small (tens of elements) so operations use simple
+// merge scans over sorted slices.
+type Set struct {
+	ids []ID
+}
+
+// EmptySet is the configuration with no indices.
+var EmptySet = Set{}
+
+// NewSet builds a set from the given IDs (duplicates allowed, order free).
+func NewSet(ids ...ID) Set {
+	if len(ids) == 0 {
+		return Set{}
+	}
+	sorted := append([]ID(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := sorted[:1]
+	for _, id := range sorted[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return Set{ids: out}
+}
+
+// Len reports the number of indices in the set.
+func (s Set) Len() int { return len(s.ids) }
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool { return len(s.ids) == 0 }
+
+// IDs returns a copy of the member IDs in ascending order.
+func (s Set) IDs() []ID { return append([]ID(nil), s.ids...) }
+
+// Contains reports membership of id.
+func (s Set) Contains(id ID) bool {
+	lo, hi := 0, len(s.ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case s.ids[mid] < id:
+			lo = mid + 1
+		case s.ids[mid] > id:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and t have identical members.
+func (s Set) Equal(t Set) bool {
+	if len(s.ids) != len(t.ids) {
+		return false
+	}
+	for i := range s.ids {
+		if s.ids[i] != t.ids[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	if s.Empty() {
+		return t
+	}
+	if t.Empty() {
+		return s
+	}
+	out := make([]ID, 0, len(s.ids)+len(t.ids))
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(t.ids) {
+		switch {
+		case s.ids[i] < t.ids[j]:
+			out = append(out, s.ids[i])
+			i++
+		case s.ids[i] > t.ids[j]:
+			out = append(out, t.ids[j])
+			j++
+		default:
+			out = append(out, s.ids[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s.ids[i:]...)
+	out = append(out, t.ids[j:]...)
+	return Set{ids: out}
+}
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	if s.Empty() || t.Empty() {
+		return Set{}
+	}
+	var out []ID
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(t.ids) {
+		switch {
+		case s.ids[i] < t.ids[j]:
+			i++
+		case s.ids[i] > t.ids[j]:
+			j++
+		default:
+			out = append(out, s.ids[i])
+			i++
+			j++
+		}
+	}
+	return Set{ids: out}
+}
+
+// Minus returns s − t.
+func (s Set) Minus(t Set) Set {
+	if s.Empty() || t.Empty() {
+		return s
+	}
+	var out []ID
+	i, j := 0, 0
+	for i < len(s.ids) {
+		if j >= len(t.ids) || s.ids[i] < t.ids[j] {
+			out = append(out, s.ids[i])
+			i++
+		} else if s.ids[i] > t.ids[j] {
+			j++
+		} else {
+			i++
+			j++
+		}
+	}
+	return Set{ids: out}
+}
+
+// Add returns s ∪ {id}.
+func (s Set) Add(id ID) Set {
+	if s.Contains(id) {
+		return s
+	}
+	return s.Union(NewSet(id))
+}
+
+// Remove returns s − {id}.
+func (s Set) Remove(id ID) Set {
+	if !s.Contains(id) {
+		return s
+	}
+	return s.Minus(NewSet(id))
+}
+
+// Disjoint reports whether s ∩ t = ∅.
+func (s Set) Disjoint(t Set) bool { return s.Intersect(t).Empty() }
+
+// SubsetOf reports whether every member of s is in t.
+func (s Set) SubsetOf(t Set) bool { return s.Minus(t).Empty() }
+
+// Key returns a compact string usable as a map key. Distinct sets always
+// produce distinct keys.
+func (s Set) Key() string {
+	if s.Empty() {
+		return ""
+	}
+	var b strings.Builder
+	for i, id := range s.ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", id)
+	}
+	return b.String()
+}
+
+// String renders the set with index definitions resolved through reg, or
+// raw IDs if reg is nil.
+func (s Set) String() string {
+	return "{" + s.Key() + "}"
+}
+
+// Format renders the set with human-readable index names.
+func (s Set) Format(reg *Registry) string {
+	if s.Empty() {
+		return "{}"
+	}
+	parts := make([]string, 0, len(s.ids))
+	for _, id := range s.ids {
+		parts = append(parts, reg.Get(id).Key())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Each calls fn for every member in ascending ID order.
+func (s Set) Each(fn func(ID)) {
+	for _, id := range s.ids {
+		fn(id)
+	}
+}

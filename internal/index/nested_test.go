@@ -1,0 +1,47 @@
+package index
+
+import "testing"
+
+func TestNested(t *testing.T) {
+	ix := func(table string, cols ...string) *Index {
+		return &Index{Table: table, Columns: cols}
+	}
+	cases := []struct {
+		name string
+		a, b *Index
+		want bool
+	}{
+		{"identical", ix("t", "a"), ix("t", "a"), true},
+		{"prefix extension", ix("t", "a"), ix("t", "a", "b"), true},
+		{"set nesting reordered", ix("t", "a", "b"), ix("t", "b", "a"), true},
+		{"shared leading column", ix("t", "a", "b"), ix("t", "a", "c"), true},
+		{"different leading, disjoint", ix("t", "a"), ix("t", "b"), false},
+		{"different leading, partial overlap", ix("t", "a", "b"), ix("t", "b", "c"), false},
+		{"nested via containment, different leading", ix("t", "b"), ix("t", "a", "b"), true},
+		{"different tables", ix("t", "a"), ix("u", "a"), false},
+	}
+	for _, c := range cases {
+		if got := Nested(c.a, c.b); got != c.want {
+			t.Errorf("%s: Nested(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+		// Symmetry.
+		if got := Nested(c.b, c.a); got != c.want {
+			t.Errorf("%s: Nested not symmetric", c.name)
+		}
+	}
+}
+
+func TestLeadingColumn(t *testing.T) {
+	ix := Index{Table: "t", Columns: []string{"x", "y"}}
+	if ix.LeadingColumn() != "x" {
+		t.Fatalf("LeadingColumn = %q", ix.LeadingColumn())
+	}
+}
+
+func TestIndexString(t *testing.T) {
+	ix := Index{Table: "tpch.lineitem", Columns: []string{"l_orderkey", "l_shipdate"}}
+	want := "tpch.lineitem(l_orderkey,l_shipdate)"
+	if ix.String() != want || ix.Key() != want {
+		t.Fatalf("String = %q", ix.String())
+	}
+}

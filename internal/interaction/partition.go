@@ -1,0 +1,388 @@
+package interaction
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/index"
+)
+
+// Partition is a disjoint decomposition of a candidate index set into
+// parts. Indices within a part may interact; indices across parts are
+// treated as independent (equation 2.1 of the paper).
+type Partition []index.Set
+
+// Normalize returns the partition with empty parts dropped and parts
+// ordered by their smallest member, for deterministic comparison.
+func (p Partition) Normalize() Partition {
+	var out Partition
+	for _, part := range p {
+		if !part.Empty() {
+			out = append(out, part)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].IDs()[0] < out[j].IDs()[0]
+	})
+	return out
+}
+
+// Equal reports whether two partitions contain the same parts.
+func (p Partition) Equal(q Partition) bool {
+	a, b := p.Normalize(), q.Normalize()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns all indices covered by the partition.
+func (p Partition) Union() index.Set {
+	u := index.EmptySet
+	for _, part := range p {
+		u = u.Union(part)
+	}
+	return u
+}
+
+// States returns Σ 2^|Pk|, the configuration count WFIT must track.
+func (p Partition) States() int {
+	total := 0
+	for _, part := range p {
+		total += 1 << part.Len()
+	}
+	return total
+}
+
+// MaxPartSize returns the size of the largest part (cmax in Theorem 4.3).
+func (p Partition) MaxPartSize() int {
+	m := 0
+	for _, part := range p {
+		if part.Len() > m {
+			m = part.Len()
+		}
+	}
+	return m
+}
+
+// PartOf returns the part containing id, or the empty set.
+func (p Partition) PartOf(id index.ID) index.Set {
+	for _, part := range p {
+		if part.Contains(id) {
+			return part
+		}
+	}
+	return index.EmptySet
+}
+
+// Validate checks that parts are disjoint and non-empty.
+func (p Partition) Validate() bool {
+	seen := make(map[index.ID]bool)
+	for _, part := range p {
+		if part.Empty() {
+			return false
+		}
+		ok := true
+		part.Each(func(id index.ID) {
+			if seen[id] {
+				ok = false
+			}
+			seen[id] = true
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// DoiFunc reports the (current) degree of interaction of an index pair.
+type DoiFunc func(a, b index.ID) float64
+
+// Loss returns the total doi mass across part boundaries — the error the
+// partition introduces in the decomposed cost formula (2.1).
+func (p Partition) Loss(doi DoiFunc) float64 {
+	total := 0.0
+	for i := 0; i < len(p); i++ {
+		for j := i + 1; j < len(p); j++ {
+			p[i].Each(func(a index.ID) {
+				p[j].Each(func(b index.ID) {
+					total += doi(a, b)
+				})
+			})
+		}
+	}
+	return total
+}
+
+// ConnectedComponents computes the minimum stable partition: the connected
+// components of the interaction relation over the given indices.
+func ConnectedComponents(ids index.Set, interacts func(a, b index.ID) bool) Partition {
+	members := ids.IDs()
+	parent := make(map[index.ID]index.ID, len(members))
+	for _, id := range members {
+		parent[id] = id
+	}
+	var find func(index.ID) index.ID
+	find = func(x index.ID) index.ID {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b index.ID) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			if interacts(members[i], members[j]) {
+				union(members[i], members[j])
+			}
+		}
+	}
+	groups := make(map[index.ID][]index.ID)
+	for _, id := range members {
+		r := find(id)
+		groups[r] = append(groups[r], id)
+	}
+	var out Partition
+	for _, g := range groups {
+		out = append(out, index.NewSet(g...))
+	}
+	return out.Normalize()
+}
+
+// Singletons returns the full-independence partition of ids.
+func Singletons(ids index.Set) Partition {
+	var out Partition
+	ids.Each(func(id index.ID) {
+		out = append(out, index.NewSet(id))
+	})
+	return out
+}
+
+// crossLoss is the doi mass between two concrete parts.
+func crossLoss(a, b index.Set, doi DoiFunc) float64 {
+	total := 0.0
+	a.Each(func(x index.ID) {
+		b.Each(func(y index.ID) {
+			total += doi(x, y)
+		})
+	})
+	return total
+}
+
+// rngSource is the minimal random interface the partitioner needs,
+// satisfied by *rand.Rand.
+type rngSource interface {
+	Float64() float64
+}
+
+// Partitioner implements choosePartition (Figure 7): a randomized search
+// for a feasible partition (Σ 2^|Pk| ≤ StateCnt, parts ≤ MaxPartSize)
+// minimizing the cross-part interaction loss.
+type Partitioner struct {
+	// StateCnt bounds Σ 2^|Pk|; non-positive means unbounded.
+	StateCnt int
+	// MaxPartSize caps single parts so the WFA bitmask stays machine-
+	// sized; defaults to 20 when zero.
+	MaxPartSize int
+	// RandCnt is the number of randomized restarts (RAND_CNT).
+	RandCnt int
+	// Rand supplies randomness; required.
+	Rand rngSource
+}
+
+// Choose computes a feasible partition of d, seeded by the current
+// partition, minimizing loss under doi.
+func (pt *Partitioner) Choose(d index.Set, current Partition, doi DoiFunc) Partition {
+	maxPart := pt.MaxPartSize
+	if maxPart <= 0 {
+		maxPart = 20
+	}
+	feasible := func(p Partition) bool {
+		if p.MaxPartSize() > maxPart {
+			return false
+		}
+		return pt.StateCnt <= 0 || p.States() <= pt.StateCnt
+	}
+
+	var bestSoln Partition
+	bestLoss := math.Inf(1)
+	consider := func(p Partition) {
+		if !feasible(p) {
+			return
+		}
+		if l := p.Loss(doi); l < bestLoss {
+			bestLoss = l
+			bestSoln = p.Normalize()
+		}
+	}
+
+	// Baseline: the current partition restricted to d, plus singletons
+	// for new indices.
+	var baseline Partition
+	covered := index.EmptySet
+	for _, part := range current {
+		kept := part.Intersect(d)
+		if !kept.Empty() {
+			baseline = append(baseline, kept)
+			covered = covered.Union(kept)
+		}
+	}
+	d.Minus(covered).Each(func(id index.ID) {
+		baseline = append(baseline, index.NewSet(id))
+	})
+	consider(baseline)
+
+	// Randomized merge restarts.
+	randCnt := pt.RandCnt
+	if randCnt <= 0 {
+		randCnt = 8
+	}
+	for iter := 0; iter < randCnt; iter++ {
+		consider(pt.randomMerge(d, doi, maxPart))
+	}
+
+	if bestSoln == nil {
+		// Nothing feasible (e.g. StateCnt < 2|d|): fall back to
+		// singletons regardless, which is the least stateful option.
+		return Singletons(d)
+	}
+	return bestSoln
+}
+
+// randomMerge runs one randomized merging pass from singletons.
+func (pt *Partitioner) randomMerge(d index.Set, doi DoiFunc, maxPart int) Partition {
+	parts := []index.Set(Singletons(d))
+	states := len(parts) * 2
+	// cross[i][j] caches crossLoss(parts[i], parts[j]).
+	n := len(parts)
+	cross := make([][]float64, n)
+	for i := range cross {
+		cross[i] = make([]float64, n)
+		for j := range cross[i] {
+			if j > i {
+				cross[i][j] = crossLoss(parts[i], parts[j], doi)
+			}
+		}
+	}
+	get := func(i, j int) float64 {
+		if i > j {
+			i, j = j, i
+		}
+		return cross[i][j]
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+
+	for {
+		var candidates []mergeEdge
+		onlySingles := false
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !alive[j] {
+					continue
+				}
+				l := get(i, j)
+				if l <= 0 {
+					continue
+				}
+				si, sj := parts[i].Len(), parts[j].Len()
+				if si+sj > maxPart {
+					continue
+				}
+				if pt.StateCnt > 0 {
+					newStates := states - (1 << si) - (1 << sj) + (1 << (si + sj))
+					if newStates > pt.StateCnt {
+						continue
+					}
+				}
+				e := mergeEdge{i: i, j: j, loss: l}
+				if si == 1 && sj == 1 {
+					e.weight = l
+					if !onlySingles {
+						onlySingles = true
+						candidates = candidates[:0]
+					}
+					candidates = append(candidates, e)
+				} else if !onlySingles {
+					denom := float64(int(1)<<(si+sj) - int(1)<<si - int(1)<<sj)
+					e.weight = l / denom
+					candidates = append(candidates, e)
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		pick := weightedPick(candidates, pt.Rand)
+		i, j := candidates[pick].i, candidates[pick].j
+		// Merge j into i.
+		si, sj := parts[i].Len(), parts[j].Len()
+		states += (1 << (si + sj)) - (1 << si) - (1 << sj)
+		parts[i] = parts[i].Union(parts[j])
+		alive[j] = false
+		for k := 0; k < n; k++ {
+			if k == i || !alive[k] {
+				continue
+			}
+			merged := get(i, k) + get(j, k)
+			if k < i {
+				cross[k][i] = merged
+			} else {
+				cross[i][k] = merged
+			}
+		}
+	}
+
+	var out Partition
+	for i := 0; i < n; i++ {
+		if alive[i] {
+			out = append(out, parts[i])
+		}
+	}
+	return out.Normalize()
+}
+
+// mergeEdge is a candidate merge of two parts during randomized search.
+type mergeEdge struct {
+	i, j   int
+	loss   float64
+	weight float64
+}
+
+// weightedPick selects an element index with probability proportional to
+// its weight.
+func weightedPick(edges []mergeEdge, rng rngSource) int {
+	total := 0.0
+	for _, e := range edges {
+		total += e.weight
+	}
+	if total <= 0 {
+		return 0
+	}
+	r := rng.Float64() * total
+	acc := 0.0
+	for k, e := range edges {
+		acc += e.weight
+		if r < acc {
+			return k
+		}
+	}
+	return len(edges) - 1
+}

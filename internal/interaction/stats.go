@@ -1,0 +1,226 @@
+// Package interaction maintains the workload statistics behind WFIT's
+// candidate selection — per-index benefit histories and pairwise degrees
+// of interaction — and computes stable partitions of candidate indices,
+// including the randomized choosePartition procedure of Figure 7.
+package interaction
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/index"
+)
+
+// Window is a bounded history of positive measurements tagged with the
+// workload position where they occurred. Both idxStats and intStats in the
+// paper use this shape; the "current" aggregate follows the LRU-K-inspired
+// formula of Section 5.2.2:
+//
+//	current_N = max_ℓ (v1 + … + vℓ) / (N − nℓ + 1)
+//
+// where entries are ordered from most recent (n1) to oldest (nℓ). Recent
+// measurements therefore dominate, but a strong burst in the past can keep
+// an index or interaction alive.
+type Window struct {
+	cap     int
+	pos     []int     // ascending workload positions
+	vals    []float64 // parallel to pos
+	dropped int       // entries expired by the cap
+}
+
+// NewWindow creates a history bounded to cap entries (cap <= 0 means
+// unbounded, the histSize = ∞ setting).
+func NewWindow(cap int) *Window {
+	return &Window{cap: cap}
+}
+
+// Add appends a measurement at workload position n. Positions must be
+// non-decreasing; non-positive values are ignored, matching the paper's
+// rule of recording only entries with βn > 0 (or doi > 0).
+func (w *Window) Add(n int, v float64) {
+	if v <= 0 {
+		return
+	}
+	if len(w.pos) > 0 && n < w.pos[len(w.pos)-1] {
+		panic("interaction: Window positions must be non-decreasing")
+	}
+	w.pos = append(w.pos, n)
+	w.vals = append(w.vals, v)
+	if w.cap > 0 && len(w.pos) > w.cap {
+		over := len(w.pos) - w.cap
+		w.pos = append(w.pos[:0], w.pos[over:]...)
+		w.vals = append(w.vals[:0], w.vals[over:]...)
+		w.dropped += over
+	}
+}
+
+// Len reports the number of retained entries.
+func (w *Window) Len() int { return len(w.pos) }
+
+// Current evaluates the aggregate at workload position N (the number of
+// statements seen so far). Empty windows yield 0.
+func (w *Window) Current(n int) float64 {
+	return w.CurrentPenalized(n, 0)
+}
+
+// CurrentPenalized evaluates the aggregate with a one-time cost charged
+// against the accumulated value: max_ℓ (v1 + … + vℓ − penalty)/(N−nℓ+1).
+// topIndices uses it to demand that a not-yet-monitored index accumulate
+// enough recent benefit to pay for its own materialization before it can
+// evict a monitored one. The result may be negative; empty windows yield
+// −penalty (or 0 when penalty is 0).
+func (w *Window) CurrentPenalized(n int, penalty float64) float64 {
+	if len(w.pos) == 0 {
+		if penalty > 0 {
+			return -penalty
+		}
+		return 0
+	}
+	best := math.Inf(-1)
+	acc := -penalty
+	for i := len(w.pos) - 1; i >= 0; i-- {
+		acc += w.vals[i]
+		denom := float64(n - w.pos[i] + 1)
+		if denom < 1 {
+			denom = 1
+		}
+		if v := acc / denom; v > best {
+			best = v
+		}
+	}
+	if penalty == 0 && best < 0 {
+		// Values are positive, so the unpenalized aggregate cannot be
+		// negative; guard only against float oddities.
+		best = 0
+	}
+	return best
+}
+
+// Total returns the sum of retained values (used by the offline variant
+// of chooseCands that averages over the whole workload).
+func (w *Window) Total() float64 {
+	t := 0.0
+	for _, v := range w.vals {
+		t += v
+	}
+	return t
+}
+
+// BenefitStats is idxStats: per-index benefit histories.
+type BenefitStats struct {
+	hist int
+	m    map[index.ID]*Window
+}
+
+// NewBenefitStats creates benefit statistics with the given histSize.
+func NewBenefitStats(histSize int) *BenefitStats {
+	return &BenefitStats{hist: histSize, m: make(map[index.ID]*Window)}
+}
+
+// Add records βn for index a at position n (ignored unless positive).
+func (s *BenefitStats) Add(a index.ID, n int, beta float64) {
+	if beta <= 0 {
+		return
+	}
+	w, ok := s.m[a]
+	if !ok {
+		w = NewWindow(s.hist)
+		s.m[a] = w
+	}
+	w.Add(n, beta)
+}
+
+// Current returns benefit*_N(a).
+func (s *BenefitStats) Current(a index.ID, n int) float64 {
+	if w, ok := s.m[a]; ok {
+		return w.Current(n)
+	}
+	return 0
+}
+
+// CurrentPenalized returns benefit*_N(a) with a one-time cost charged
+// against the accumulated benefit (see Window.CurrentPenalized).
+func (s *BenefitStats) CurrentPenalized(a index.ID, n int, penalty float64) float64 {
+	if w, ok := s.m[a]; ok {
+		return w.CurrentPenalized(n, penalty)
+	}
+	return -penalty
+}
+
+// Total returns the summed recorded benefit of a.
+func (s *BenefitStats) Total(a index.ID) float64 {
+	if w, ok := s.m[a]; ok {
+		return w.Total()
+	}
+	return 0
+}
+
+// Pair is an unordered index pair with A < B.
+type Pair struct {
+	A, B index.ID
+}
+
+// MakePair normalizes the order of a pair.
+func MakePair(a, b index.ID) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{A: a, B: b}
+}
+
+// InteractionStats is intStats: pairwise doi histories.
+type InteractionStats struct {
+	hist int
+	m    map[Pair]*Window
+}
+
+// NewInteractionStats creates interaction statistics with the given
+// histSize.
+func NewInteractionStats(histSize int) *InteractionStats {
+	return &InteractionStats{hist: histSize, m: make(map[Pair]*Window)}
+}
+
+// Add records doi_qn(a,b) = d at position n (ignored unless positive).
+func (s *InteractionStats) Add(a, b index.ID, n int, d float64) {
+	if d <= 0 || a == b {
+		return
+	}
+	p := MakePair(a, b)
+	w, ok := s.m[p]
+	if !ok {
+		w = NewWindow(s.hist)
+		s.m[p] = w
+	}
+	w.Add(n, d)
+}
+
+// Current returns doi*_N(a,b).
+func (s *InteractionStats) Current(a, b index.ID, n int) float64 {
+	if w, ok := s.m[MakePair(a, b)]; ok {
+		return w.Current(n)
+	}
+	return 0
+}
+
+// Total returns the summed recorded doi of the pair.
+func (s *InteractionStats) Total(a, b index.ID) float64 {
+	if w, ok := s.m[MakePair(a, b)]; ok {
+		return w.Total()
+	}
+	return 0
+}
+
+// Pairs returns the recorded pairs in deterministic order.
+func (s *InteractionStats) Pairs() []Pair {
+	out := make([]Pair, 0, len(s.m))
+	for p := range s.m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}

@@ -1,0 +1,317 @@
+// Package opt computes the offline-optimal recommendation schedule (the
+// OPT baseline of §6.1): the sequence of configurations minimizing total
+// work for a fully known workload, over a fixed candidate set and stable
+// partition.
+//
+// Per part, a dynamic program over the index transition graph computes
+// d_i[S] = min_X { d_{i−1}[X] + δ(X,S) } + cost(q_i, S) with the same
+// per-coordinate min-plus relaxation WFA uses. Prefix optima then follow
+// from min_S d_i[S], recombined across parts through the stable-partition
+// identity (2.1); backtracking extracts one optimal schedule, which also
+// feeds the VGOOD/VBAD feedback streams of the feedback experiments.
+package opt
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/interaction"
+)
+
+// Input bundles everything the dynamic program needs.
+type Input struct {
+	Reg       *index.Registry
+	Partition interaction.Partition
+	S0        index.Set
+	// Costers price each statement (typically *ibg.Graph values built
+	// over the candidate set), in workload order.
+	Costers []core.StatementCost
+}
+
+// Result is the outcome of the offline optimization.
+type Result struct {
+	// PrefixTotal[n] = totWork(OPT, Q_n) for every prefix length n in
+	// 0..N. Note OPT may choose very different schedules for different
+	// prefixes; these values are the per-prefix optima, not a replay of
+	// one schedule.
+	PrefixTotal []float64
+	// Schedule[n] is the configuration an optimal full-workload schedule
+	// adopts for statement n (Schedule[0] is the projection of S0).
+	Schedule []index.Set
+}
+
+// Replay prices a configuration schedule against the true per-statement
+// costs (no partition decomposition): Σ cost(q_i, S_i) + δ(S_{i−1}, S_i).
+// Comparing Replay of the DP's own schedule against PrefixTotal quantifies
+// the stable-partition approximation error.
+func Replay(reg *index.Registry, schedule []index.Set, costers []core.StatementCost) []float64 {
+	out := make([]float64, len(costers)+1)
+	total := 0.0
+	for i, sc := range costers {
+		total += reg.Delta(schedule[i], schedule[i+1])
+		total += sc.Cost(schedule[i+1])
+		out[i+1] = total
+	}
+	return out
+}
+
+// part is the per-part DP state.
+type part struct {
+	ids    []index.ID
+	create []float64
+	drop   []float64
+	layers [][]float64 // layers[i][mask] = d_i[mask], forward values
+	future [][]float64 // future[i][mask] = h_i[mask], backward values
+}
+
+func (p *part) setOf(mask uint32) index.Set {
+	var ids []index.ID
+	for i := range p.ids {
+		if mask&(1<<i) != 0 {
+			ids = append(ids, p.ids[i])
+		}
+	}
+	return index.NewSet(ids...)
+}
+
+func (p *part) maskOf(s index.Set) uint32 {
+	var m uint32
+	for i, id := range p.ids {
+		if s.Contains(id) {
+			m |= 1 << i
+		}
+	}
+	return m
+}
+
+func (p *part) delta(from, to uint32) float64 {
+	var total float64
+	diff := from ^ to
+	for i := 0; diff != 0; i++ {
+		bit := uint32(1) << i
+		if diff&bit == 0 {
+			continue
+		}
+		if to&bit != 0 {
+			total += p.create[i]
+		} else {
+			total += p.drop[i]
+		}
+		diff &^= bit
+	}
+	return total
+}
+
+// Compute runs the dynamic program.
+func Compute(in Input) *Result {
+	n := len(in.Costers)
+	res := &Result{
+		PrefixTotal: make([]float64, n+1),
+		Schedule:    make([]index.Set, n+1),
+	}
+
+	parts := make([]*part, 0, len(in.Partition))
+	for _, members := range in.Partition {
+		p := &part{ids: members.IDs()}
+		for _, id := range p.ids {
+			def := in.Reg.Get(id)
+			p.create = append(p.create, def.CreateCost)
+			p.drop = append(p.drop, def.DropCost)
+		}
+		parts = append(parts, p)
+	}
+
+	// Σ_{i≤n} cost(q_i, ∅), needed to recombine per-part totals: the
+	// stable partition identity gives
+	// cost(q,S) = Σ_k cost(q, S∩Ck) − (K−1)·cost(q,∅).
+	emptyPrefix := make([]float64, n+1)
+	for i, sc := range in.Costers {
+		emptyPrefix[i+1] = emptyPrefix[i] + sc.Cost(index.EmptySet)
+	}
+
+	k := len(parts)
+	if k == 0 {
+		copy(res.PrefixTotal, emptyPrefix)
+		for i := range res.Schedule {
+			res.Schedule[i] = index.EmptySet
+		}
+		return res
+	}
+
+	for _, p := range parts {
+		runPartDP(p, in, n)
+	}
+
+	// Prefix totals.
+	for i := 0; i <= n; i++ {
+		total := -float64(k-1) * emptyPrefix[i]
+		for _, p := range parts {
+			layer := p.layers[i]
+			min := math.Inf(1)
+			for _, v := range layer {
+				if v < min {
+					min = v
+				}
+			}
+			total += min
+		}
+		res.PrefixTotal[i] = total
+	}
+
+	// Reconstruct one optimal schedule per part and merge. The forward
+	// pass walks from S0 choosing, at each statement, the cheapest
+	// continuation according to the backward value function, preferring
+	// to stay put on ties — the lazy optimal schedule, which performs
+	// every creation at the last optimal moment and every drop at the
+	// first. Lazy timing is what makes the derived VGOOD/VBAD vote
+	// streams meaningful: votes fire when the workload actually turns.
+	schedules := make([][]uint32, len(parts))
+	for pi, p := range parts {
+		runPartBackwardDP(p, in, n)
+		schedules[pi] = lazySchedule(p, in, n)
+	}
+	for i := 0; i <= n; i++ {
+		s := index.EmptySet
+		for pi, p := range parts {
+			s = s.Union(p.setOf(schedules[pi][i]))
+		}
+		res.Schedule[i] = s
+	}
+	return res
+}
+
+// runPartDP fills p.layers for all statement prefixes.
+func runPartDP(p *part, in Input, n int) {
+	bits := len(p.ids)
+	size := 1 << bits
+	cand := index.NewSet(p.ids...)
+
+	layer := make([]float64, size)
+	s0 := p.maskOf(in.S0)
+	for s := 0; s < size; s++ {
+		layer[s] = p.delta(s0, uint32(s))
+	}
+	p.layers = make([][]float64, n+1)
+	p.layers[0] = layer
+
+	for i := 1; i <= n; i++ {
+		sc := in.Costers[i-1]
+		next := make([]float64, size)
+		copy(next, layer)
+		// min-plus transform: next[S] = min_X layer[X] + δ(X,S).
+		for b := 0; b < bits; b++ {
+			bit := 1 << b
+			for s0m := 0; s0m < size; s0m++ {
+				if s0m&bit != 0 {
+					continue
+				}
+				s1 := s0m | bit
+				if c := next[s0m] + p.create[b]; c < next[s1] {
+					next[s1] = c
+				}
+				if c := next[s1] + p.drop[b]; c < next[s0m] {
+					next[s0m] = c
+				}
+			}
+		}
+		if sc.Influential(cand).Empty() {
+			c0 := sc.Cost(index.EmptySet)
+			for s := range next {
+				next[s] += c0
+			}
+		} else {
+			for s := range next {
+				next[s] += sc.Cost(p.setOf(uint32(s)))
+			}
+		}
+		p.layers[i] = next
+		layer = next
+	}
+}
+
+// runPartBackwardDP fills p.future with the backward value function
+// h_i[S] = min_Z { δ(S, Z) + cost_i(Z) + h_{i+1}[Z] }, the minimum cost of
+// completing the workload from statement i when S is materialized.
+func runPartBackwardDP(p *part, in Input, n int) {
+	bits := len(p.ids)
+	size := 1 << bits
+	cand := index.NewSet(p.ids...)
+
+	p.future = make([][]float64, n+2)
+	p.future[n+1] = make([]float64, size) // all zero
+	for i := n; i >= 1; i-- {
+		sc := in.Costers[i-1]
+		next := make([]float64, size)
+		if sc.Influential(cand).Empty() {
+			c0 := sc.Cost(index.EmptySet)
+			for s := range next {
+				next[s] = p.future[i+1][s] + c0
+			}
+		} else {
+			for s := range next {
+				next[s] = p.future[i+1][s] + sc.Cost(p.setOf(uint32(s)))
+			}
+		}
+		// Relax transitions out of S: h_i[S] = min_Z next[Z] + δ(S, Z).
+		// Note the direction: leaving S0 (no bit) for S1 (bit) costs
+		// δ+ and benefits S0's value; the reverse costs δ−.
+		for b := 0; b < bits; b++ {
+			bit := 1 << b
+			for s0 := 0; s0 < size; s0++ {
+				if s0&bit != 0 {
+					continue
+				}
+				s1 := s0 | bit
+				if c := next[s1] + p.create[b]; c < next[s0] {
+					next[s0] = c
+				}
+				if c := next[s0] + p.drop[b]; c < next[s1] {
+					next[s1] = c
+				}
+			}
+		}
+		p.future[i] = next
+	}
+}
+
+// lazySchedule walks forward from S0, at each statement choosing the
+// continuation that minimizes δ(X, Z) + cost_i(Z) + h_{i+1}[Z], staying in
+// place whenever staying is among the optima.
+func lazySchedule(p *part, in Input, n int) []uint32 {
+	size := 1 << len(p.ids)
+	seq := make([]uint32, n+1)
+	x := p.maskOf(in.S0)
+	seq[0] = x
+	for i := 1; i <= n; i++ {
+		sc := in.Costers[i-1]
+		costOf := func(z uint32) float64 { return sc.Cost(p.setOf(z)) }
+		stay := costOf(x) + p.future[i+1][x]
+		best := stay
+		bestZ := x
+		eps := tol(stay)
+		for z := 0; z < size; z++ {
+			if uint32(z) == x {
+				continue
+			}
+			v := p.delta(x, uint32(z)) + costOf(uint32(z)) + p.future[i+1][uint32(z)]
+			if v < best-eps {
+				best = v
+				bestZ = uint32(z)
+			}
+		}
+		x = bestZ
+		seq[i] = x
+	}
+	return seq
+}
+
+func tol(scale float64) float64 {
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return scale * 1e-9
+}

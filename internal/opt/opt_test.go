@@ -1,0 +1,285 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/interaction"
+)
+
+// fakeCost implements core.StatementCost from an explicit table.
+type fakeCost struct {
+	fn   func(cfg index.Set) float64
+	infl index.Set
+}
+
+func (f *fakeCost) Cost(cfg index.Set) float64          { return f.fn(cfg) }
+func (f *fakeCost) Influential(cfg index.Set) index.Set { return cfg.Intersect(f.infl) }
+
+func testRegistry(n int, create, drop float64) (*index.Registry, []index.ID) {
+	reg := index.NewRegistry()
+	ids := make([]index.ID, n)
+	for i := range ids {
+		ids[i] = reg.Intern(index.Index{
+			Table:      "t",
+			Columns:    []string{string(rune('a' + i))},
+			CreateCost: create,
+			DropCost:   drop,
+		})
+	}
+	return reg, ids
+}
+
+// bruteForceOpt enumerates every schedule over subsets of cand (feasible
+// only for tiny instances) and returns the optimal prefix totals.
+func bruteForceOpt(reg *index.Registry, cand index.Set, s0 index.Set, costers []*fakeCost) []float64 {
+	subsets := allSubsets(cand)
+	n := len(costers)
+	// best[k] = minimal total work of a schedule ending in subsets[k].
+	best := make([]float64, len(subsets))
+	for k, s := range subsets {
+		best[k] = reg.Delta(s0, s)
+	}
+	out := make([]float64, n+1)
+	cur := best
+	for i := 0; i < n; i++ {
+		next := make([]float64, len(subsets))
+		for k := range next {
+			next[k] = math.Inf(1)
+		}
+		for k, sk := range subsets {
+			for j, sj := range subsets {
+				v := cur[j] + reg.Delta(sj, sk) + costers[i].fn(sk)
+				if v < next[k] {
+					next[k] = v
+				}
+			}
+		}
+		cur = next
+		min := math.Inf(1)
+		for _, v := range cur {
+			min = math.Min(min, v)
+		}
+		out[i+1] = min
+	}
+	return out
+}
+
+func allSubsets(s index.Set) []index.Set {
+	ids := s.IDs()
+	out := make([]index.Set, 0, 1<<len(ids))
+	for mask := 0; mask < 1<<len(ids); mask++ {
+		var cur []index.ID
+		for i := range ids {
+			if mask&(1<<i) != 0 {
+				cur = append(cur, ids[i])
+			}
+		}
+		out = append(out, index.NewSet(cur...))
+	}
+	return out
+}
+
+// randomAdditiveCosters builds per-statement costs that decompose exactly
+// over the partition (so the DP assumptions hold by construction).
+func randomAdditiveCosters(rng *rand.Rand, partition interaction.Partition, n int, base float64) []*fakeCost {
+	all := partition.Union()
+	out := make([]*fakeCost, n)
+	for i := range out {
+		benefits := make(map[string]float64)
+		for _, part := range partition {
+			for _, sub := range allSubsets(part) {
+				if sub.Empty() {
+					benefits[sub.Key()] = 0
+				} else {
+					benefits[sub.Key()] = rng.Float64() * base / float64(len(partition))
+				}
+			}
+		}
+		parts := partition
+		out[i] = &fakeCost{
+			fn: func(cfg index.Set) float64 {
+				total := base
+				for _, p := range parts {
+					total -= benefits[cfg.Intersect(p).Key()]
+				}
+				return total
+			},
+			infl: all,
+		}
+	}
+	return out
+}
+
+// TestComputeMatchesBruteForce compares the partitioned DP against
+// exhaustive schedule enumeration on decomposable workloads.
+func TestComputeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 5; trial++ {
+		reg, ids := testRegistry(4, 15+rng.Float64()*20, 1)
+		partition := interaction.Partition{
+			index.NewSet(ids[0], ids[1]),
+			index.NewSet(ids[2], ids[3]),
+		}
+		costers := randomAdditiveCosters(rng, partition, 12, 60)
+
+		scs := make([]core.StatementCost, len(costers))
+		for i, c := range costers {
+			scs[i] = c
+		}
+		res := Compute(Input{
+			Reg: reg, Partition: partition, S0: index.EmptySet, Costers: scs,
+		})
+		want := bruteForceOpt(reg, partition.Union(), index.EmptySet, costers)
+		for i := range want {
+			if math.Abs(res.PrefixTotal[i]-want[i]) > 1e-6*(1+want[i]) {
+				t.Fatalf("trial %d prefix %d: DP=%v brute=%v", trial, i, res.PrefixTotal[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScheduleAchievesOptimum replays the extracted schedule and confirms
+// it attains the DP's final value on decomposable workloads.
+func TestScheduleAchievesOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	reg, ids := testRegistry(4, 20, 1)
+	partition := interaction.Partition{
+		index.NewSet(ids[0], ids[1]),
+		index.NewSet(ids[2], ids[3]),
+	}
+	costers := randomAdditiveCosters(rng, partition, 15, 80)
+	scs := make([]core.StatementCost, len(costers))
+	for i, c := range costers {
+		scs[i] = c
+	}
+	res := Compute(Input{Reg: reg, Partition: partition, S0: index.EmptySet, Costers: scs})
+
+	replay := Replay(reg, res.Schedule, scs)
+	n := len(costers)
+	if diff := math.Abs(replay[n] - res.PrefixTotal[n]); diff > 1e-6*(1+res.PrefixTotal[n]) {
+		t.Fatalf("schedule replay %v != DP optimum %v", replay[n], res.PrefixTotal[n])
+	}
+}
+
+// TestPrefixMonotone checks structural invariants of the prefix values:
+// they never decrease, and each step grows at least by the statement's
+// minimum possible cost.
+func TestPrefixMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	reg, ids := testRegistry(3, 25, 1)
+	partition := interaction.Partition{index.NewSet(ids...)}
+	costers := randomAdditiveCosters(rng, partition, 20, 50)
+	scs := make([]core.StatementCost, len(costers))
+	for i, c := range costers {
+		scs[i] = c
+	}
+	res := Compute(Input{Reg: reg, Partition: partition, S0: index.EmptySet, Costers: scs})
+	subsets := allSubsets(partition.Union())
+	for i := 1; i < len(res.PrefixTotal); i++ {
+		minCost := math.Inf(1)
+		for _, s := range subsets {
+			minCost = math.Min(minCost, costers[i-1].fn(s))
+		}
+		if res.PrefixTotal[i] < res.PrefixTotal[i-1]+minCost-1e-9 {
+			t.Fatalf("prefix %d grew less than minimum statement cost", i)
+		}
+	}
+}
+
+// TestOptBeatsAlwaysEmpty confirms OPT is no worse than the trivial
+// never-index schedule.
+func TestOptBeatsAlwaysEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	reg, ids := testRegistry(3, 25, 1)
+	partition := interaction.Partition{index.NewSet(ids...)}
+	costers := randomAdditiveCosters(rng, partition, 25, 70)
+	scs := make([]core.StatementCost, len(costers))
+	for i, c := range costers {
+		scs[i] = c
+	}
+	res := Compute(Input{Reg: reg, Partition: partition, S0: index.EmptySet, Costers: scs})
+	empty := 0.0
+	for i, c := range costers {
+		empty += c.fn(index.EmptySet)
+		if res.PrefixTotal[i+1] > empty+1e-9 {
+			t.Fatalf("prefix %d: OPT %v worse than never indexing %v", i+1, res.PrefixTotal[i+1], empty)
+		}
+	}
+}
+
+// TestEmptyPartition covers the degenerate no-candidates case.
+func TestEmptyPartition(t *testing.T) {
+	reg, _ := testRegistry(1, 10, 1)
+	sc := &fakeCost{fn: func(index.Set) float64 { return 7 }, infl: index.EmptySet}
+	res := Compute(Input{
+		Reg: reg, Partition: nil, S0: index.EmptySet,
+		Costers: []core.StatementCost{sc, sc, sc},
+	})
+	want := []float64{0, 7, 14, 21}
+	for i := range want {
+		if res.PrefixTotal[i] != want[i] {
+			t.Fatalf("PrefixTotal = %v, want %v", res.PrefixTotal, want)
+		}
+		if !res.Schedule[i].Empty() {
+			t.Fatalf("schedule not empty: %v", res.Schedule[i])
+		}
+	}
+}
+
+// TestScheduleLazyOnTies prefers staying in place when transitions buy
+// nothing.
+func TestScheduleLazyOnTies(t *testing.T) {
+	reg, ids := testRegistry(2, 10, 1)
+	partition := interaction.Partition{index.NewSet(ids...)}
+	flat := &fakeCost{fn: func(index.Set) float64 { return 5 }, infl: index.EmptySet}
+	var scs []core.StatementCost
+	for i := 0; i < 10; i++ {
+		scs = append(scs, flat)
+	}
+	res := Compute(Input{Reg: reg, Partition: partition, S0: index.EmptySet, Costers: scs})
+	for i, s := range res.Schedule {
+		if !s.Empty() {
+			t.Fatalf("flat workload schedule should stay empty, got %v at %d", s, i)
+		}
+	}
+}
+
+// TestInitialConfigurationRespected seeds S0 and checks the DP charges
+// drops from it.
+func TestInitialConfigurationRespected(t *testing.T) {
+	reg, ids := testRegistry(1, 50, 3)
+	partition := interaction.Partition{index.NewSet(ids[0])}
+	// Workload heavily penalizes the index (updates): OPT drops it.
+	pen := &fakeCost{
+		fn: func(cfg index.Set) float64 {
+			if cfg.Contains(ids[0]) {
+				return 40
+			}
+			return 5
+		},
+		infl: index.NewSet(ids[0]),
+	}
+	var scs []core.StatementCost
+	for i := 0; i < 5; i++ {
+		scs = append(scs, pen)
+	}
+	res := Compute(Input{
+		Reg: reg, Partition: partition,
+		S0:      index.NewSet(ids[0]),
+		Costers: scs,
+	})
+	// Optimal: drop immediately: 3 (drop) + 5*5 = 28.
+	if got := res.PrefixTotal[5]; math.Abs(got-28) > 1e-9 {
+		t.Fatalf("PrefixTotal[5] = %v, want 28", got)
+	}
+	if !res.Schedule[0].Contains(ids[0]) {
+		t.Fatalf("schedule[0] should reflect S0")
+	}
+	if res.Schedule[5].Contains(ids[0]) {
+		t.Fatalf("index not dropped by optimal schedule")
+	}
+}

@@ -1,0 +1,163 @@
+// Package sqlmini parses the SQL subset used by the benchmark workloads —
+// conjunctive SELECT queries with equi-joins and range/equality
+// predicates, and single-table UPDATE statements — into the logical
+// statement model, estimating predicate selectivities from catalog
+// statistics. It is the front door for the interactive advisor and for
+// replaying workload files.
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // single-char punctuation: ( ) , . * = < >
+	tokLE     // <=
+	tokGE     // >=
+	tokNE     // <> or !=
+)
+
+// token is one lexical element.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// Error is a parse error with position information.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("sqlmini: position %d: %s", e.Pos, e.Msg)
+}
+
+// lexer scans SQL text into tokens.
+type lexer struct {
+	src []rune
+	pos int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src)}
+}
+
+func (l *lexer) errf(pos int, format string, args ...interface{}) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+
+	switch {
+	case unicode.IsLetter(c) || c == '_':
+		for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) ||
+			unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: string(l.src[start:l.pos]), pos: start}, nil
+
+	case unicode.IsDigit(c) || (c == '-' && l.pos+1 < len(l.src) && unicode.IsDigit(l.src[l.pos+1])):
+		if c == '-' {
+			l.pos++
+		}
+		seenDot, seenExp := false, false
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			switch {
+			case unicode.IsDigit(d):
+			case d == '.' && !seenDot && !seenExp:
+				seenDot = true
+			case (d == 'e' || d == 'E') && !seenExp:
+				seenExp = true
+				if l.pos+1 < len(l.src) && (l.src[l.pos+1] == '+' || l.src[l.pos+1] == '-') {
+					l.pos++
+				}
+			default:
+				return token{kind: tokNumber, text: string(l.src[start:l.pos]), pos: start}, nil
+			}
+			l.pos++
+		}
+		return token{kind: tokNumber, text: string(l.src[start:l.pos]), pos: start}, nil
+
+	case c == '\'':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errf(start, "unterminated string literal")
+		}
+		text := string(l.src[start+1 : l.pos])
+		l.pos++
+		return token{kind: tokString, text: text, pos: start}, nil
+
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokLE, text: "<=", pos: start}, nil
+		}
+		if l.pos < len(l.src) && l.src[l.pos] == '>' {
+			l.pos++
+			return token{kind: tokNE, text: "<>", pos: start}, nil
+		}
+		return token{kind: tokSymbol, text: "<", pos: start}, nil
+
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokGE, text: ">=", pos: start}, nil
+		}
+		return token{kind: tokSymbol, text: ">", pos: start}, nil
+
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokNE, text: "!=", pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected character %q", c)
+
+	case strings.ContainsRune("(),.*=+-/", c):
+		l.pos++
+		return token{kind: tokSymbol, text: string(c), pos: start}, nil
+	}
+	return token{}, l.errf(start, "unexpected character %q", c)
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

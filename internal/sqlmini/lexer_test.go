@@ -1,0 +1,98 @@
+package sqlmini
+
+import "testing"
+
+func lex(t *testing.T, src string) []token {
+	t.Helper()
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatalf("lexAll(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexIdentifiers(t *testing.T) {
+	toks := lex(t, "select l_shipdate _x a1")
+	want := []string{"select", "l_shipdate", "_x", "a1"}
+	for i, w := range want {
+		if toks[i].kind != tokIdent || toks[i].text != w {
+			t.Fatalf("token %d = %+v, want ident %q", i, toks[i], w)
+		}
+	}
+	if toks[len(toks)-1].kind != tokEOF {
+		t.Fatalf("missing EOF token")
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]string{
+		"42":        "42",
+		"3.14":      "3.14",
+		"1e6":       "1e6",
+		"2.5E-3":    "2.5E-3",
+		"-7":        "-7",
+		"65522.378": "65522.378",
+	}
+	for src, want := range cases {
+		toks := lex(t, src)
+		if toks[0].kind != tokNumber || toks[0].text != want {
+			t.Errorf("lex(%q) = %+v, want number %q", src, toks[0], want)
+		}
+	}
+}
+
+func TestLexMinusBetweenNumbers(t *testing.T) {
+	// "5 - 3" is a minus symbol, not a negative literal.
+	toks := lex(t, "5 - 3")
+	if toks[0].kind != tokNumber || toks[1].kind != tokSymbol || toks[1].text != "-" {
+		t.Fatalf("tokens = %+v", toks[:3])
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks := lex(t, "'1995-05-12-01.46.40'")
+	if toks[0].kind != tokString || toks[0].text != "1995-05-12-01.46.40" {
+		t.Fatalf("string token = %+v", toks[0])
+	}
+	if _, err := lexAll("'unterminated"); err == nil {
+		t.Fatalf("unterminated string lexed")
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks := lex(t, "< <= > >= <> != = ( ) , . *")
+	wantKinds := []tokenKind{
+		tokSymbol, tokLE, tokSymbol, tokGE, tokNE, tokNE, tokSymbol,
+		tokSymbol, tokSymbol, tokSymbol, tokSymbol, tokSymbol,
+	}
+	for i, k := range wantKinds {
+		if toks[i].kind != k {
+			t.Fatalf("token %d = %+v, want kind %d", i, toks[i], k)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lex(t, "ab  cd")
+	if toks[0].pos != 0 || toks[1].pos != 4 {
+		t.Fatalf("positions = %d, %d", toks[0].pos, toks[1].pos)
+	}
+}
+
+func TestLexRejectsGarbage(t *testing.T) {
+	for _, src := range []string{"$", "`", "a ; b", "{", "!x"} {
+		if _, err := lexAll(src); err == nil {
+			t.Errorf("lexAll(%q) succeeded", src)
+		}
+	}
+}
+
+func TestErrorMessageIncludesPosition(t *testing.T) {
+	_, err := lexAll("abc $")
+	if err == nil {
+		t.Fatalf("expected error")
+	}
+	if e, ok := err.(*Error); !ok || e.Pos != 4 {
+		t.Fatalf("error = %#v, want *Error at 4", err)
+	}
+}

@@ -1,0 +1,540 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/stmt"
+)
+
+// stringRangeSelectivity is assumed for range predicates over string
+// literals (e.g. date strings), whose position in the column domain the
+// catalog cannot place.
+const stringRangeSelectivity = 0.05
+
+// Parser converts SQL text into statements, resolving tables and columns
+// against a catalog and estimating selectivities from its statistics.
+type Parser struct {
+	cat *catalog.Catalog
+}
+
+// NewParser builds a parser over the catalog.
+func NewParser(cat *catalog.Catalog) *Parser {
+	return &Parser{cat: cat}
+}
+
+// Parse parses one statement (SELECT or UPDATE).
+func (p *Parser) Parse(sql string) (*stmt.Statement, error) {
+	toks, err := lexAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	ps := &parseState{p: p, toks: toks, sql: sql}
+	var s *stmt.Statement
+	switch {
+	case ps.peekKeyword("SELECT"):
+		s, err = ps.parseSelect()
+	case ps.peekKeyword("UPDATE"):
+		s, err = ps.parseUpdate()
+	default:
+		return nil, &Error{Pos: ps.peek().pos, Msg: "expected SELECT or UPDATE"}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !ps.atEOF() {
+		return nil, &Error{Pos: ps.peek().pos, Msg: "trailing input after statement"}
+	}
+	s.SQL = sql
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sqlmini: %w", err)
+	}
+	return s, nil
+}
+
+// parseState carries the token cursor and name resolution context.
+type parseState struct {
+	p    *Parser
+	toks []token
+	i    int
+	sql  string
+
+	// alias -> qualified table name, in FROM order
+	aliases map[string]string
+	tables  []string
+}
+
+func (ps *parseState) peek() token { return ps.toks[ps.i] }
+
+func (ps *parseState) atEOF() bool { return ps.peek().kind == tokEOF }
+
+func (ps *parseState) advance() token {
+	t := ps.toks[ps.i]
+	if t.kind != tokEOF {
+		ps.i++
+	}
+	return t
+}
+
+// peekKeyword reports whether the next token is the given keyword
+// (case-insensitive).
+func (ps *parseState) peekKeyword(kw string) bool {
+	t := ps.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+// expectKeyword consumes a keyword or fails.
+func (ps *parseState) expectKeyword(kw string) error {
+	if !ps.peekKeyword(kw) {
+		return &Error{Pos: ps.peek().pos, Msg: "expected " + kw}
+	}
+	ps.advance()
+	return nil
+}
+
+// expectSymbol consumes a punctuation token or fails.
+func (ps *parseState) expectSymbol(sym string) error {
+	t := ps.peek()
+	if t.kind != tokSymbol || t.text != sym {
+		return &Error{Pos: t.pos, Msg: "expected " + sym}
+	}
+	ps.advance()
+	return nil
+}
+
+func (ps *parseState) isSymbol(sym string) bool {
+	t := ps.peek()
+	return t.kind == tokSymbol && t.text == sym
+}
+
+// colRef is an unresolved column reference.
+type colRef struct {
+	qualifier string // alias or table part, may be empty
+	column    string
+	pos       int
+}
+
+// parseColRef parses [qualifier.]column.
+func (ps *parseState) parseColRef() (colRef, error) {
+	t := ps.peek()
+	if t.kind != tokIdent {
+		return colRef{}, &Error{Pos: t.pos, Msg: "expected column reference"}
+	}
+	first := ps.advance()
+	if ps.isSymbol(".") {
+		ps.advance()
+		second := ps.peek()
+		if second.kind != tokIdent {
+			return colRef{}, &Error{Pos: second.pos, Msg: "expected column name after '.'"}
+		}
+		ps.advance()
+		return colRef{qualifier: first.text, column: second.text, pos: first.pos}, nil
+	}
+	return colRef{column: first.text, pos: first.pos}, nil
+}
+
+// resolve maps a column reference to (qualified table, column stats).
+func (ps *parseState) resolve(ref colRef) (string, catalog.Column, error) {
+	if ref.qualifier != "" {
+		qn, ok := ps.aliases[strings.ToLower(ref.qualifier)]
+		if !ok {
+			return "", catalog.Column{}, &Error{Pos: ref.pos,
+				Msg: "unknown table or alias " + ref.qualifier}
+		}
+		t := ps.p.cat.MustTable(qn)
+		col, ok := t.Column(ref.column)
+		if !ok {
+			return "", catalog.Column{}, &Error{Pos: ref.pos,
+				Msg: fmt.Sprintf("column %s not in table %s", ref.column, qn)}
+		}
+		return qn, col, nil
+	}
+	// Unqualified: must be unique across the FROM tables.
+	var foundTable string
+	var foundCol catalog.Column
+	for _, qn := range ps.tables {
+		t := ps.p.cat.MustTable(qn)
+		if col, ok := t.Column(ref.column); ok {
+			if foundTable != "" {
+				return "", catalog.Column{}, &Error{Pos: ref.pos,
+					Msg: "ambiguous column " + ref.column}
+			}
+			foundTable, foundCol = qn, col
+		}
+	}
+	if foundTable == "" {
+		return "", catalog.Column{}, &Error{Pos: ref.pos,
+			Msg: "unknown column " + ref.column}
+	}
+	return foundTable, foundCol, nil
+}
+
+// parseTableName parses schema.table or a bare table name (resolved by
+// uniqueness across schemas).
+func (ps *parseState) parseTableName() (string, error) {
+	t := ps.peek()
+	if t.kind != tokIdent {
+		return "", &Error{Pos: t.pos, Msg: "expected table name"}
+	}
+	first := ps.advance()
+	if ps.isSymbol(".") {
+		ps.advance()
+		second := ps.peek()
+		if second.kind != tokIdent {
+			return "", &Error{Pos: second.pos, Msg: "expected table name after '.'"}
+		}
+		ps.advance()
+		qn := strings.ToLower(first.text + "." + second.text)
+		if _, ok := ps.p.cat.Table(qn); !ok {
+			return "", &Error{Pos: first.pos, Msg: "unknown table " + qn}
+		}
+		return qn, nil
+	}
+	// Bare name: search all schemas.
+	name := strings.ToLower(first.text)
+	var found string
+	for _, tbl := range ps.p.cat.Tables() {
+		if tbl.Name == name {
+			if found != "" {
+				return "", &Error{Pos: first.pos, Msg: "ambiguous table " + name}
+			}
+			found = tbl.QualifiedName()
+		}
+	}
+	if found == "" {
+		return "", &Error{Pos: first.pos, Msg: "unknown table " + name}
+	}
+	return found, nil
+}
+
+// parseFrom parses the FROM clause table list with optional aliases.
+func (ps *parseState) parseFrom() error {
+	ps.aliases = make(map[string]string)
+	for {
+		qn, err := ps.parseTableName()
+		if err != nil {
+			return err
+		}
+		ps.tables = append(ps.tables, qn)
+		// Register the bare table name and schema.table as implicit
+		// aliases.
+		ps.aliases[qn] = qn
+		if dot := strings.IndexByte(qn, '.'); dot >= 0 {
+			ps.aliases[qn[dot+1:]] = qn
+		}
+		// Optional explicit alias.
+		if t := ps.peek(); t.kind == tokIdent && !isReserved(t.text) {
+			ps.advance()
+			ps.aliases[strings.ToLower(t.text)] = qn
+		}
+		if ps.isSymbol(",") {
+			ps.advance()
+			continue
+		}
+		return nil
+	}
+}
+
+// isReserved lists keywords that terminate alias positions.
+func isReserved(word string) bool {
+	switch strings.ToUpper(word) {
+	case "WHERE", "AND", "SET", "FROM", "SELECT", "UPDATE", "BETWEEN", "ORDER", "GROUP":
+		return true
+	}
+	return false
+}
+
+// parseSelect parses a SELECT statement.
+func (ps *parseState) parseSelect() (*stmt.Statement, error) {
+	if err := ps.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &stmt.Statement{Kind: stmt.Query}
+
+	// Select list: count(*) or column references. Recorded unresolved;
+	// bound after FROM.
+	var outRefs []colRef
+	countStar := false
+	if ps.peekKeyword("COUNT") {
+		ps.advance()
+		if err := ps.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		if err := ps.expectSymbol("*"); err != nil {
+			return nil, err
+		}
+		if err := ps.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		countStar = true
+	} else if ps.isSymbol("*") {
+		ps.advance()
+		countStar = true // SELECT *: treat as aggregate over all columns
+	} else {
+		for {
+			ref, err := ps.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			outRefs = append(outRefs, ref)
+			if ps.isSymbol(",") {
+				ps.advance()
+				continue
+			}
+			break
+		}
+	}
+
+	if err := ps.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if err := ps.parseFrom(); err != nil {
+		return nil, err
+	}
+	s.Tables = append([]string(nil), ps.tables...)
+
+	if !countStar {
+		for _, ref := range outRefs {
+			table, col, err := ps.resolve(ref)
+			if err != nil {
+				return nil, err
+			}
+			s.Output = append(s.Output, stmt.OutputCol{Table: table, Column: col.Name})
+		}
+	}
+
+	if ps.peekKeyword("WHERE") {
+		ps.advance()
+		if err := ps.parseConjunction(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// parseUpdate parses an UPDATE statement.
+func (ps *parseState) parseUpdate() (*stmt.Statement, error) {
+	if err := ps.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	qn, err := ps.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	ps.tables = []string{qn}
+	ps.aliases = map[string]string{qn: qn}
+	if dot := strings.IndexByte(qn, '.'); dot >= 0 {
+		ps.aliases[qn[dot+1:]] = qn
+	}
+
+	s := &stmt.Statement{Kind: stmt.Update, Tables: []string{qn}}
+	if err := ps.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	table := ps.p.cat.MustTable(qn)
+	for {
+		t := ps.peek()
+		if t.kind != tokIdent {
+			return nil, &Error{Pos: t.pos, Msg: "expected column name in SET"}
+		}
+		ps.advance()
+		if !table.HasColumn(t.text) {
+			return nil, &Error{Pos: t.pos,
+				Msg: fmt.Sprintf("column %s not in table %s", t.text, qn)}
+		}
+		s.SetColumns = append(s.SetColumns, t.text)
+		if err := ps.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		// The assigned expression does not affect tuning; skip tokens
+		// until a top-level comma or WHERE.
+		if err := ps.skipExpr(); err != nil {
+			return nil, err
+		}
+		if ps.isSymbol(",") {
+			ps.advance()
+			continue
+		}
+		break
+	}
+	if ps.peekKeyword("WHERE") {
+		ps.advance()
+		if err := ps.parseConjunction(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// skipExpr consumes an assigned expression up to a top-level ',' or WHERE
+// or EOF.
+func (ps *parseState) skipExpr() error {
+	depth := 0
+	consumed := 0
+	for {
+		t := ps.peek()
+		switch {
+		case t.kind == tokEOF:
+			if consumed == 0 {
+				return &Error{Pos: t.pos, Msg: "expected expression"}
+			}
+			return nil
+		case t.kind == tokSymbol && t.text == "(":
+			depth++
+		case t.kind == tokSymbol && t.text == ")":
+			if depth == 0 {
+				return &Error{Pos: t.pos, Msg: "unbalanced ')'"}
+			}
+			depth--
+		case depth == 0 && t.kind == tokSymbol && t.text == ",":
+			if consumed == 0 {
+				return &Error{Pos: t.pos, Msg: "expected expression"}
+			}
+			return nil
+		case depth == 0 && t.kind == tokIdent && strings.EqualFold(t.text, "WHERE"):
+			if consumed == 0 {
+				return &Error{Pos: t.pos, Msg: "expected expression"}
+			}
+			return nil
+		}
+		ps.advance()
+		consumed++
+	}
+}
+
+// parseConjunction parses cond (AND cond)* into predicates and joins.
+func (ps *parseState) parseConjunction(s *stmt.Statement) error {
+	for {
+		if err := ps.parseCond(s); err != nil {
+			return err
+		}
+		if ps.peekKeyword("AND") {
+			ps.advance()
+			continue
+		}
+		return nil
+	}
+}
+
+// parseCond parses one condition: col BETWEEN v AND v, col = value,
+// col = col (join), or col </>/<=/>= value.
+func (ps *parseState) parseCond(s *stmt.Statement) error {
+	left, err := ps.parseColRef()
+	if err != nil {
+		return err
+	}
+	table, col, err := ps.resolve(left)
+	if err != nil {
+		return err
+	}
+
+	switch t := ps.peek(); {
+	case ps.peekKeyword("BETWEEN"):
+		ps.advance()
+		lo, loStr, err := ps.parseValue()
+		if err != nil {
+			return err
+		}
+		if err := ps.expectKeyword("AND"); err != nil {
+			return err
+		}
+		hi, hiStr, err := ps.parseValue()
+		if err != nil {
+			return err
+		}
+		sel := stringRangeSelectivity
+		if !loStr && !hiStr {
+			sel = catalog.RangeSelectivity(col, lo, hi)
+		}
+		s.Preds = append(s.Preds, stmt.Pred{
+			Table: table, Column: col.Name, Selectivity: clampSel(sel),
+		})
+		return nil
+
+	case t.kind == tokSymbol && t.text == "=":
+		ps.advance()
+		// Join or equality?
+		if next := ps.peek(); next.kind == tokIdent {
+			right, err := ps.parseColRef()
+			if err != nil {
+				return err
+			}
+			rTable, rCol, err := ps.resolve(right)
+			if err != nil {
+				return err
+			}
+			if rTable == table {
+				return &Error{Pos: right.pos, Msg: "self-joins are not supported"}
+			}
+			s.Joins = append(s.Joins, stmt.Join{
+				LeftTable: table, LeftColumn: col.Name,
+				RightTable: rTable, RightColumn: rCol.Name,
+			})
+			return nil
+		}
+		_, _, err := ps.parseValue()
+		if err != nil {
+			return err
+		}
+		s.Preds = append(s.Preds, stmt.Pred{
+			Table: table, Column: col.Name, Eq: true,
+			Selectivity: clampSel(catalog.EqSelectivity(col)),
+		})
+		return nil
+
+	case t.kind == tokSymbol && t.text == "<",
+		t.kind == tokSymbol && t.text == ">",
+		t.kind == tokLE, t.kind == tokGE:
+		op := t.text
+		ps.advance()
+		v, isStr, err := ps.parseValue()
+		if err != nil {
+			return err
+		}
+		sel := stringRangeSelectivity
+		if !isStr {
+			if op == "<" || op == "<=" {
+				sel = catalog.RangeSelectivity(col, col.Min, v)
+			} else {
+				sel = catalog.RangeSelectivity(col, v, col.Max)
+			}
+		}
+		s.Preds = append(s.Preds, stmt.Pred{
+			Table: table, Column: col.Name, Selectivity: clampSel(sel),
+		})
+		return nil
+	}
+	return &Error{Pos: ps.peek().pos, Msg: "expected comparison operator"}
+}
+
+// parseValue parses a numeric or string literal. isString reports string
+// literals, whose numeric value is meaningless.
+func (ps *parseState) parseValue() (v float64, isString bool, err error) {
+	t := ps.peek()
+	switch t.kind {
+	case tokNumber:
+		ps.advance()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return 0, false, &Error{Pos: t.pos, Msg: "bad number " + t.text}
+		}
+		return v, false, nil
+	case tokString:
+		ps.advance()
+		return 0, true, nil
+	}
+	return 0, false, &Error{Pos: t.pos, Msg: "expected literal value"}
+}
+
+// clampSel keeps estimated selectivities inside (0, 1].
+func clampSel(sel float64) float64 {
+	if sel <= 0 {
+		return 1e-6
+	}
+	if sel > 1 {
+		return 1
+	}
+	return sel
+}

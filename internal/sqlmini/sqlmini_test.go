@@ -1,0 +1,266 @@
+package sqlmini
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/stmt"
+	"repro/internal/workload"
+)
+
+func newParser(t testing.TB) *Parser {
+	t.Helper()
+	cat, _ := datagen.Build()
+	return NewParser(cat)
+}
+
+func TestParseCountStarWithJoin(t *testing.T) {
+	p := newParser(t)
+	s, err := p.Parse(`SELECT count(*)
+		FROM tpce.security table1, tpce.company table2, tpce.daily_market table0
+		WHERE table1.s_pe BETWEEN 63.278 AND 86.091
+		AND table2.co_open_date BETWEEN 100 AND 200
+		AND table1.s_symb = table0.dm_s_symb
+		AND table2.co_id = table1.s_co_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != stmt.Query {
+		t.Fatalf("kind = %v", s.Kind)
+	}
+	if len(s.Tables) != 3 {
+		t.Fatalf("tables = %v", s.Tables)
+	}
+	if len(s.Joins) != 2 {
+		t.Fatalf("joins = %v", s.Joins)
+	}
+	if len(s.Preds) != 2 {
+		t.Fatalf("preds = %v", s.Preds)
+	}
+	for _, pr := range s.Preds {
+		if pr.Selectivity <= 0 || pr.Selectivity > 1 {
+			t.Fatalf("bad selectivity %v", pr)
+		}
+	}
+}
+
+func TestParseSelectivityEstimation(t *testing.T) {
+	p := newParser(t)
+	// l_quantity domain is [1, 50]; BETWEEN 1 AND 25 covers about half.
+	s, err := p.Parse("SELECT count(*) FROM tpch.lineitem WHERE l_quantity BETWEEN 1 AND 25.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Preds[0].Selectivity
+	if math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("selectivity = %v, want ≈ 0.5", got)
+	}
+}
+
+func TestParseEqualitySelectivity(t *testing.T) {
+	p := newParser(t)
+	s, err := p.Parse("SELECT count(*) FROM tpch.part WHERE p_size = 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := s.Preds[0]
+	if !pr.Eq {
+		t.Fatalf("expected equality predicate")
+	}
+	// p_size has 50 distinct values.
+	if math.Abs(pr.Selectivity-0.02) > 1e-9 {
+		t.Fatalf("selectivity = %v, want 0.02", pr.Selectivity)
+	}
+}
+
+func TestParseStringRange(t *testing.T) {
+	p := newParser(t)
+	s, err := p.Parse(`SELECT count(*) FROM tpce.security
+		WHERE s_exch_date BETWEEN '1995-05-12-01.46.40' AND '2006-07-10-01.46.40'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Preds[0].Selectivity; got != stringRangeSelectivity {
+		t.Fatalf("string range selectivity = %v, want default %v", got, stringRangeSelectivity)
+	}
+}
+
+func TestParseHalfOpenRanges(t *testing.T) {
+	p := newParser(t)
+	lt, err := p.Parse("SELECT count(*) FROM tpch.lineitem WHERE l_quantity < 11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := p.Parse("SELECT count(*) FROM tpch.lineitem WHERE l_quantity >= 11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sLT, sGT := lt.Preds[0].Selectivity, gt.Preds[0].Selectivity
+	if sLT <= 0 || sGT <= 0 {
+		t.Fatalf("non-positive selectivities %v %v", sLT, sGT)
+	}
+	if math.Abs(sLT+sGT-1) > 0.1 {
+		t.Fatalf("complementary ranges should roughly cover the domain: %v + %v", sLT, sGT)
+	}
+}
+
+func TestParseProjection(t *testing.T) {
+	p := newParser(t)
+	s, err := p.Parse("SELECT l_quantity, l_tax FROM tpch.lineitem WHERE l_shipdate BETWEEN 0 AND 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Output) != 2 {
+		t.Fatalf("output = %v", s.Output)
+	}
+	needed := s.NeededColumns("tpch.lineitem")
+	joined := strings.Join(needed, ",")
+	for _, want := range []string{"l_quantity", "l_tax", "l_shipdate"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("needed columns %v missing %s", needed, want)
+		}
+	}
+}
+
+func TestParseBareTableName(t *testing.T) {
+	p := newParser(t)
+	s, err := p.Parse("SELECT count(*) FROM lineitem WHERE l_quantity < 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tables[0] != "tpch.lineitem" {
+		t.Fatalf("resolved table = %v", s.Tables[0])
+	}
+}
+
+func TestParseAmbiguousTableName(t *testing.T) {
+	p := newParser(t)
+	// "customer" exists in tpcc, tpch and tpce.
+	if _, err := p.Parse("SELECT count(*) FROM customer"); err == nil {
+		t.Fatalf("ambiguous bare table accepted")
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	p := newParser(t)
+	s, err := p.Parse(`UPDATE tpch.lineitem
+		SET l_tax = l_tax + 0.000001
+		WHERE l_extendedprice BETWEEN 65522.378 AND 66256.943`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != stmt.Update {
+		t.Fatalf("kind = %v", s.Kind)
+	}
+	if len(s.SetColumns) != 1 || s.SetColumns[0] != "l_tax" {
+		t.Fatalf("set columns = %v", s.SetColumns)
+	}
+	if len(s.Preds) != 1 {
+		t.Fatalf("preds = %v", s.Preds)
+	}
+}
+
+func TestParseUpdateMultipleAssignments(t *testing.T) {
+	p := newParser(t)
+	s, err := p.Parse(`UPDATE tpcc.stock SET s_quantity = s_quantity - 5, s_ytd = s_ytd + 5
+		WHERE s_i_id = 77`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.SetColumns) != 2 {
+		t.Fatalf("set columns = %v", s.SetColumns)
+	}
+}
+
+func TestParseUpdateWithFunctionCall(t *testing.T) {
+	p := newParser(t)
+	// Mirrors the paper's example update with RANDOM_SIGN().
+	s, err := p.Parse(`UPDATE tpch.lineitem
+		SET l_tax = l_tax + RANDOM_SIGN()*0.000001
+		WHERE l_extendedprice BETWEEN 65522.378 AND 66256.943`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.SetColumns) != 1 {
+		t.Fatalf("set columns = %v", s.SetColumns)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	p := newParser(t)
+	cases := []struct {
+		name string
+		sql  string
+	}{
+		{"empty", ""},
+		{"unknown table", "SELECT count(*) FROM tpch.nosuch"},
+		{"unknown column", "SELECT count(*) FROM tpch.lineitem WHERE nope = 1"},
+		{"ambiguous column", "SELECT count(*) FROM tpcc.customer c1, tpce.customer c2 WHERE c_id = 3"},
+		{"bad operator", "SELECT count(*) FROM tpch.lineitem WHERE l_quantity LIKE 5"},
+		{"unterminated string", "SELECT count(*) FROM tpch.lineitem WHERE l_shipdate = 'oops"},
+		{"trailing garbage", "SELECT count(*) FROM tpch.lineitem WHERE l_quantity < 5 ORDER"},
+		{"self join", "SELECT count(*) FROM tpch.lineitem WHERE l_partkey = l_suppkey"},
+		{"missing from", "SELECT count(*)"},
+		{"update missing set", "UPDATE tpch.lineitem WHERE l_tax = 1"},
+		{"update unknown set col", "UPDATE tpch.lineitem SET zzz = 1"},
+	}
+	for _, c := range cases {
+		if _, err := p.Parse(c.sql); err == nil {
+			t.Errorf("%s: parse succeeded unexpectedly", c.name)
+		}
+	}
+}
+
+func TestParseKeywordsCaseInsensitive(t *testing.T) {
+	p := newParser(t)
+	if _, err := p.Parse("select COUNT(*) from tpch.lineitem where l_quantity between 1 and 2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundTripGeneratedWorkload parses every SQL rendering the workload
+// generator produces and checks structural agreement with the source
+// statement.
+func TestRoundTripGeneratedWorkload(t *testing.T) {
+	cat, joins := datagen.Build()
+	p := NewParser(cat)
+	opts := workload.DefaultOptions()
+	opts.Phases = 4
+	opts.PerPhase = 25
+	wl := workload.Generate(cat, joins, opts)
+	for _, src := range wl.Statements {
+		parsed, err := p.Parse(src.SQL)
+		if err != nil {
+			t.Fatalf("statement %d: parse %q: %v", src.ID, src.SQL, err)
+		}
+		if parsed.Kind != src.Kind {
+			t.Fatalf("statement %d: kind mismatch", src.ID)
+		}
+		if len(parsed.Tables) != len(src.Tables) {
+			t.Fatalf("statement %d: tables %v vs %v", src.ID, parsed.Tables, src.Tables)
+		}
+		if len(parsed.Joins) != len(src.Joins) {
+			t.Fatalf("statement %d: joins %v vs %v", src.ID, parsed.Joins, src.Joins)
+		}
+		if len(parsed.Preds) != len(src.Preds) {
+			t.Fatalf("statement %d: preds %v vs %v", src.ID, parsed.Preds, src.Preds)
+		}
+		// Selectivities are re-estimated from rendered literals; ranges
+		// should land near the source values.
+		for i, pp := range parsed.Preds {
+			sp := src.Preds[i]
+			if pp.Column != sp.Column || pp.Table != sp.Table {
+				t.Fatalf("statement %d: pred %d mismatch: %v vs %v", src.ID, i, pp, sp)
+			}
+			if !sp.Eq {
+				ratio := pp.Selectivity / sp.Selectivity
+				if ratio < 0.5 || ratio > 2.0 {
+					t.Errorf("statement %d: pred %d selectivity drift: %v vs %v",
+						src.ID, i, pp.Selectivity, sp.Selectivity)
+				}
+			}
+		}
+	}
+}

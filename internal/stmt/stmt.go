@@ -1,0 +1,242 @@
+// Package stmt defines the logical statement model consumed by the what-if
+// cost model: queries (conjunctive selections + equi-joins over one or more
+// tables) and updates (predicate-qualified modifications of one table).
+//
+// Statements carry pre-estimated predicate selectivities. The SQL front end
+// (package sqlmini) estimates them from catalog statistics; the workload
+// generator assigns them directly.
+package stmt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind distinguishes queries from updates.
+type Kind int
+
+const (
+	// Query is a read-only SELECT statement.
+	Query Kind = iota
+	// Update modifies rows of a single table and induces maintenance
+	// cost on indexes whose key contains a modified column.
+	Update
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Update {
+		return "UPDATE"
+	}
+	return "QUERY"
+}
+
+// Pred is a conjunctive selection predicate on one column.
+type Pred struct {
+	Table       string  // qualified table name
+	Column      string  // column name
+	Selectivity float64 // estimated fraction of rows selected, in (0,1]
+	Eq          bool    // true for equality, false for range
+}
+
+// String renders the predicate for diagnostics.
+func (p Pred) String() string {
+	op := "BETWEEN"
+	if p.Eq {
+		op = "="
+	}
+	return fmt.Sprintf("%s.%s %s [sel=%.4g]", p.Table, p.Column, op, p.Selectivity)
+}
+
+// Join is an equi-join between two table columns.
+type Join struct {
+	LeftTable   string
+	LeftColumn  string
+	RightTable  string
+	RightColumn string
+}
+
+// Touches reports whether the join references the given table.
+func (j Join) Touches(table string) bool {
+	return j.LeftTable == table || j.RightTable == table
+}
+
+// ColumnOn returns the join column on the given table side, or "" if the
+// join does not touch the table.
+func (j Join) ColumnOn(table string) string {
+	switch table {
+	case j.LeftTable:
+		return j.LeftColumn
+	case j.RightTable:
+		return j.RightColumn
+	}
+	return ""
+}
+
+// Statement is one workload element.
+type Statement struct {
+	// ID is the 1-based position in the workload (0 for ad-hoc
+	// statements created outside a workload).
+	ID   int
+	Kind Kind
+
+	// Tables lists the qualified tables accessed. Updates have exactly
+	// one entry.
+	Tables []string
+	// Preds holds the conjunctive selection predicates.
+	Preds []Pred
+	// Joins holds the equi-join predicates (queries only).
+	Joins []Join
+	// Output lists explicitly projected columns per table; empty means
+	// an aggregate like count(*) that needs only predicate and join
+	// columns.
+	Output []OutputCol
+
+	// SetColumns lists the columns modified by an Update.
+	SetColumns []string
+
+	// SQL optionally carries a rendered SQL text for display.
+	SQL string
+}
+
+// OutputCol is a projected column.
+type OutputCol struct {
+	Table  string
+	Column string
+}
+
+// UpdateTable returns the single table modified by an update statement.
+func (s *Statement) UpdateTable() string {
+	if s.Kind != Update || len(s.Tables) == 0 {
+		return ""
+	}
+	return s.Tables[0]
+}
+
+// HasTable reports whether the statement accesses the table.
+func (s *Statement) HasTable(table string) bool {
+	for _, t := range s.Tables {
+		if t == table {
+			return true
+		}
+	}
+	return false
+}
+
+// TablePreds returns the selection predicates on one table.
+func (s *Statement) TablePreds(table string) []Pred {
+	var out []Pred
+	for _, p := range s.Preds {
+		if p.Table == table {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PredSelectivity returns the combined selectivity of all predicates on a
+// table under the independence assumption (product of selectivities), or 1
+// when the table has no predicates.
+func (s *Statement) PredSelectivity(table string) float64 {
+	sel := 1.0
+	for _, p := range s.Preds {
+		if p.Table == table {
+			sel *= p.Selectivity
+		}
+	}
+	return sel
+}
+
+// JoinsOn returns the join predicates touching the table.
+func (s *Statement) JoinsOn(table string) []Join {
+	var out []Join
+	for _, j := range s.Joins {
+		if j.Touches(table) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// NeededColumns returns the set of columns of a table the statement needs
+// to read: predicate columns, join columns, projected columns, and (for
+// updates) the modified columns. Used for covering-index decisions.
+func (s *Statement) NeededColumns(table string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(c string) {
+		if c != "" && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for _, p := range s.Preds {
+		if p.Table == table {
+			add(p.Column)
+		}
+	}
+	for _, j := range s.Joins {
+		add(j.ColumnOn(table))
+	}
+	for _, oc := range s.Output {
+		if oc.Table == table {
+			add(oc.Column)
+		}
+	}
+	if s.Kind == Update && s.UpdateTable() == table {
+		for _, c := range s.SetColumns {
+			add(c)
+		}
+	}
+	return out
+}
+
+// Summary renders a one-line description for logs and examples.
+func (s *Statement) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%d] %s %s", s.ID, s.Kind, strings.Join(s.Tables, "⋈"))
+	if len(s.Preds) > 0 {
+		fmt.Fprintf(&b, " preds=%d", len(s.Preds))
+	}
+	if s.Kind == Update {
+		fmt.Fprintf(&b, " set=%s", strings.Join(s.SetColumns, ","))
+	}
+	return b.String()
+}
+
+// Validate performs structural sanity checks and returns a descriptive
+// error for malformed statements. The cost model calls it in tests and the
+// SQL front end calls it on every parse.
+func (s *Statement) Validate() error {
+	if len(s.Tables) == 0 {
+		return fmt.Errorf("stmt: no tables")
+	}
+	if s.Kind == Update {
+		if len(s.Tables) != 1 {
+			return fmt.Errorf("stmt: update must access exactly one table, got %d", len(s.Tables))
+		}
+		if len(s.SetColumns) == 0 {
+			return fmt.Errorf("stmt: update with no SET columns")
+		}
+		if len(s.Joins) != 0 {
+			return fmt.Errorf("stmt: update with joins is not supported")
+		}
+	}
+	for _, p := range s.Preds {
+		if !s.HasTable(p.Table) {
+			return fmt.Errorf("stmt: predicate on unlisted table %s", p.Table)
+		}
+		if p.Selectivity <= 0 || p.Selectivity > 1 {
+			return fmt.Errorf("stmt: predicate %s has selectivity %g outside (0,1]", p, p.Selectivity)
+		}
+	}
+	for _, j := range s.Joins {
+		if !s.HasTable(j.LeftTable) || !s.HasTable(j.RightTable) {
+			return fmt.Errorf("stmt: join references unlisted table (%s,%s)", j.LeftTable, j.RightTable)
+		}
+		if j.LeftTable == j.RightTable {
+			return fmt.Errorf("stmt: self-join on %s is not supported", j.LeftTable)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package stmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func joinQuery() *Statement {
+	return &Statement{
+		ID: 7, Kind: Query,
+		Tables: []string{"s.orders", "s.lineitem"},
+		Preds: []Pred{
+			{Table: "s.orders", Column: "odate", Selectivity: 0.01},
+			{Table: "s.lineitem", Column: "ship", Selectivity: 0.2},
+			{Table: "s.lineitem", Column: "price", Selectivity: 0.5},
+		},
+		Joins: []Join{{
+			LeftTable: "s.lineitem", LeftColumn: "okey",
+			RightTable: "s.orders", RightColumn: "okey",
+		}},
+		Output: []OutputCol{{Table: "s.lineitem", Column: "qty"}},
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Query.String() != "QUERY" || Update.String() != "UPDATE" {
+		t.Fatalf("Kind strings wrong")
+	}
+}
+
+func TestHasTableAndPreds(t *testing.T) {
+	q := joinQuery()
+	if !q.HasTable("s.orders") || q.HasTable("s.part") {
+		t.Fatalf("HasTable wrong")
+	}
+	if got := len(q.TablePreds("s.lineitem")); got != 2 {
+		t.Fatalf("TablePreds = %d", got)
+	}
+	if got := q.PredSelectivity("s.lineitem"); got != 0.1 {
+		t.Fatalf("PredSelectivity = %v, want 0.1", got)
+	}
+	if got := q.PredSelectivity("s.part"); got != 1 {
+		t.Fatalf("PredSelectivity for absent table = %v", got)
+	}
+}
+
+func TestJoinHelpers(t *testing.T) {
+	j := joinQuery().Joins[0]
+	if !j.Touches("s.orders") || j.Touches("s.part") {
+		t.Fatalf("Touches wrong")
+	}
+	if j.ColumnOn("s.lineitem") != "okey" || j.ColumnOn("s.part") != "" {
+		t.Fatalf("ColumnOn wrong")
+	}
+	if got := len(joinQuery().JoinsOn("s.orders")); got != 1 {
+		t.Fatalf("JoinsOn = %d", got)
+	}
+}
+
+func TestNeededColumns(t *testing.T) {
+	q := joinQuery()
+	got := strings.Join(q.NeededColumns("s.lineitem"), ",")
+	for _, want := range []string{"ship", "price", "okey", "qty"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("NeededColumns missing %s: %s", want, got)
+		}
+	}
+	// No duplicates.
+	seen := map[string]bool{}
+	for _, c := range q.NeededColumns("s.lineitem") {
+		if seen[c] {
+			t.Fatalf("duplicate needed column %s", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestNeededColumnsUpdate(t *testing.T) {
+	u := &Statement{
+		ID: 1, Kind: Update,
+		Tables:     []string{"s.t"},
+		Preds:      []Pred{{Table: "s.t", Column: "w", Selectivity: 0.1}},
+		SetColumns: []string{"x", "y"},
+	}
+	got := strings.Join(u.NeededColumns("s.t"), ",")
+	for _, want := range []string{"w", "x", "y"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("update NeededColumns missing %s: %s", want, got)
+		}
+	}
+	if u.UpdateTable() != "s.t" {
+		t.Fatalf("UpdateTable = %q", u.UpdateTable())
+	}
+	if joinQuery().UpdateTable() != "" {
+		t.Fatalf("UpdateTable on query should be empty")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := joinQuery().Validate(); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		s    *Statement
+	}{
+		{"no tables", &Statement{Kind: Query}},
+		{"pred on unlisted table", &Statement{
+			Kind: Query, Tables: []string{"s.a"},
+			Preds: []Pred{{Table: "s.b", Column: "c", Selectivity: 0.1}},
+		}},
+		{"selectivity zero", &Statement{
+			Kind: Query, Tables: []string{"s.a"},
+			Preds: []Pred{{Table: "s.a", Column: "c", Selectivity: 0}},
+		}},
+		{"selectivity above one", &Statement{
+			Kind: Query, Tables: []string{"s.a"},
+			Preds: []Pred{{Table: "s.a", Column: "c", Selectivity: 1.5}},
+		}},
+		{"join unlisted table", &Statement{
+			Kind: Query, Tables: []string{"s.a"},
+			Joins: []Join{{LeftTable: "s.a", LeftColumn: "x", RightTable: "s.b", RightColumn: "y"}},
+		}},
+		{"self join", &Statement{
+			Kind: Query, Tables: []string{"s.a"},
+			Joins: []Join{{LeftTable: "s.a", LeftColumn: "x", RightTable: "s.a", RightColumn: "y"}},
+		}},
+		{"update two tables", &Statement{
+			Kind: Update, Tables: []string{"s.a", "s.b"}, SetColumns: []string{"x"},
+		}},
+		{"update no set", &Statement{
+			Kind: Update, Tables: []string{"s.a"},
+		}},
+		{"update with join", &Statement{
+			Kind: Update, Tables: []string{"s.a"}, SetColumns: []string{"x"},
+			Joins: []Join{{LeftTable: "s.a", LeftColumn: "x", RightTable: "s.b", RightColumn: "y"}},
+		}},
+	}
+	for _, c := range cases {
+		if err := c.s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid statement", c.name)
+		}
+	}
+}
+
+func TestSummaryAndPredString(t *testing.T) {
+	q := joinQuery()
+	sum := q.Summary()
+	if !strings.Contains(sum, "[7]") || !strings.Contains(sum, "QUERY") {
+		t.Fatalf("Summary = %q", sum)
+	}
+	p := Pred{Table: "s.t", Column: "c", Selectivity: 0.25, Eq: true}
+	if got := p.String(); !strings.Contains(got, "=") || !strings.Contains(got, "0.25") {
+		t.Fatalf("Pred.String = %q", got)
+	}
+}

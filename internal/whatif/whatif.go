@@ -1,0 +1,72 @@
+// Package whatif wraps the cost model behind the what-if optimizer
+// interface that index advisors consume, adding memoization and call
+// accounting. The paper reports tuning overhead partly as the number of
+// what-if optimizations per query (§6.2); Calls counts exactly those —
+// cache hits are free, mirroring how the IBG lets WFIT answer repeated
+// configuration probes without re-invoking the optimizer.
+package whatif
+
+import (
+	"repro/internal/cost"
+	"repro/internal/index"
+	"repro/internal/stmt"
+)
+
+// Optimizer is a caching, call-counting what-if optimizer. It is not safe
+// for concurrent use.
+type Optimizer struct {
+	model *cost.Model
+	cache map[cacheKey]entry
+	calls int64
+	hits  int64
+}
+
+type cacheKey struct {
+	s   *stmt.Statement
+	cfg string
+}
+
+type entry struct {
+	cost float64
+	used index.Set
+}
+
+// New wraps the model.
+func New(m *cost.Model) *Optimizer {
+	return &Optimizer{model: m, cache: make(map[cacheKey]entry)}
+}
+
+// Model exposes the underlying cost model.
+func (o *Optimizer) Model() *cost.Model { return o.model }
+
+// CostUsed returns the what-if cost of s under cfg and the plan's used-
+// index set. The configuration is first restricted to indices relevant to
+// s, so logically-identical probes share one cache entry.
+func (o *Optimizer) CostUsed(s *stmt.Statement, cfg index.Set) (float64, index.Set) {
+	restricted := o.model.RestrictConfig(s, cfg)
+	key := cacheKey{s: s, cfg: restricted.Key()}
+	if e, ok := o.cache[key]; ok {
+		o.hits++
+		return e.cost, e.used
+	}
+	o.calls++
+	c, used := o.model.CostUsed(s, restricted)
+	o.cache[key] = entry{cost: c, used: used}
+	return c, used
+}
+
+// Cost returns just the what-if cost.
+func (o *Optimizer) Cost(s *stmt.Statement, cfg index.Set) float64 {
+	c, _ := o.CostUsed(s, cfg)
+	return c
+}
+
+// Calls reports how many real optimizer invocations have happened (cache
+// misses since construction or the last ResetStats).
+func (o *Optimizer) Calls() int64 { return o.calls }
+
+// Hits reports how many probes were served from cache.
+func (o *Optimizer) Hits() int64 { return o.hits }
+
+// ResetStats zeroes the call and hit counters, keeping the cache.
+func (o *Optimizer) ResetStats() { o.calls, o.hits = 0, 0 }

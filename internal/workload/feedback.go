@@ -1,0 +1,50 @@
+package workload
+
+import "repro/internal/index"
+
+// VoteEvent is one DBA feedback action: after statement After has been
+// analyzed (and before the recommendation for it is recorded), the DBA
+// casts positive votes for Plus and negative votes for Minus.
+type VoteEvent struct {
+	After int
+	Plus  index.Set
+	Minus index.Set
+}
+
+// ScheduleVotes derives the VGOOD feedback stream of §6.2 from an optimal
+// schedule: a prescient DBA votes for exactly the index creations and
+// drops that OPT performs at each point of the workload.
+// schedule[0] is the initial configuration; schedule[n] is OPT's
+// configuration for statement n.
+func ScheduleVotes(schedule []index.Set) []VoteEvent {
+	var out []VoteEvent
+	for n := 1; n < len(schedule); n++ {
+		plus := schedule[n].Minus(schedule[n-1])
+		minus := schedule[n-1].Minus(schedule[n])
+		if plus.Empty() && minus.Empty() {
+			continue
+		}
+		out = append(out, VoteEvent{After: n, Plus: plus, Minus: minus})
+	}
+	return out
+}
+
+// InvertVotes builds the VBAD stream: the mirror image of good feedback,
+// with positive and negative votes swapped.
+func InvertVotes(events []VoteEvent) []VoteEvent {
+	out := make([]VoteEvent, len(events))
+	for i, e := range events {
+		out[i] = VoteEvent{After: e.After, Plus: e.Minus, Minus: e.Plus}
+	}
+	return out
+}
+
+// VotesAt groups a vote stream by statement position for O(1) lookup
+// during evaluation.
+func VotesAt(events []VoteEvent) map[int][]VoteEvent {
+	m := make(map[int][]VoteEvent)
+	for _, e := range events {
+		m[e.After] = append(m[e.After], e)
+	}
+	return m
+}

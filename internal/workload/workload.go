@@ -1,0 +1,592 @@
+// Package workload synthesizes the benchmark workload of the paper's
+// experimental study (§6.1, following the online index selection benchmark
+// of Schnaitter & Polyzotis, SMDB 2009): eight consecutive phases of 200
+// statements, each phase focusing on specific datasets, adjacent phases
+// overlapping in focus and differing in update frequency.
+//
+// Statements are instantiated from per-phase template pools, so indexing
+// opportunities recur within a phase (as they do in real workloads) while
+// selectivities jitter statement to statement. Everything is driven by an
+// explicit seed and fully deterministic.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/stmt"
+)
+
+// Options configures workload generation.
+type Options struct {
+	// Phases and PerPhase control the workload shape; defaults 8 × 200.
+	Phases   int
+	PerPhase int
+	// Seed drives all randomness.
+	Seed int64
+	// QueryTemplates and UpdateTemplates size each phase's pools.
+	QueryTemplates  int
+	UpdateTemplates int
+}
+
+// DefaultOptions returns the benchmark defaults.
+func DefaultOptions() Options {
+	return Options{
+		Phases:          8,
+		PerPhase:        200,
+		Seed:            42,
+		QueryTemplates:  10,
+		UpdateTemplates: 4,
+	}
+}
+
+// Workload is a generated statement stream.
+type Workload struct {
+	Catalog    *catalog.Catalog
+	Joins      []datagen.Join
+	Statements []*stmt.Statement
+	// PhaseOf[i] is the phase of Statements[i].
+	PhaseOf []int
+}
+
+// Len returns the number of statements.
+func (w *Workload) Len() int { return len(w.Statements) }
+
+// phaseSpec describes one workload phase.
+type phaseSpec struct {
+	datasets   []string
+	updateFrac float64
+}
+
+// defaultPhases returns the 8-phase rotation over the four datasets with
+// overlapping adjacent phases and alternating update intensity.
+func defaultPhases(n int) []phaseSpec {
+	ds := datagen.AllDatasets
+	base := []phaseSpec{
+		{[]string{ds[0]}, 0.10},
+		{[]string{ds[0], ds[1]}, 0.30},
+		{[]string{ds[1]}, 0.10},
+		{[]string{ds[1], ds[2]}, 0.35},
+		{[]string{ds[2]}, 0.15},
+		{[]string{ds[2], ds[3]}, 0.30},
+		{[]string{ds[3]}, 0.10},
+		{[]string{ds[3], ds[0]}, 0.35},
+	}
+	out := make([]phaseSpec, n)
+	for i := range out {
+		out[i] = base[i%len(base)]
+	}
+	return out
+}
+
+// Generate builds a workload over the catalog and join graph.
+func Generate(cat *catalog.Catalog, joins []datagen.Join, opts Options) *Workload {
+	if opts.Phases <= 0 {
+		opts.Phases = 8
+	}
+	if opts.PerPhase <= 0 {
+		opts.PerPhase = 200
+	}
+	if opts.QueryTemplates <= 0 {
+		opts.QueryTemplates = 10
+	}
+	if opts.UpdateTemplates <= 0 {
+		opts.UpdateTemplates = 4
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	w := &Workload{Catalog: cat, Joins: joins}
+	gen := &generator{cat: cat, joins: joins, rng: rng}
+
+	phases := defaultPhases(opts.Phases)
+	id := 0
+	var prevQueries []*template
+	for pi, spec := range phases {
+		queries := make([]*template, 0, opts.QueryTemplates)
+		updates := make([]*template, 0, opts.UpdateTemplates)
+		// Workload shifts are gradual, not cliff-edged: templates from
+		// the previous phase whose tables stay in focus carry over (the
+		// overlap of adjacent phases the benchmark calls for), and the
+		// rest of the pool is fresh.
+		carryBudget := opts.QueryTemplates * 2 / 5
+		for _, tpl := range prevQueries {
+			if len(queries) >= carryBudget {
+				break
+			}
+			if tablesInFocus(tpl.tables, spec.datasets) {
+				queries = append(queries, tpl)
+			}
+		}
+		for len(queries) < opts.QueryTemplates {
+			queries = append(queries, gen.queryTemplate(spec.datasets))
+		}
+		for i := 0; i < opts.UpdateTemplates; i++ {
+			updates = append(updates, gen.updateTemplate(spec.datasets))
+		}
+		prevQueries = queries
+		// Background maintenance: datasets outside the phase focus keep
+		// changing too (nightly loads, corrections). An off-focus burst
+		// sprays updates across several of the dataset's tables —
+		// preferentially the ones earlier phases queried and indexed —
+		// which is what eventually makes stale indices expensive enough
+		// to drop.
+		var offFocus [][]*template
+		for _, ds := range datagen.AllDatasets {
+			inFocus := false
+			for _, f := range spec.datasets {
+				if f == ds {
+					inFocus = true
+				}
+			}
+			if !inFocus {
+				pool := []*template{
+					gen.batchUpdateTemplate([]string{ds}),
+					gen.batchUpdateTemplate([]string{ds}),
+					gen.batchUpdateTemplate([]string{ds}),
+				}
+				offFocus = append(offFocus, pool)
+			}
+		}
+		// Updates arrive in bursts (batch maintenance jobs), not as an
+		// independent coin flip per statement. Bursts are what make
+		// indices "beneficial only for short windows of the workload"
+		// (§6.2) — the property that stresses online tuners and delayed
+		// DBA responses. The burst process is calibrated so the phase's
+		// overall update fraction matches the spec in expectation.
+		const burstUpdateProb = 0.75
+		const meanBurstLen = 15.0
+		calmProb := spec.updateFrac / 4
+		burstFrac := (spec.updateFrac - calmProb) / (burstUpdateProb - calmProb)
+		enterProb := burstFrac / ((1 - burstFrac) * meanBurstLen)
+		inBurst := false
+		burstPool := updates
+		offFocusNext := 0
+		for i := 0; i < opts.PerPhase; i++ {
+			id++
+			if inBurst {
+				if rng.Float64() < 1/meanBurstLen {
+					inBurst = false
+				}
+			} else if rng.Float64() < enterProb {
+				inBurst = true
+				// Roughly half the bursts are background maintenance,
+				// cycling round-robin over the non-focus datasets so
+				// every dataset keeps seeing write pressure. This is
+				// what eventually makes indices from past phases
+				// expensive enough to drop.
+				if len(offFocus) > 0 && rng.Float64() < 0.5 {
+					burstPool = offFocus[offFocusNext%len(offFocus)]
+					offFocusNext++
+				} else {
+					burstPool = updates
+				}
+			}
+			p := calmProb
+			pool := updates
+			if inBurst {
+				p = burstUpdateProb
+				pool = burstPool
+			}
+			var tpl *template
+			if rng.Float64() < p {
+				tpl = pool[rng.Intn(len(pool))]
+			} else {
+				tpl = queries[rng.Intn(len(queries))]
+			}
+			s := gen.instantiate(tpl, id)
+			w.Statements = append(w.Statements, s)
+			w.PhaseOf = append(w.PhaseOf, pi)
+		}
+	}
+	return w
+}
+
+// predTemplate is one templated predicate.
+type predTemplate struct {
+	table   string
+	column  string
+	eq      bool
+	baseSel float64
+}
+
+// template is a reusable statement shape.
+type template struct {
+	kind    stmt.Kind
+	tables  []string
+	preds   []predTemplate
+	joins   []stmt.Join
+	output  []stmt.OutputCol
+	setCols []string // updates only
+}
+
+// generator holds shared generation state.
+type generator struct {
+	cat   *catalog.Catalog
+	joins []datagen.Join
+	rng   *rand.Rand
+
+	// queryCols accumulates, per table, the predicate columns used by
+	// query templates generated so far. Update templates draw their SET
+	// columns from it, so maintenance pressure lands on the columns the
+	// workload actually indexes — the coupling that makes indices
+	// "beneficial only for short windows" (§6.2).
+	queryCols map[string][]string
+}
+
+// recordQueryCol notes a predicate column used by a query template.
+func (g *generator) recordQueryCol(table, col string) {
+	if g.queryCols == nil {
+		g.queryCols = make(map[string][]string)
+	}
+	for _, c := range g.queryCols[table] {
+		if c == col {
+			return
+		}
+	}
+	g.queryCols[table] = append(g.queryCols[table], col)
+}
+
+// pickTable samples a table of the dataset, weighted toward larger tables
+// (where index choices actually matter).
+func (g *generator) pickTable(dataset string) *catalog.Table {
+	tables := g.cat.TablesInSchema(dataset)
+	weights := make([]float64, len(tables))
+	total := 0.0
+	for i, t := range tables {
+		weights[i] = math.Sqrt(t.Rows)
+		total += weights[i]
+	}
+	r := g.rng.Float64() * total
+	for i, t := range tables {
+		r -= weights[i]
+		if r < 0 {
+			return t
+		}
+	}
+	return tables[len(tables)-1]
+}
+
+// predColumns lists columns suitable for predicates: selective enough to
+// matter and scalar-shaped.
+func predColumns(t *catalog.Table) []catalog.Column {
+	var out []catalog.Column
+	for _, c := range t.Columns() {
+		if c.Distinct >= 10 && c.Width <= 16 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// logUniform samples log-uniformly from [lo, hi].
+func (g *generator) logUniform(lo, hi float64) float64 {
+	return math.Exp(math.Log(lo) + g.rng.Float64()*(math.Log(hi)-math.Log(lo)))
+}
+
+// queryTemplate builds one query shape over the focus datasets.
+func (g *generator) queryTemplate(datasets []string) *template {
+	ds := datasets[g.rng.Intn(len(datasets))]
+	dsJoins := datagen.JoinsFor(g.joins, ds)
+
+	nTables := 1
+	switch r := g.rng.Float64(); {
+	case r < 0.30:
+		nTables = 1
+	case r < 0.75:
+		nTables = 2
+	default:
+		nTables = 3
+	}
+
+	tpl := &template{kind: stmt.Query}
+	switch {
+	case nTables == 1 || len(dsJoins) == 0:
+		tpl.tables = []string{g.pickTable(ds).QualifiedName()}
+	default:
+		// Start from a random join edge and optionally extend.
+		e := dsJoins[g.rng.Intn(len(dsJoins))]
+		tpl.tables = []string{e.LeftTable, e.RightTable}
+		tpl.joins = append(tpl.joins, stmt.Join{
+			LeftTable: e.LeftTable, LeftColumn: e.LeftColumn,
+			RightTable: e.RightTable, RightColumn: e.RightColumn,
+		})
+		if nTables == 3 {
+			// Shuffle edges deterministically and take the first
+			// that extends the connected set.
+			perm := g.rng.Perm(len(dsJoins))
+			for _, ei := range perm {
+				e2 := dsJoins[ei]
+				in1 := contains(tpl.tables, e2.LeftTable)
+				in2 := contains(tpl.tables, e2.RightTable)
+				if in1 == in2 {
+					continue // both or neither: no extension
+				}
+				tpl.joins = append(tpl.joins, stmt.Join{
+					LeftTable: e2.LeftTable, LeftColumn: e2.LeftColumn,
+					RightTable: e2.RightTable, RightColumn: e2.RightColumn,
+				})
+				if in1 {
+					tpl.tables = append(tpl.tables, e2.RightTable)
+				} else {
+					tpl.tables = append(tpl.tables, e2.LeftTable)
+				}
+				break
+			}
+		}
+	}
+
+	// Predicates: one or two per table where possible.
+	for _, qn := range tpl.tables {
+		t := g.cat.MustTable(qn)
+		cols := predColumns(t)
+		if len(cols) == 0 {
+			continue
+		}
+		n := 1
+		if len(cols) > 1 && g.rng.Float64() < 0.45 {
+			n = 2
+		}
+		perm := g.rng.Perm(len(cols))
+		for i := 0; i < n; i++ {
+			c := cols[perm[i]]
+			eq := g.rng.Float64() < 0.25
+			sel := g.logUniform(1e-4, 0.15)
+			if eq {
+				sel = catalog.EqSelectivity(c)
+			}
+			tpl.preds = append(tpl.preds, predTemplate{
+				table: qn, column: c.Name, eq: eq, baseSel: sel,
+			})
+			g.recordQueryCol(qn, c.Name)
+		}
+	}
+
+	// Occasionally project explicit columns (hurts covering indexes).
+	if g.rng.Float64() < 0.3 {
+		t := g.cat.MustTable(tpl.tables[0])
+		cols := t.Columns()
+		tpl.output = append(tpl.output, stmt.OutputCol{
+			Table:  tpl.tables[0],
+			Column: cols[g.rng.Intn(len(cols))].Name,
+		})
+	}
+	return tpl
+}
+
+// updateTemplate builds one update shape on the focus datasets (OLTP-
+// scale row counts). Tables and SET columns prefer what query templates
+// have already targeted, so updates maintain exactly the indices the
+// workload tempts tuners to build.
+func (g *generator) updateTemplate(datasets []string) *template {
+	return g.updateTemplateSel(datasets, 1.5e-4, 3e-3)
+}
+
+// batchUpdateTemplate builds a background-maintenance update (nightly
+// load / bulk correction scale): an order of magnitude more rows per
+// statement, so one maintenance burst rivals an index's creation cost and
+// stale indices become decisively worth dropping.
+func (g *generator) batchUpdateTemplate(datasets []string) *template {
+	return g.updateTemplateSel(datasets, 1e-3, 8e-3)
+}
+
+func (g *generator) updateTemplateSel(datasets []string, loSel, hiSel float64) *template {
+	ds := datasets[g.rng.Intn(len(datasets))]
+
+	// Prefer a table with recorded query columns.
+	var queried []*catalog.Table
+	for _, t := range g.cat.TablesInSchema(ds) {
+		if len(g.queryCols[t.QualifiedName()]) > 0 && len(predColumns(t)) >= 2 {
+			queried = append(queried, t)
+		}
+	}
+	var t *catalog.Table
+	if len(queried) > 0 {
+		t = queried[g.rng.Intn(len(queried))]
+	} else {
+		t = g.pickTable(ds)
+		for len(predColumns(t)) < 2 {
+			t = g.pickTable(ds)
+		}
+	}
+	cols := predColumns(t)
+	perm := g.rng.Perm(len(cols))
+	pred := cols[perm[0]]
+	tpl := &template{
+		kind:   stmt.Update,
+		tables: []string{t.QualifiedName()},
+		preds: []predTemplate{{
+			table:   t.QualifiedName(),
+			column:  pred.Name,
+			baseSel: g.logUniform(loSel, hiSel),
+		}},
+	}
+	// SET columns: draw from the table's queried columns when possible
+	// (skipping the WHERE column), falling back to arbitrary columns.
+	var pool []string
+	for _, c := range g.queryCols[t.QualifiedName()] {
+		if c != pred.Name {
+			pool = append(pool, c)
+		}
+	}
+	if len(pool) == 0 {
+		for _, i := range perm[1:] {
+			pool = append(pool, cols[i].Name)
+		}
+	}
+	nSet := 1
+	if len(pool) > 1 && g.rng.Float64() < 0.4 {
+		nSet = 2
+	}
+	cperm := g.rng.Perm(len(pool))
+	for i := 0; i < nSet && i < len(pool); i++ {
+		tpl.setCols = append(tpl.setCols, pool[cperm[i]])
+	}
+	return tpl
+}
+
+// instantiate turns a template into a concrete statement with jittered
+// selectivities and rendered SQL.
+func (g *generator) instantiate(tpl *template, id int) *stmt.Statement {
+	s := &stmt.Statement{
+		ID:         id,
+		Kind:       tpl.kind,
+		Tables:     append([]string(nil), tpl.tables...),
+		Joins:      append([]stmt.Join(nil), tpl.joins...),
+		Output:     append([]stmt.OutputCol(nil), tpl.output...),
+		SetColumns: append([]string(nil), tpl.setCols...),
+	}
+	for _, pt := range tpl.preds {
+		sel := pt.baseSel
+		if !pt.eq {
+			sel *= math.Exp((g.rng.Float64() - 0.5)) // jitter ×[0.61,1.65]
+			if sel > 0.5 {
+				sel = 0.5
+			}
+			if sel < 1e-6 {
+				sel = 1e-6
+			}
+		}
+		s.Preds = append(s.Preds, stmt.Pred{
+			Table: pt.table, Column: pt.column, Eq: pt.eq, Selectivity: sel,
+		})
+	}
+	s.SQL = g.renderSQL(s)
+	if err := s.Validate(); err != nil {
+		panic("workload: generated invalid statement: " + err.Error())
+	}
+	return s
+}
+
+// tablesInFocus reports whether every table belongs to a focus dataset.
+func tablesInFocus(tables []string, datasets []string) bool {
+	for _, t := range tables {
+		dot := 0
+		for dot < len(t) && t[dot] != '.' {
+			dot++
+		}
+		ds := t[:dot]
+		ok := false
+		for _, f := range datasets {
+			if f == ds {
+				ok = true
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// contains reports membership of v in xs.
+func contains(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// renderSQL produces SQL text for the statement, in the dialect that
+// sqlmini can parse back.
+func (g *generator) renderSQL(s *stmt.Statement) string {
+	alias := make(map[string]string, len(s.Tables))
+	for i, t := range s.Tables {
+		alias[t] = fmt.Sprintf("t%d", i)
+	}
+	var b strings.Builder
+	if s.Kind == stmt.Update {
+		table := s.UpdateTable()
+		fmt.Fprintf(&b, "UPDATE %s SET ", table)
+		for i, c := range s.SetColumns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s = %s + 0.000001", c, c)
+		}
+		b.WriteString(" WHERE ")
+		g.renderPred(&b, s.Preds[0], "")
+		return b.String()
+	}
+
+	b.WriteString("SELECT ")
+	if len(s.Output) == 0 {
+		b.WriteString("count(*)")
+	} else {
+		for i, oc := range s.Output {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s.%s", alias[oc.Table], oc.Column)
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.Tables {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", t, alias[t])
+	}
+	first := true
+	writeAnd := func() {
+		if first {
+			b.WriteString(" WHERE ")
+			first = false
+		} else {
+			b.WriteString(" AND ")
+		}
+	}
+	for _, p := range s.Preds {
+		writeAnd()
+		g.renderPred(&b, p, alias[p.Table])
+	}
+	for _, j := range s.Joins {
+		writeAnd()
+		fmt.Fprintf(&b, "%s.%s = %s.%s",
+			alias[j.LeftTable], j.LeftColumn, alias[j.RightTable], j.RightColumn)
+	}
+	return b.String()
+}
+
+// renderPred renders one predicate with concrete values drawn from the
+// column's domain so the stated selectivity matches a uniform estimate.
+func (g *generator) renderPred(b *strings.Builder, p stmt.Pred, alias string) {
+	t := g.cat.MustTable(p.Table)
+	col, _ := t.Column(p.Column)
+	ref := p.Column
+	if alias != "" {
+		ref = alias + "." + p.Column
+	}
+	if p.Eq {
+		v := col.Min + g.rng.Float64()*(col.Max-col.Min)
+		fmt.Fprintf(b, "%s = %.6g", ref, v)
+		return
+	}
+	span := (col.Max - col.Min) * p.Selectivity
+	lo := col.Min + g.rng.Float64()*math.Max(col.Max-col.Min-span, 0)
+	fmt.Fprintf(b, "%s BETWEEN %.6g AND %.6g", ref, lo, lo+span)
+}

@@ -1,0 +1,245 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/index"
+	"repro/internal/stmt"
+)
+
+func generate(t testing.TB, opts Options) *Workload {
+	t.Helper()
+	cat, joins := datagen.Build()
+	return Generate(cat, joins, opts)
+}
+
+func TestGenerateShape(t *testing.T) {
+	wl := generate(t, DefaultOptions())
+	if got, want := wl.Len(), 8*200; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	for i, s := range wl.Statements {
+		if s.ID != i+1 {
+			t.Fatalf("statement %d has ID %d", i, s.ID)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("statement %d invalid: %v", i, err)
+		}
+		if s.SQL == "" {
+			t.Fatalf("statement %d missing SQL rendering", i)
+		}
+	}
+	if wl.PhaseOf[0] != 0 || wl.PhaseOf[wl.Len()-1] != 7 {
+		t.Fatalf("phase boundaries wrong: %d..%d", wl.PhaseOf[0], wl.PhaseOf[wl.Len()-1])
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := generate(t, DefaultOptions())
+	b := generate(t, DefaultOptions())
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a.Statements {
+		if a.Statements[i].SQL != b.Statements[i].SQL {
+			t.Fatalf("statement %d differs across identical seeds:\n%s\n%s",
+				i, a.Statements[i].SQL, b.Statements[i].SQL)
+		}
+	}
+	opts := DefaultOptions()
+	opts.Seed++
+	c := generate(t, opts)
+	same := 0
+	for i := range a.Statements {
+		if a.Statements[i].SQL == c.Statements[i].SQL {
+			same++
+		}
+	}
+	if same == a.Len() {
+		t.Fatalf("different seeds produced identical workloads")
+	}
+}
+
+func TestPhaseFocusFollowsRotation(t *testing.T) {
+	// Queries stay on the phase's focus datasets; updates may also hit
+	// non-focus datasets (background maintenance bursts).
+	wl := generate(t, DefaultOptions())
+	specs := defaultPhases(8)
+	offFocusUpdates := 0
+	for i, s := range wl.Statements {
+		focus := specs[wl.PhaseOf[i]].datasets
+		for _, table := range s.Tables {
+			ds := table[:indexOfByte(table, '.')]
+			ok := false
+			for _, f := range focus {
+				if f == ds {
+					ok = true
+				}
+			}
+			if !ok {
+				if s.Kind == stmt.Update {
+					offFocusUpdates++
+					continue
+				}
+				t.Fatalf("query %d (phase %d) touches %s outside focus %v",
+					i+1, wl.PhaseOf[i], table, focus)
+			}
+		}
+	}
+	if offFocusUpdates == 0 {
+		t.Fatalf("expected some background-maintenance updates outside the focus")
+	}
+}
+
+func indexOfByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return len(s)
+}
+
+func TestUpdateFractionTracksPhaseSpec(t *testing.T) {
+	// Updates arrive in bursts, so per-phase fractions are noisy; check
+	// each phase loosely and the workload aggregate tightly.
+	wl := generate(t, DefaultOptions())
+	specs := defaultPhases(8)
+	counts := make([]int, 8)
+	updates := make([]int, 8)
+	for i, s := range wl.Statements {
+		ph := wl.PhaseOf[i]
+		counts[ph]++
+		if s.Kind == stmt.Update {
+			updates[ph]++
+		}
+	}
+	totalUpd, totalCnt, totalWant := 0.0, 0.0, 0.0
+	for ph := range counts {
+		frac := float64(updates[ph]) / float64(counts[ph])
+		want := specs[ph].updateFrac
+		// Bursts are coarse-grained relative to a 200-statement phase,
+		// so individual phases can swing substantially.
+		if frac < want-0.3 || frac > want+0.3 {
+			t.Errorf("phase %d update fraction %.2f far from spec %.2f", ph, frac, want)
+		}
+		totalUpd += float64(updates[ph])
+		totalCnt += float64(counts[ph])
+		totalWant += want * float64(counts[ph])
+	}
+	aggregate := totalUpd / totalCnt
+	wantAgg := totalWant / totalCnt
+	if aggregate < wantAgg-0.08 || aggregate > wantAgg+0.08 {
+		t.Errorf("aggregate update fraction %.3f far from spec %.3f", aggregate, wantAgg)
+	}
+}
+
+// TestUpdatesAreBursty verifies updates cluster: the probability that an
+// update is followed by another update should far exceed the base rate.
+func TestUpdatesAreBursty(t *testing.T) {
+	wl := generate(t, DefaultOptions())
+	updates, updAfterUpd, updTotalPairs := 0, 0, 0
+	for i, s := range wl.Statements {
+		if s.Kind == stmt.Update {
+			updates++
+			if i+1 < wl.Len() {
+				updTotalPairs++
+				if wl.Statements[i+1].Kind == stmt.Update {
+					updAfterUpd++
+				}
+			}
+		}
+	}
+	base := float64(updates) / float64(wl.Len())
+	cond := float64(updAfterUpd) / float64(updTotalPairs)
+	if cond < 1.5*base {
+		t.Fatalf("updates not bursty: P(upd|upd)=%.2f vs base %.2f", cond, base)
+	}
+}
+
+func TestTemplatesRecurWithinPhase(t *testing.T) {
+	wl := generate(t, DefaultOptions())
+	// Count distinct table-set signatures per phase: with a 10+4 template
+	// pool and 200 statements, signatures must repeat heavily.
+	for ph := 0; ph < 8; ph++ {
+		sigs := make(map[string]int)
+		total := 0
+		for i, s := range wl.Statements {
+			if wl.PhaseOf[i] != ph {
+				continue
+			}
+			sig := s.Kind.String()
+			for _, tb := range s.Tables {
+				sig += "|" + tb
+			}
+			for _, p := range s.Preds {
+				sig += "|" + p.Column
+			}
+			sigs[sig]++
+			total++
+		}
+		if len(sigs) > 20 {
+			t.Errorf("phase %d: %d distinct statement shapes out of %d (templates not recurring)",
+				ph, len(sigs), total)
+		}
+	}
+}
+
+func TestJoinsComeFromJoinGraph(t *testing.T) {
+	cat, joins := datagen.Build()
+	allowed := make(map[string]bool)
+	for _, j := range joins {
+		allowed[j.LeftTable+"."+j.LeftColumn+"="+j.RightTable+"."+j.RightColumn] = true
+	}
+	wl := Generate(cat, joins, DefaultOptions())
+	for _, s := range wl.Statements {
+		for _, j := range s.Joins {
+			key := j.LeftTable + "." + j.LeftColumn + "=" + j.RightTable + "." + j.RightColumn
+			if !allowed[key] {
+				t.Fatalf("statement %d join %s not in the join graph", s.ID, key)
+			}
+		}
+	}
+}
+
+func TestScheduleVotes(t *testing.T) {
+	schedule := []index.Set{
+		index.EmptySet,  // S0
+		index.NewSet(1), // q1: create 1
+		index.NewSet(1), // q2: no change
+		index.NewSet(2), // q3: create 2, drop 1
+	}
+	votes := ScheduleVotes(schedule)
+	if len(votes) != 2 {
+		t.Fatalf("votes = %v", votes)
+	}
+	if votes[0].After != 1 || !votes[0].Plus.Equal(index.NewSet(1)) || !votes[0].Minus.Empty() {
+		t.Fatalf("vote 0 = %+v", votes[0])
+	}
+	if votes[1].After != 3 || !votes[1].Plus.Equal(index.NewSet(2)) || !votes[1].Minus.Equal(index.NewSet(1)) {
+		t.Fatalf("vote 1 = %+v", votes[1])
+	}
+
+	bad := InvertVotes(votes)
+	if !bad[1].Plus.Equal(votes[1].Minus) || !bad[1].Minus.Equal(votes[1].Plus) {
+		t.Fatalf("InvertVotes did not swap: %+v", bad[1])
+	}
+
+	at := VotesAt(votes)
+	if len(at[1]) != 1 || len(at[3]) != 1 || len(at[2]) != 0 {
+		t.Fatalf("VotesAt grouping wrong: %v", at)
+	}
+}
+
+func TestGenerateSmallConfigs(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Phases = 3
+	opts.PerPhase = 10
+	opts.QueryTemplates = 2
+	opts.UpdateTemplates = 1
+	wl := generate(t, opts)
+	if wl.Len() != 30 {
+		t.Fatalf("Len = %d", wl.Len())
+	}
+}
