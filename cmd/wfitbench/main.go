@@ -5,14 +5,19 @@
 //
 // Usage:
 //
-//	wfitbench [-fig N] [-overhead] [-small] [-csv] [-seed S]
+//	wfitbench [-fig N] [-overhead] [-perf] [-small] [-csv] [-seed S]
+//	          [-workers W] [-benchout FILE]
 //
-// Without -fig, every experiment runs in order. Output is an ASCII chart
-// per figure (OPT-normalized total work over the workload), optionally
+// Without -fig, every experiment runs in order, followed by the §6.2
+// overhead numbers and a serial-vs-parallel measurement of the
+// per-statement analysis loop, written as a JSON trajectory file
+// (-benchout, default BENCH_wfit.json). Output is an ASCII chart per
+// figure (OPT-normalized total work over the workload), optionally
 // followed by CSV series data.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,11 +30,14 @@ import (
 func main() {
 	fig := flag.Int("fig", 0, "run a single figure (8..12); 0 runs everything")
 	overhead := flag.Bool("overhead", false, "run only the overhead measurement")
+	perf := flag.Bool("perf", false, "run only the serial-vs-parallel analysis benchmark")
 	small := flag.Bool("small", false, "use the scaled-down environment (fast sanity run)")
 	csv := flag.Bool("csv", false, "print CSV series after each chart")
 	seed := flag.Int64("seed", 0, "override the workload seed")
 	width := flag.Int("width", 72, "chart width")
 	height := flag.Int("height", 14, "chart height")
+	workers := flag.Int("workers", 0, "worker bound for construction and runs (0 = one per CPU)")
+	benchout := flag.String("benchout", "BENCH_wfit.json", "perf trajectory output file (empty disables)")
 	flag.Parse()
 
 	opts := bench.DefaultOptions()
@@ -39,6 +47,7 @@ func main() {
 	if *seed != 0 {
 		opts.Workload.Seed = *seed
 	}
+	opts.Workers = *workers
 
 	fmt.Printf("building environment: %d statements, idxCnt=%d, stateCnts=%v ...\n",
 		opts.Workload.Phases*opts.Workload.PerPhase, opts.IdxCnt, opts.StateCnts)
@@ -53,6 +62,10 @@ func main() {
 
 	if *overhead {
 		printOverhead(env)
+		return
+	}
+	if *perf {
+		runPerf(env, *benchout)
 		return
 	}
 
@@ -92,6 +105,37 @@ func main() {
 		run(n)
 	}
 	printOverhead(env)
+	runPerf(env, *benchout)
+}
+
+// runPerf measures the per-statement analysis loop serially and with the
+// worker pool, prints the comparison, and writes the JSON trajectory.
+func runPerf(env *bench.Env, outPath string) {
+	fmt.Println("\nAnalysis-loop perf: full WFIT, serial (workers=1) vs parallel (one worker per core)")
+	r := env.RunPerfComparison()
+	show := func(label string, s *bench.PerfSide) {
+		fmt.Printf("  %-8s %8.1f µs/stmt (p50 %.1f, p90 %.1f), %d what-if calls, cache hit rate %.1f%%\n",
+			label, s.USPerStmtMean, s.USPerStmtP50, s.USPerStmtP90,
+			s.WhatIfCalls, 100*s.CacheHitRate)
+	}
+	show("serial", r.Serial)
+	show("parallel", r.Parallel)
+	fmt.Printf("  speedup %.2fx on %d core(s); OPT-normalized final ratio %.3f; identical results: %v\n",
+		r.Speedup, r.Cores, r.Parallel.FinalRatio, r.RatiosMatch)
+
+	if outPath == "" {
+		return
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marshal perf report: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", outPath, err)
+		os.Exit(1)
+	}
+	fmt.Printf("  trajectory written to %s\n", outPath)
 }
 
 // printRuns charts the OPT-normalized ratio curves of a set of runs.

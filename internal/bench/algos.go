@@ -101,5 +101,8 @@ func (a *WFITAutoAlgo) Tuner() *core.WFIT { return a.t }
 // WhatIfCalls reports the real optimizer invocations performed so far.
 func (a *WFITAutoAlgo) WhatIfCalls() int64 { return a.opt.Calls() }
 
+// Optimizer exposes the private what-if optimizer (cache statistics).
+func (a *WFITAutoAlgo) Optimizer() *whatif.Optimizer { return a.opt }
+
 // IBGNodeCounts returns per-statement IBG sizes (what-if calls/query).
 func (a *WFITAutoAlgo) IBGNodeCounts() []int { return a.ibgNodes }

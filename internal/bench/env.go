@@ -18,6 +18,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/interaction"
 	"repro/internal/opt"
+	"repro/internal/par"
 	"repro/internal/stmt"
 	"repro/internal/whatif"
 	"repro/internal/workload"
@@ -35,6 +36,11 @@ type Options struct {
 	StateCnts []int
 	// Seed drives partitioning randomness.
 	Seed int64
+	// Workers bounds the goroutines used for environment construction
+	// (candidate mining, per-statement IBGs) and for RunAll's concurrent
+	// experiment evaluation. 1 forces serial execution; <= 0 means one
+	// per CPU. Results are identical for any setting.
+	Workers int
 }
 
 // DefaultOptions mirrors the paper's experimental configuration.
@@ -63,9 +69,11 @@ func SmallOptions() Options {
 	}
 }
 
-// Env is a fully constructed experimental environment. It is read-mostly:
-// runs share the per-statement IBGs (whose internal memoization is not
-// concurrency-safe), so execute runs sequentially.
+// Env is a fully constructed experimental environment. After construction
+// it is read-only and safe to share across concurrent runs: the
+// per-statement IBGs fill their memo with atomic writes of deterministic
+// values, and every other field is immutable. RunAll exploits this by
+// evaluating independent algorithms concurrently.
 type Env struct {
 	Options Options
 
@@ -113,10 +121,28 @@ func NewEnv(o Options) *Env {
 		Workload: wl,
 	}
 	e.chooseFixedCandidates()
+	e.internUpdateCandidates()
 	e.buildEvaluationIBGs()
 	e.buildPartitions()
 	e.buildOpt()
 	return e
+}
+
+// internUpdateCandidates pre-interns the candidates every non-query
+// statement can contribute. Candidate mining deliberately uses only the
+// read-only workload portion (the paper's U), but a full WFIT run extracts
+// candidates from updates too; interning them here — queries first, then
+// updates, matching the order a serial run would have assigned IDs —
+// makes the registry read-only for the rest of the environment's life, so
+// concurrent runs (RunAll) never mutate shared state and ID assignment
+// never depends on run scheduling.
+func (e *Env) internUpdateCandidates() {
+	ex := cost.NewExtractor(e.Model)
+	for _, s := range e.Workload.Statements {
+		if s.Kind != stmt.Query {
+			ex.Extract(s)
+		}
+	}
 }
 
 // chooseFixedCandidates runs the offline candidate selection: mine
@@ -139,14 +165,18 @@ func (e *Env) chooseFixedCandidates() {
 	e.Universe = universe
 
 	// One IBG per statement over the whole universe answers every
-	// cost(q, X) probe the greedy selection needs.
+	// cost(q, X) probe the greedy selection needs. Graph construction is
+	// the dominant cost of the offline pass and each statement's graph is
+	// independent, so the builds fan out across the worker pool; the
+	// statistics are then folded in statement order, keeping the floating-
+	// point sums identical to a serial pass.
 	wfOpt := whatif.New(e.Model)
-	graphs := make([]*ibg.Graph, len(e.Workload.Statements))
+	graphs := par.Map(e.Options.Workers, len(e.Workload.Statements), func(i int) *ibg.Graph {
+		return ibg.Build(wfOpt, e.Workload.Statements[i], universe)
+	})
 	influencedBy := make(map[index.ID][]int) // candidate -> statement indices
 	benefitTotal := make(map[index.ID]float64)
-	for i, s := range e.Workload.Statements {
-		g := ibg.Build(wfOpt, s, universe)
-		graphs[i] = g
+	for i, g := range graphs {
 		g.UsedUnion().Each(func(a index.ID) {
 			influencedBy[a] = append(influencedBy[a], i)
 			if b := g.MaxBenefit(a); b > 0 {
@@ -172,17 +202,29 @@ func (e *Env) chooseFixedCandidates() {
 	}
 	selected := index.EmptySet
 	for selected.Len() < repBudget {
-		bestGain := 0.0
-		var bestID index.ID
-		for _, a := range candidates {
+		// Marginal gains of the remaining candidates are independent
+		// probes against frozen graphs; compute them in parallel, then
+		// pick the winner serially in candidate order so tie-breaking
+		// matches the serial pass exactly.
+		gains := par.Map(e.Options.Workers, len(candidates), func(k int) float64 {
+			a := candidates[k]
 			if selected.Contains(a) {
-				continue
+				return 0
 			}
 			gain := 0.0
 			trial := selected.Add(a)
 			for _, i := range influencedBy[a] {
 				gain += curCost[i] - graphs[i].Cost(trial)
 			}
+			return gain
+		})
+		bestGain := 0.0
+		var bestID index.ID
+		for k, a := range candidates {
+			if selected.Contains(a) {
+				continue
+			}
+			gain := gains[k]
 			if gain > bestGain || (gain == bestGain && bestID != index.Invalid && a < bestID) {
 				bestGain = gain
 				bestID = a
@@ -247,13 +289,13 @@ func (e *Env) chooseFixedCandidates() {
 }
 
 // buildEvaluationIBGs builds one IBG per statement over FixedC; they price
-// configurations for WFA/BC/OPT during runs without optimizer calls.
+// configurations for WFA/BC/OPT during runs without optimizer calls. The
+// per-statement builds are independent and fan out across the worker pool.
 func (e *Env) buildEvaluationIBGs() {
 	wfOpt := whatif.New(e.Model)
-	e.IBGs = make([]*ibg.Graph, len(e.Workload.Statements))
-	for i, s := range e.Workload.Statements {
-		e.IBGs[i] = ibg.Build(wfOpt, s, e.FixedC)
-	}
+	e.IBGs = par.Map(e.Options.Workers, len(e.Workload.Statements), func(i int) *ibg.Graph {
+		return ibg.Build(wfOpt, e.Workload.Statements[i], e.FixedC)
+	})
 }
 
 // buildPartitions accumulates whole-workload interaction totals in the
@@ -265,9 +307,14 @@ func (e *Env) buildEvaluationIBGs() {
 // partition's loss is exactly the decomposition error OPT's dynamic
 // program incurs.
 func (e *Env) buildPartitions() {
+	// Per-graph interaction mining is independent; the totals are folded
+	// in statement order so the floating-point sums stay deterministic.
+	perGraph := par.Map(e.Options.Workers, len(e.IBGs), func(i int) []ibg.Interaction {
+		return e.IBGs[i].Interactions(1e-6)
+	})
 	doiTotal := make(map[interaction.Pair]float64)
-	for _, g := range e.IBGs {
-		for _, in := range g.Interactions(1e-6) {
+	for _, ins := range perGraph {
+		for _, in := range ins {
 			doiTotal[interaction.MakePair(in.A, in.B)] += in.Doi
 		}
 	}

@@ -27,17 +27,18 @@ func (e *Env) middle() int {
 }
 
 // RunFig8 reproduces Figure 8: baseline recommendation quality of WFIT at
-// several stateCnt granularities, WFIT-IND, and BC, all normalized by OPT.
+// several stateCnt granularities, WFIT-IND, and BC, all normalized by
+// OPT. The runs are independent and evaluate concurrently.
 func (e *Env) RunFig8() []*RunResult {
-	var results []*RunResult
+	var specs []RunSpec
 	for _, sc := range e.Options.StateCnts {
 		name := fmt.Sprintf("WFIT-%d", sc)
-		algo := e.NewWFITFixedAlgo(name, e.Partitions[sc])
-		results = append(results, e.Run(RunSpec{Algo: algo}))
+		specs = append(specs, RunSpec{Algo: e.NewWFITFixedAlgo(name, e.Partitions[sc])})
 	}
-	results = append(results, e.Run(RunSpec{Algo: e.NewWFITIndAlgo("WFIT-IND")}))
-	results = append(results, e.Run(RunSpec{Algo: e.NewBCAlgo("BC")}))
-	return results
+	specs = append(specs,
+		RunSpec{Algo: e.NewWFITIndAlgo("WFIT-IND")},
+		RunSpec{Algo: e.NewBCAlgo("BC")})
+	return e.RunAll(specs...)
 }
 
 // RunFig9 reproduces Figure 9: the effect of prescient good feedback and
@@ -47,11 +48,11 @@ func (e *Env) RunFig9() []*RunResult {
 	good := workload.VotesAt(workload.ScheduleVotes(e.Opt.Schedule))
 	bad := workload.VotesAt(workload.InvertVotes(workload.ScheduleVotes(e.Opt.Schedule)))
 
-	return []*RunResult{
-		e.Run(RunSpec{Algo: e.NewWFITFixedAlgo("GOOD", part), Votes: good}),
-		e.Run(RunSpec{Algo: e.NewWFITFixedAlgo("WFIT", part)}),
-		e.Run(RunSpec{Algo: e.NewWFITFixedAlgo("BAD", part), Votes: bad}),
-	}
+	return e.RunAll(
+		RunSpec{Algo: e.NewWFITFixedAlgo("GOOD", part), Votes: good},
+		RunSpec{Algo: e.NewWFITFixedAlgo("WFIT", part)},
+		RunSpec{Algo: e.NewWFITFixedAlgo("BAD", part), Votes: bad},
+	)
 }
 
 // RunFig10 reproduces Figure 10: good feedback under the independence
@@ -59,10 +60,10 @@ func (e *Env) RunFig9() []*RunResult {
 // internal statistics.
 func (e *Env) RunFig10() []*RunResult {
 	good := workload.VotesAt(workload.ScheduleVotes(e.Opt.Schedule))
-	return []*RunResult{
-		e.Run(RunSpec{Algo: e.NewWFITIndAlgo("GOOD-IND"), Votes: good}),
-		e.Run(RunSpec{Algo: e.NewWFITIndAlgo("WFIT-IND")}),
-	}
+	return e.RunAll(
+		RunSpec{Algo: e.NewWFITIndAlgo("GOOD-IND"), Votes: good},
+		RunSpec{Algo: e.NewWFITIndAlgo("WFIT-IND")},
+	)
 }
 
 // RunFig11 reproduces Figure 11: delayed acceptance, where the DBA only
@@ -71,18 +72,18 @@ func (e *Env) RunFig10() []*RunResult {
 func (e *Env) RunFig11() []*RunResult {
 	part := e.Partitions[e.middle()]
 	lags := []int{1, 25, 50, 75}
-	var results []*RunResult
+	var specs []RunSpec
 	for _, lag := range lags {
 		name := "WFIT"
 		if lag > 1 {
 			name = fmt.Sprintf("LAG %d", lag)
 		}
-		results = append(results, e.Run(RunSpec{
+		specs = append(specs, RunSpec{
 			Algo:        e.NewWFITFixedAlgo(name, part),
 			AcceptEvery: lag,
-		}))
+		})
 	}
-	return results
+	return e.RunAll(specs...)
 }
 
 // Fig12Result bundles the AUTO-vs-FIXED comparison with the candidate-
@@ -101,14 +102,13 @@ func (e *Env) RunFig12() *Fig12Result {
 	options := core.DefaultOptions()
 	options.IdxCnt = e.Options.IdxCnt
 	options.StateCnt = e.middle()
+	options.Workers = 1 // run-level concurrency already covers the CPUs
 	auto := e.NewWFITAutoAlgo("AUTO", options)
-	autoRun := e.Run(RunSpec{Algo: auto})
-
 	fixed := e.NewWFITFixedAlgo("FIXED", e.Partitions[e.middle()])
-	fixedRun := e.Run(RunSpec{Algo: fixed})
+	runs := e.RunAll(RunSpec{Algo: auto}, RunSpec{Algo: fixed})
 
 	return &Fig12Result{
-		Runs:          []*RunResult{autoRun, fixedRun},
+		Runs:          runs,
 		CandidateCnt:  auto.Tuner().UniverseSize(),
 		Repartitions:  auto.Tuner().Repartitions(),
 		WhatIfCalls:   auto.WhatIfCalls(),
@@ -157,6 +157,7 @@ func (e *Env) RunOverhead() *OverheadReport {
 	options := core.DefaultOptions()
 	options.IdxCnt = e.Options.IdxCnt
 	options.StateCnt = e.middle()
+	options.Workers = e.Options.Workers
 	auto := e.NewWFITAutoAlgo("AUTO", options)
 	run := e.Run(RunSpec{Algo: auto})
 	n := len(e.Workload.Statements)

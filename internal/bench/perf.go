@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"runtime"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// PerfSide measures one configuration of the per-statement analysis loop:
+// the full WFIT in deployment configuration (online candidate maintenance,
+// private what-if optimizer), driven over the environment's workload.
+type PerfSide struct {
+	// Workers is the analysis pipeline's worker bound (1 = serial path).
+	Workers int `json:"workers"`
+	// WallMSTotal is the total wall time spent inside the tuner.
+	WallMSTotal float64 `json:"analysis_wall_ms_total"`
+	// USPerStmtMean is the mean per-statement analysis wall time (µs).
+	USPerStmtMean float64 `json:"us_per_stmt_mean"`
+	// USPerStmtP50/P90/Max summarize the per-statement distribution.
+	USPerStmtP50 float64 `json:"us_per_stmt_p50"`
+	USPerStmtP90 float64 `json:"us_per_stmt_p90"`
+	USPerStmtMax float64 `json:"us_per_stmt_max"`
+	// PerStmtWallUS is the full per-statement wall-time trajectory (µs).
+	PerStmtWallUS []float64 `json:"per_stmt_wall_us"`
+	// WhatIfCalls counts real optimizer invocations; CacheHits counts
+	// probes served by the what-if cache; CacheHitRate is
+	// hits / (hits + calls).
+	WhatIfCalls  int64   `json:"whatif_calls"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// WhatIfPerStmt summarizes IBG sizes (= what-if calls per statement).
+	WhatIfPerStmt Overhead `json:"whatif_per_stmt"`
+	// FinalRatio is totWork(OPT)/totWork after the whole workload — the
+	// paper's OPT-normalized quality metric. TotalWork is the raw total,
+	// and OptNormalizedRatio the full per-statement ratio trajectory.
+	FinalRatio         float64   `json:"opt_normalized_final_ratio"`
+	TotalWork          float64   `json:"total_work"`
+	OptNormalizedRatio []float64 `json:"opt_normalized_ratio"`
+
+	// totWork keeps the raw per-statement trajectory for the exact
+	// serial-vs-parallel comparison (not marshaled; the normalized form
+	// above carries the same information for readers).
+	totWork []float64
+}
+
+// PerfReport compares the serial and parallel per-statement analysis
+// paths; it is the payload of cmd/wfitbench's BENCH_wfit.json.
+type PerfReport struct {
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	Cores      int    `json:"cores"`
+	Statements int    `json:"statements"`
+	// Serial forces Workers=1 through the whole pipeline; Parallel uses
+	// one worker per core. Speedup is serial mean / parallel mean
+	// per-statement time; it approaches 1.0 on a single-core host.
+	Serial   *PerfSide `json:"serial"`
+	Parallel *PerfSide `json:"parallel"`
+	Speedup  float64   `json:"speedup"`
+	// RatiosMatch records the determinism guarantee as measured: the two
+	// paths produced bit-identical total-work trajectories.
+	RatiosMatch bool `json:"serial_parallel_results_identical"`
+}
+
+// RunPerf evaluates the full WFIT once with the given worker bound and
+// returns the measured side. It runs alone (no concurrent runs) and
+// starts from a collected heap, so back-to-back measurements don't bias
+// the later one with the earlier one's garbage.
+func (e *Env) RunPerf(workers int) *PerfSide {
+	runtime.GC()
+	options := core.DefaultOptions()
+	options.IdxCnt = e.Options.IdxCnt
+	options.StateCnt = e.middle()
+	options.Workers = workers
+	algo := e.NewWFITAutoAlgo("PERF", options)
+	run := e.Run(RunSpec{Algo: algo})
+
+	n := len(run.StmtAnalyze)
+	side := &PerfSide{
+		Workers:            workers,
+		WallMSTotal:        float64(run.AnalyzeTime.Microseconds()) / 1e3,
+		PerStmtWallUS:      make([]float64, n),
+		WhatIfCalls:        algo.WhatIfCalls(),
+		CacheHits:          algo.Optimizer().Hits(),
+		WhatIfPerStmt:      NewOverhead(algo.IBGNodeCounts()),
+		FinalRatio:         run.Ratio[len(run.Ratio)-1],
+		TotalWork:          run.TotWork[len(run.TotWork)-1],
+		OptNormalizedRatio: run.Ratio,
+		totWork:            run.TotWork,
+	}
+	if probes := side.WhatIfCalls + side.CacheHits; probes > 0 {
+		side.CacheHitRate = float64(side.CacheHits) / float64(probes)
+	}
+	sorted := make([]float64, n)
+	for i, d := range run.StmtAnalyze {
+		us := float64(d.Nanoseconds()) / 1e3
+		side.PerStmtWallUS[i] = us
+		sorted[i] = us
+	}
+	sort.Float64s(sorted)
+	if n > 0 {
+		total := 0.0
+		for _, us := range sorted {
+			total += us
+		}
+		side.USPerStmtMean = total / float64(n)
+		side.USPerStmtP50 = sorted[n/2]
+		side.USPerStmtP90 = sorted[n*9/10]
+		side.USPerStmtMax = sorted[n-1]
+	}
+	return side
+}
+
+// RunPerfComparison measures the serial and parallel analysis paths back
+// to back (never concurrently — timings stay uncontended) and verifies
+// they produced identical tuning trajectories.
+func (e *Env) RunPerfComparison() *PerfReport {
+	serial := e.RunPerf(1)
+	parallel := e.RunPerf(0)
+	r := &PerfReport{
+		Schema:      "wfit-perf/v1",
+		GoVersion:   runtime.Version(),
+		Cores:       runtime.NumCPU(),
+		Statements:  len(e.Workload.Statements),
+		Serial:      serial,
+		Parallel:    parallel,
+		RatiosMatch: trajectoriesEqual(serial.totWork, parallel.totWork),
+	}
+	if parallel.USPerStmtMean > 0 {
+		r.Speedup = serial.USPerStmtMean / parallel.USPerStmtMean
+	}
+	return r
+}
+
+// trajectoriesEqual reports bit-exact equality of two total-work
+// trajectories, element by element.
+func trajectoriesEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/index"
+	"repro/internal/par"
 	"repro/internal/stmt"
 	"repro/internal/workload"
 )
@@ -67,6 +68,9 @@ type RunResult struct {
 	FinalConfig index.Set
 	// AnalyzeTime is the total time spent inside the algorithm.
 	AnalyzeTime time.Duration
+	// StmtAnalyze[i] is the wall time the algorithm spent on statement
+	// i+1 (analysis plus any feedback deliveries at that position).
+	StmtAnalyze []time.Duration
 }
 
 // Run evaluates one algorithm over the environment's workload. Total work
@@ -75,9 +79,10 @@ type RunResult struct {
 func (e *Env) Run(spec RunSpec) *RunResult {
 	n := len(e.Workload.Statements)
 	res := &RunResult{
-		Name:    spec.Algo.Name(),
-		TotWork: make([]float64, n+1),
-		Ratio:   make([]float64, n+1),
+		Name:        spec.Algo.Name(),
+		TotWork:     make([]float64, n+1),
+		Ratio:       make([]float64, n+1),
+		StmtAnalyze: make([]time.Duration, n),
 	}
 	res.Ratio[0] = 1
 
@@ -92,6 +97,10 @@ func (e *Env) Run(spec RunSpec) *RunResult {
 	for i1, s := range e.Workload.Statements {
 		i := i1 + 1
 		sc := e.IBGs[i1]
+		charge := func(d time.Duration) {
+			res.AnalyzeTime += d
+			res.StmtAnalyze[i1] += d
+		}
 
 		start := time.Now()
 		spec.Algo.Analyze(i, s, sc)
@@ -99,7 +108,7 @@ func (e *Env) Run(spec RunSpec) *RunResult {
 			spec.Algo.Feedback(v.Plus, v.Minus)
 		}
 		rec := spec.Algo.Recommend()
-		res.AnalyzeTime += time.Since(start)
+		charge(time.Since(start))
 
 		accept := spec.AcceptEvery <= 1 || i%spec.AcceptEvery == 0
 		if accept {
@@ -110,7 +119,7 @@ func (e *Env) Run(spec RunSpec) *RunResult {
 				dropped := mat.Minus(rec)
 				start = time.Now()
 				spec.Algo.Feedback(rec, dropped)
-				res.AnalyzeTime += time.Since(start)
+				charge(time.Since(start))
 			}
 			if !rec.Equal(mat) {
 				total += e.Reg.Delta(mat, rec)
@@ -141,7 +150,7 @@ func (e *Env) Run(spec RunSpec) *RunResult {
 					mat = mat.Minus(retired)
 					start = time.Now()
 					spec.Algo.Feedback(index.EmptySet, retired)
-					res.AnalyzeTime += time.Since(start)
+					charge(time.Since(start))
 				}
 			}
 		}
@@ -160,4 +169,21 @@ func (e *Env) Run(spec RunSpec) *RunResult {
 	}
 	res.FinalConfig = mat
 	return res
+}
+
+// RunAll evaluates the given runs concurrently, one goroutine per run,
+// and returns results in spec order. Runs only share read-only
+// environment state — the per-statement IBGs answer concurrent probes
+// through an atomic memo, the cost model is stateless, the registry is
+// fully populated at construction (internUpdateCandidates), and every
+// algorithm instance is private to its spec — so concurrent results are
+// identical to sequential ones. Per-run AnalyzeTime is wall time and
+// inflates under CPU contention; use sequential Run calls when timing is
+// the measurement.
+func (e *Env) RunAll(specs ...RunSpec) []*RunResult {
+	out := make([]*RunResult, len(specs))
+	par.Do(e.Options.Workers, len(specs), func(i int) {
+		out[i] = e.Run(specs[i])
+	})
+	return out
 }

@@ -20,6 +20,17 @@ type StatementCost interface {
 	Influential(cfg index.Set) index.Set
 }
 
+// MaskCoster is an optional fast path a StatementCost can provide: a
+// probe function over bitmasks in the caller's id space (bit i of the
+// argument stands for ids[i]). WFA's work-function update sweeps every
+// configuration of its part, and pricing them as masks avoids one
+// index.Set materialization per configuration. *ibg.Graph implements it.
+// The returned function must agree exactly with Cost on every subset of
+// ids.
+type MaskCoster interface {
+	CostMaskFunc(ids []index.ID) func(mask uint32) float64
+}
+
 // Tuner is the common interface of the online tuning algorithms compared
 // in the experiments (WFIT, WFA+ under a fixed partition, BC).
 type Tuner interface {

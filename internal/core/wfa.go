@@ -149,8 +149,14 @@ func (a *WFA) TrueWorkValue(cfg index.Set) float64 {
 // AnalyzeStatement implements WFA.analyzeQuery (Figure 3): update the work
 // function with the statement's cost, then re-select the recommendation by
 // minimal score among configurations whose work-function path ends at
-// themselves (p-membership), with deterministic tie-breaking.
+// themselves (p-membership), with deterministic tie-breaking. When sc
+// offers the MaskCoster fast path (IBGs do), configurations are priced as
+// raw masks, skipping one set materialization per configuration.
 func (a *WFA) AnalyzeStatement(sc StatementCost) {
+	if mc, ok := sc.(MaskCoster); ok {
+		a.analyzeMask(mc.CostMaskFunc(a.cand))
+		return
+	}
 	a.analyze(func(cfg index.Set) float64 { return sc.Cost(cfg) })
 }
 
@@ -161,12 +167,16 @@ func (a *WFA) AnalyzeWithCost(costFn func(cfg index.Set) float64) {
 }
 
 func (a *WFA) analyze(costFn func(cfg index.Set) float64) {
+	a.analyzeMask(func(m uint32) float64 { return costFn(a.SetOf(m)) })
+}
+
+func (a *WFA) analyzeMask(costFn func(mask uint32) float64) {
 	size := len(a.w)
 	n := len(a.cand)
 
 	// Stage 1a: v[X] = w[X] + cost(q, X).
 	for s := 0; s < size; s++ {
-		a.v[s] = a.w[s] + costFn(a.SetOf(uint32(s)))
+		a.v[s] = a.w[s] + costFn(uint32(s))
 	}
 	// Stage 1b: w'[S] = min_X v[X] + δ(X, S), via one relaxation pass per
 	// coordinate. Within a pass, S0 = S without the bit and S1 = with it:

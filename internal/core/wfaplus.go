@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/index"
 	"repro/internal/interaction"
+	"repro/internal/par"
 )
 
 // WFAPlus is the divide-and-conquer WFA of §4.2: one WFA instance per part
@@ -18,6 +19,7 @@ type WFAPlus struct {
 	reg       *index.Registry
 	partition interaction.Partition
 	parts     []*WFA
+	workers   int
 }
 
 // NewWFAPlus creates per-part WFA instances, each initialized with the
@@ -37,15 +39,49 @@ func (p *WFAPlus) Partition() interaction.Partition { return p.partition }
 // repartitioning and by tests).
 func (p *WFAPlus) Parts() []*WFA { return p.parts }
 
+// SetWorkers bounds the goroutines AnalyzeStatement fans per-part updates
+// across: 1 forces the serial path, values <= 0 mean one per CPU. Part
+// updates are independent (Theorem 4.2's decomposition), so the result is
+// identical for any setting.
+func (p *WFAPlus) SetWorkers(n int) { p.workers = n }
+
 // AnalyzeStatement feeds the statement to every part whose candidates can
-// influence its cost. Untouched parts would receive a uniform work-
-// function shift, which changes no decision, so they are skipped.
+// influence its cost, fanning the independent per-part work-function
+// updates across the worker pool. Untouched parts would receive a uniform
+// work-function shift, which changes no decision, so they are skipped.
 func (p *WFAPlus) AnalyzeStatement(sc StatementCost) {
+	active := p.parts[:0:0]
 	for _, part := range p.parts {
-		if sc.Influential(part.Candidates()).Empty() {
-			continue
+		if !sc.Influential(part.Candidates()).Empty() {
+			active = append(active, part)
 		}
-		part.AnalyzeStatement(sc)
+	}
+	analyzeParts(p.workers, active, sc)
+}
+
+// parallelAnalyzeThreshold is the minimum total configuration count
+// (Σ 2^|Ck| over active parts) before per-part updates fan out; below it
+// goroutine handoff costs more than the updates themselves.
+const parallelAnalyzeThreshold = 2048
+
+// analyzeParts fans the independent per-part work-function updates over
+// up to workers goroutines. Each WFA mutates only its own state and sc is
+// safe for concurrent probing (the IBG memo is atomic), so any worker
+// count yields byte-identical results; tiny workloads stay on the calling
+// goroutine.
+func analyzeParts(workers int, parts []*WFA, sc StatementCost) {
+	if len(parts) > 1 && par.Workers(workers) > 1 {
+		total := 0
+		for _, p := range parts {
+			total += p.Size()
+		}
+		if total >= parallelAnalyzeThreshold {
+			par.Do(workers, len(parts), func(i int) { parts[i].AnalyzeStatement(sc) })
+			return
+		}
+	}
+	for _, p := range parts {
+		p.AnalyzeStatement(sc)
 	}
 }
 

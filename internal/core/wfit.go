@@ -8,6 +8,7 @@ import (
 	"repro/internal/ibg"
 	"repro/internal/index"
 	"repro/internal/interaction"
+	"repro/internal/par"
 	"repro/internal/stmt"
 	"repro/internal/whatif"
 )
@@ -30,6 +31,13 @@ type Options struct {
 	// AssumeIndependent disables interaction tracking entirely: every
 	// part becomes a singleton (the WFIT-IND variant of §6.2).
 	AssumeIndependent bool
+	// Workers bounds the goroutines the per-statement analysis pipeline
+	// (IBG expansion, statistics, per-part work-function updates) may
+	// fan out across. 1 forces the fully serial path; values <= 0 mean
+	// one worker per CPU. Any setting produces byte-identical results —
+	// parts of the stable partition are independent by Theorem 4.2's
+	// decomposition, and the shared IBG is safe for concurrent probing.
+	Workers int
 	// Seed drives the deterministic randomness of choosePartition.
 	Seed int64
 	// InitialMaterialized is S0, the materialized set at startup.
@@ -152,23 +160,25 @@ func (t *WFIT) Recommend() index.Set {
 }
 
 // AnalyzeQuery implements WFIT.analyzeQuery (Figure 4): maintain the
-// candidate partition via chooseCands/repartition, then run the per-part
-// work-function updates against the statement's index benefit graph.
+// candidate partition via chooseCands/repartition, then fan the per-part
+// work-function updates against the statement's index benefit graph out
+// across the worker pool.
 func (t *WFIT) AnalyzeQuery(s *stmt.Statement) {
 	t.n++
 	var g *ibg.Graph
 	if t.statsDisabled {
-		g = ibg.Build(t.opt, s, t.universe)
+		g = ibg.BuildWorkers(t.opt, s, t.universe, t.options.Workers)
 	} else {
 		g = t.chooseCandsAndRepartition(s)
 	}
 	t.lastIBGNodes = g.NodeCount()
+	active := t.parts[:0:0]
 	for _, part := range t.parts {
-		if g.Influential(part.Candidates()).Empty() {
-			continue
+		if !g.Influential(part.Candidates()).Empty() {
+			active = append(active, part)
 		}
-		part.AnalyzeStatement(g)
 	}
+	analyzeParts(t.options.Workers, active, g)
 }
 
 // chooseCandsAndRepartition implements chooseCands (Figure 6) and applies
@@ -186,13 +196,20 @@ func (t *WFIT) chooseCandsAndRepartition(s *stmt.Statement) *ibg.Graph {
 	// Statistics for universe members untouched by recent statements
 	// simply age out through the history window.
 	ibgSet := extracted.Union(t.partition.Union()).Union(t.materialized)
-	g := ibg.Build(t.opt, s, ibgSet)
-	// Line 3: update benefit and interaction statistics.
-	g.UsedUnion().Each(func(a index.ID) {
-		t.idxStats.Add(a, t.n, g.MaxBenefit(a))
+	g := ibg.BuildWorkers(t.opt, s, ibgSet, t.options.Workers)
+	// Line 3: update benefit and interaction statistics. The per-index
+	// benefit maximizations and per-pair doi maximizations are pure
+	// functions of the frozen graph, so they run on the worker pool; the
+	// history insertions stay serial and in deterministic order.
+	used := g.UsedUnion().IDs()
+	benefits := par.Map(t.options.Workers, len(used), func(i int) float64 {
+		return g.MaxBenefit(used[i])
 	})
+	for i, a := range used {
+		t.idxStats.Add(a, t.n, benefits[i])
+	}
 	if !t.options.AssumeIndependent {
-		for _, in := range g.Interactions(t.options.DoiThreshold) {
+		for _, in := range g.InteractionsWorkers(t.options.DoiThreshold, t.options.Workers) {
 			t.intStats.Add(in.A, in.B, t.n, in.Doi)
 		}
 	}

@@ -19,12 +19,22 @@
 // further optimizer calls. After construction the graph answers probes
 // with bitmask walks over the used union and a flat memo array: no
 // allocation, no optimizer.
+//
+// Construction expands the node frontier wave by wave, so the per-node
+// what-if optimizations of one wave can run on a worker pool
+// (BuildWorkers); the resulting graph is byte-identical to a serial
+// build. A frozen graph is safe for concurrent probing: the cost memo is
+// filled with atomic writes of values that are deterministic functions of
+// the (immutable) node structure.
 package ibg
 
 import (
 	"math"
+	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/index"
+	"repro/internal/par"
 	"repro/internal/stmt"
 	"repro/internal/whatif"
 )
@@ -36,6 +46,10 @@ const MaxNodes = 4096
 // exactEnumBits bounds the used-union size for exact benefit and doi
 // enumeration; larger graphs fall back to node-derived contexts.
 const exactEnumBits = 12
+
+// unsetCost marks an unfilled memo slot. The bit pattern is a NaN, which
+// no real statement cost can produce.
+const unsetCost = ^uint64(0)
 
 // node is one IBG vertex. Configurations and used sets are bitmasks over
 // the graph's used-union (only used indices influence walks and costs).
@@ -57,14 +71,17 @@ type Graph struct {
 	truncated bool
 	usedUnion index.Set
 
-	// costMemo caches CostMask results; NaN marks unset entries. Only
+	// costMemo caches CostMask results as float64 bit patterns accessed
+	// atomically (unsetCost marks empty slots), so concurrent probes are
+	// race-free: every writer stores the same deterministic value. Only
 	// allocated when the used union is small enough.
-	costMemo []float64
+	costMemo []uint64
 }
 
 // buildNode is the construction-time representation before masks exist.
 type buildNode struct {
 	cfg      index.Set
+	mask     uint64 // bitmask over top's IDs (valid when top has <= 64 indices)
 	cost     float64
 	used     index.Set
 	children map[index.ID]*buildNode
@@ -75,42 +92,108 @@ type buildNode struct {
 // one what-if optimization (served through opt, so repeated builds reuse
 // its cache).
 func Build(opt *whatif.Optimizer, s *stmt.Statement, candidates index.Set) *Graph {
+	return BuildWorkers(opt, s, candidates, 1)
+}
+
+// BuildWorkers is Build with the per-wave what-if optimizations fanned
+// out across up to workers goroutines (<= 0 means one per CPU). The
+// frontier is expanded level-synchronously in the serial algorithm's FIFO
+// order, so the produced graph — node set, links, truncation point — is
+// identical to Build's for any worker count.
+func BuildWorkers(opt *whatif.Optimizer, s *stmt.Statement, candidates index.Set, workers int) *Graph {
 	top := opt.Model().RestrictConfig(s, candidates)
 	g := &Graph{stmt: s, top: top, usedPos: make(map[index.ID]int)}
 
-	nodes := make(map[string]*buildNode)
-	expand := func(cfg index.Set) *buildNode {
-		c, used := opt.CostUsed(s, cfg)
-		n := &buildNode{cfg: cfg, cost: c, used: used, children: make(map[index.ID]*buildNode)}
-		nodes[cfg.Key()] = n
-		return n
+	// Node lookup is by configuration identity. Configurations are
+	// subsets of top, so when top is small they intern as bitmasks; the
+	// string-key map is the fallback for oversized candidate sets.
+	topIDs := top.IDs()
+	useMask := len(topIDs) <= 64
+	topPos := make(map[index.ID]int, len(topIDs))
+	for i, id := range topIDs {
+		topPos[id] = i
 	}
-	rootB := expand(top)
-	queue := []*buildNode{rootB}
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		if len(nodes) >= MaxNodes {
-			g.truncated = true
-			break
+	var byMask map[uint64]*buildNode
+	var byKey map[string]*buildNode
+	if useMask {
+		byMask = make(map[uint64]*buildNode)
+	} else {
+		byKey = make(map[string]*buildNode)
+	}
+	store := func(n *buildNode) {
+		if useMask {
+			byMask[n.mask] = n
+		} else {
+			byKey[n.cfg.Key()] = n
 		}
-		n.used.Each(func(a index.ID) {
-			childCfg := n.cfg.Remove(a)
-			key := childCfg.Key()
-			child, ok := nodes[key]
-			if !ok {
-				child = expand(childCfg)
-				queue = append(queue, child)
-			}
-			n.children[a] = child
+	}
+
+	var fullMask uint64
+	if useMask {
+		if len(topIDs) == 64 {
+			fullMask = ^uint64(0)
+		} else {
+			fullMask = (1 << len(topIDs)) - 1
+		}
+	}
+	rootB := &buildNode{cfg: top, mask: fullMask}
+	store(rootB)
+	all := []*buildNode{rootB}
+
+	// costWave prices every node of a frontier wave: one independent
+	// what-if optimization each.
+	costWave := func(wave []*buildNode) {
+		par.Do(workers, len(wave), func(i int) {
+			n := wave[i]
+			n.cost, n.used = opt.CostUsed(s, n.cfg)
 		})
 	}
-	g.nodeCount = len(nodes)
+	costWave(all)
+
+	wave := all
+	for len(wave) > 0 && !g.truncated {
+		var next []*buildNode
+		for _, n := range wave {
+			if len(all) >= MaxNodes {
+				g.truncated = true
+				break
+			}
+			n.used.Each(func(a index.ID) {
+				var child *buildNode
+				var ok bool
+				if useMask {
+					childMask := n.mask &^ (1 << topPos[a])
+					if child, ok = byMask[childMask]; !ok {
+						child = &buildNode{cfg: n.cfg.Remove(a), mask: childMask}
+					}
+				} else {
+					childCfg := n.cfg.Remove(a)
+					if child, ok = byKey[childCfg.Key()]; !ok {
+						child = &buildNode{cfg: childCfg}
+					}
+				}
+				if !ok {
+					store(child)
+					all = append(all, child)
+					next = append(next, child)
+				}
+				if n.children == nil {
+					n.children = make(map[index.ID]*buildNode)
+				}
+				n.children[a] = child
+			})
+		}
+		// Even on truncation the created children get priced: the serial
+		// algorithm computes a node's cost the moment it is enqueued.
+		costWave(next)
+		wave = next
+	}
+	g.nodeCount = len(all)
 
 	// Freeze: compute the used union and rewrite nodes into the compact
 	// mask-based form.
 	union := index.EmptySet
-	for _, n := range nodes {
+	for _, n := range all {
 		union = union.Union(n.used)
 	}
 	g.usedUnion = union
@@ -118,7 +201,7 @@ func Build(opt *whatif.Optimizer, s *stmt.Statement, candidates index.Set) *Grap
 	for i, id := range g.usedIDs {
 		g.usedPos[id] = i
 	}
-	frozen := make(map[*buildNode]*node, len(nodes))
+	frozen := make(map[*buildNode]*node, len(all))
 	var freeze func(b *buildNode) *node
 	freeze = func(b *buildNode) *node {
 		if f, ok := frozen[b]; ok {
@@ -141,9 +224,9 @@ func Build(opt *whatif.Optimizer, s *stmt.Statement, candidates index.Set) *Grap
 	g.root = freeze(rootB)
 
 	if bits := len(g.usedIDs); bits <= 20 {
-		g.costMemo = make([]float64, 1<<bits)
+		g.costMemo = make([]uint64, 1<<bits)
 		for i := range g.costMemo {
-			g.costMemo[i] = math.NaN()
+			g.costMemo[i] = unsetCost
 		}
 	}
 	return g
@@ -201,8 +284,7 @@ func (g *Graph) find(mask uint32) *node {
 		if rem == 0 || n.children == nil {
 			return n
 		}
-		bit := lowestBit(rem)
-		child := n.children[bit]
+		child := n.children[bits.TrailingZeros32(rem)]
 		if child == nil {
 			// Truncated graph: approximate with the deepest node.
 			return n
@@ -211,24 +293,14 @@ func (g *Graph) find(mask uint32) *node {
 	}
 }
 
-// lowestBit returns the position of the lowest set bit.
-func lowestBit(m uint32) int {
-	pos := 0
-	for m&1 == 0 {
-		m >>= 1
-		pos++
-	}
-	return pos
-}
-
 // CostMask returns cost(q, X) for X given as a used-union mask.
 func (g *Graph) CostMask(mask uint32) float64 {
 	if g.costMemo != nil {
-		if v := g.costMemo[mask]; !math.IsNaN(v) {
-			return v
+		if b := atomic.LoadUint64(&g.costMemo[mask]); b != unsetCost {
+			return math.Float64frombits(b)
 		}
 		v := g.find(mask).cost
-		g.costMemo[mask] = v
+		atomic.StoreUint64(&g.costMemo[mask], math.Float64bits(v))
 		return v
 	}
 	return g.find(mask).cost
@@ -238,6 +310,27 @@ func (g *Graph) CostMask(mask uint32) float64 {
 // change the cost and are ignored).
 func (g *Graph) Cost(x index.Set) float64 {
 	return g.CostMask(g.maskOf(x))
+}
+
+// CostMaskFunc returns a probe function over bitmasks in the caller's own
+// id space: bit i of the argument stands for ids[i]. It lets mask-indexed
+// consumers (WFA's work-function update sweeps all 2^|part|
+// configurations) price configurations without materializing an index.Set
+// per probe. Ids outside the used union are cost-irrelevant and ignored.
+func (g *Graph) CostMaskFunc(ids []index.ID) func(mask uint32) float64 {
+	bit := make([]uint32, len(ids))
+	for i, id := range ids {
+		if p, ok := g.usedPos[id]; ok {
+			bit[i] = 1 << p
+		}
+	}
+	return func(m uint32) float64 {
+		var gm uint32
+		for ; m != 0; m &= m - 1 {
+			gm |= bit[bits.TrailingZeros32(m)]
+		}
+		return g.CostMask(gm)
+	}
 }
 
 // Used returns the used set of the plan for configuration X.
@@ -369,12 +462,28 @@ type Interaction struct {
 // Interactions returns every pair of used indices with doi above the
 // threshold, ordered deterministically (ascending A, then B).
 func (g *Graph) Interactions(threshold float64) []Interaction {
+	return g.InteractionsWorkers(threshold, 1)
+}
+
+// InteractionsWorkers is Interactions with the per-pair doi maximizations
+// spread over up to workers goroutines (<= 0 means one per CPU). Pairs
+// are independent given the atomic cost memo, and results are collected
+// in pair order, so the output is identical to the serial form.
+func (g *Graph) InteractionsWorkers(threshold float64, workers int) []Interaction {
+	n := len(g.usedIDs)
+	pairs := make([][2]index.ID, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, [2]index.ID{g.usedIDs[i], g.usedIDs[j]})
+		}
+	}
+	dois := par.Map(workers, len(pairs), func(k int) float64 {
+		return g.DOI(pairs[k][0], pairs[k][1])
+	})
 	var out []Interaction
-	for i := 0; i < len(g.usedIDs); i++ {
-		for j := i + 1; j < len(g.usedIDs); j++ {
-			if d := g.DOI(g.usedIDs[i], g.usedIDs[j]); d > threshold {
-				out = append(out, Interaction{A: g.usedIDs[i], B: g.usedIDs[j], Doi: d})
-			}
+	for k, p := range pairs {
+		if dois[k] > threshold {
+			out = append(out, Interaction{A: p[0], B: p[1], Doi: dois[k]})
 		}
 	}
 	return out

@@ -3,6 +3,7 @@ package ibg
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/cost"
@@ -279,4 +280,104 @@ func TestEmptyCandidates(t *testing.T) {
 	if got, want := g.EmptyCost(), m.Cost(q, index.EmptySet); got != want {
 		t.Fatalf("EmptyCost = %v, want %v", got, want)
 	}
+}
+
+// TestParallelBuildIdenticalToSerial checks BuildWorkers' contract: the
+// graph produced with a worker pool is indistinguishable from a serial
+// build — same nodes, same probe answers, same statistics.
+func TestParallelBuildIdenticalToSerial(t *testing.T) {
+	o, _, ids := testSetup(t)
+	cands := index.NewSet(ids...)
+	for _, s := range []*stmt.Statement{joinQuery(), updateStmt()} {
+		serial := BuildWorkers(o, s, cands, 1)
+		parallel := BuildWorkers(o, s, cands, 8)
+
+		if serial.NodeCount() != parallel.NodeCount() {
+			t.Fatalf("stmt %d: node counts differ: %d vs %d", s.ID, serial.NodeCount(), parallel.NodeCount())
+		}
+		if serial.Truncated() != parallel.Truncated() {
+			t.Fatalf("stmt %d: truncation differs", s.ID)
+		}
+		if !serial.UsedUnion().Equal(parallel.UsedUnion()) {
+			t.Fatalf("stmt %d: used unions differ: %v vs %v", s.ID, serial.UsedUnion(), parallel.UsedUnion())
+		}
+		u := serial.UsedUnion().IDs()
+		if len(u) > 16 {
+			t.Fatalf("test statement too wide for exhaustive check")
+		}
+		for mask := 0; mask < 1<<len(u); mask++ {
+			var cur []index.ID
+			for j := range u {
+				if mask&(1<<j) != 0 {
+					cur = append(cur, u[j])
+				}
+			}
+			cfg := index.NewSet(cur...)
+			if cs, cp := serial.Cost(cfg), parallel.Cost(cfg); cs != cp {
+				t.Fatalf("stmt %d cfg %v: cost %v vs %v", s.ID, cfg, cs, cp)
+			}
+		}
+		for _, a := range u {
+			if bs, bp := serial.MaxBenefit(a), parallel.MaxBenefit(a); bs != bp {
+				t.Fatalf("stmt %d idx %d: max benefit %v vs %v", s.ID, a, bs, bp)
+			}
+		}
+		is := serial.Interactions(1e-9)
+		ip := parallel.InteractionsWorkers(1e-9, 8)
+		if len(is) != len(ip) {
+			t.Fatalf("stmt %d: interaction counts differ: %d vs %d", s.ID, len(is), len(ip))
+		}
+		for k := range is {
+			if is[k] != ip[k] {
+				t.Fatalf("stmt %d: interaction %d differs: %+v vs %+v", s.ID, k, is[k], ip[k])
+			}
+		}
+	}
+}
+
+// TestCostMaskFuncMatchesCost checks the mask-space fast path against the
+// set-based probe interface over every subset of an id slice that mixes
+// used, unused, and absent indices.
+func TestCostMaskFuncMatchesCost(t *testing.T) {
+	o, _, ids := testSetup(t)
+	q := joinQuery()
+	g := Build(o, q, index.NewSet(ids...))
+	probe := g.CostMaskFunc(ids)
+	for mask := 0; mask < 1<<len(ids); mask++ {
+		var cur []index.ID
+		for j := range ids {
+			if mask&(1<<j) != 0 {
+				cur = append(cur, ids[j])
+			}
+		}
+		if got, want := probe(uint32(mask)), g.Cost(index.NewSet(cur...)); got != want {
+			t.Fatalf("mask %b: fast path %v, set path %v", mask, got, want)
+		}
+	}
+}
+
+// TestConcurrentProbesAreRaceFree hammers one graph from many goroutines;
+// run under -race this validates the atomic cost memo.
+func TestConcurrentProbesAreRaceFree(t *testing.T) {
+	o, _, ids := testSetup(t)
+	q := joinQuery()
+	g := Build(o, q, index.NewSet(ids...))
+	want := make([]float64, 64)
+	for m := range want {
+		want[m] = g.find(uint32(m) & g.fullMask()).cost
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				m := uint32((seed*31 + i)) % 64
+				if got := g.CostMask(m & g.fullMask()); got != want[m] {
+					panic("nondeterministic cost under concurrency")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // ID identifies an interned index within a Registry.
@@ -91,8 +92,13 @@ func (ix *Index) Covers(cols []string) bool {
 }
 
 // Registry interns index definitions and owns the ID space. The zero value
-// is ready to use. Registry is not safe for concurrent mutation.
+// is ready to use. Registry is safe for concurrent use; interned
+// definitions are immutable, so pointers returned by Get stay valid. Note
+// that concurrent Intern calls make ID assignment order scheduling-
+// dependent — callers that need deterministic IDs (everything keyed or
+// tie-broken by ID order) should intern from one goroutine.
 type Registry struct {
+	mu    sync.RWMutex
 	byKey map[string]ID
 	defs  []*Index // defs[i] has ID i+1
 }
@@ -107,6 +113,8 @@ func NewRegistry() *Registry {
 // already registered, the existing ID is returned and the stored definition
 // is left untouched.
 func (r *Registry) Intern(proto Index) ID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.byKey == nil {
 		r.byKey = make(map[string]ID)
 	}
@@ -128,6 +136,8 @@ func (r *Registry) Intern(proto Index) ID {
 
 // Lookup returns the ID for an index definition if it has been interned.
 func (r *Registry) Lookup(table string, columns []string) (ID, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	id, ok := r.byKey[Key(table, columns)]
 	return id, ok
 }
@@ -135,6 +145,8 @@ func (r *Registry) Lookup(table string, columns []string) (ID, bool) {
 // Get returns the definition for id. It panics on an unknown ID, which
 // always indicates a programming error (IDs only come from Intern).
 func (r *Registry) Get(id ID) *Index {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if id == Invalid || int(id) > len(r.defs) {
 		panic(fmt.Sprintf("index: unknown ID %d", id))
 	}
@@ -142,10 +154,16 @@ func (r *Registry) Get(id ID) *Index {
 }
 
 // Len reports how many indices have been interned.
-func (r *Registry) Len() int { return len(r.defs) }
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.defs)
+}
 
 // All returns the definitions of every interned index in ID order.
 func (r *Registry) All() []*Index {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]*Index, len(r.defs))
 	copy(out, r.defs)
 	return out

@@ -7,18 +7,35 @@
 package whatif
 
 import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/cost"
 	"repro/internal/index"
 	"repro/internal/stmt"
 )
 
-// Optimizer is a caching, call-counting what-if optimizer. It is not safe
-// for concurrent use.
+// DefaultCapacity bounds the cache at a size that comfortably holds the
+// working set of a paper-scale run (a few hundred IBG nodes per statement
+// over a bounded statement window) while keeping long workload streams
+// from pinning every statement ever probed.
+const DefaultCapacity = 1 << 16
+
+// shardCount is the number of independently locked cache shards. A power
+// of two so shard selection is a mask; 16 ways is enough that the IBG
+// builder's worker pool rarely collides on a shard lock.
+const shardCount = 16
+
+// Optimizer is a caching, call-counting what-if optimizer. It is safe for
+// concurrent use: the memo is sharded across independently locked,
+// LRU-bounded segments, and the call/hit counters are atomic.
 type Optimizer struct {
 	model *cost.Model
-	cache map[cacheKey]entry
-	calls int64
-	hits  int64
+	seed  maphash.Seed
+	shard [shardCount]shard
+	calls atomic.Int64
+	hits  atomic.Int64
 }
 
 type cacheKey struct {
@@ -26,18 +43,62 @@ type cacheKey struct {
 	cfg string
 }
 
+// entry is one resident cache line, threaded on its shard's LRU list.
 type entry struct {
-	cost float64
-	used index.Set
+	key        cacheKey
+	cost       float64
+	used       index.Set
+	prev, next *entry
 }
 
-// New wraps the model.
+// shard is one lock domain of the cache: a map for lookup plus an
+// intrusive doubly linked list in recency order (head = most recent).
+type shard struct {
+	mu         sync.Mutex
+	m          map[cacheKey]*entry
+	head, tail *entry
+	capacity   int
+}
+
+// New wraps the model with the default cache capacity.
 func New(m *cost.Model) *Optimizer {
-	return &Optimizer{model: m, cache: make(map[cacheKey]entry)}
+	return NewWithCapacity(m, DefaultCapacity)
+}
+
+// NewWithCapacity wraps the model with a cache bounded to at most
+// capacity entries in total (capacity <= 0 selects DefaultCapacity). The
+// bound is enforced per shard by rounding capacity down to a multiple of
+// the shard count, so skewed traffic can only leave the total below the
+// nominal bound, never above it — except for capacities smaller than the
+// shard count, which round up to one entry per shard.
+func NewWithCapacity(m *cost.Model, capacity int) *Optimizer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	perShard := capacity / shardCount
+	if perShard < 1 {
+		perShard = 1
+	}
+	o := &Optimizer{model: m, seed: maphash.MakeSeed()}
+	for i := range o.shard {
+		o.shard[i] = shard{m: make(map[cacheKey]*entry), capacity: perShard}
+	}
+	return o
 }
 
 // Model exposes the underlying cost model.
 func (o *Optimizer) Model() *cost.Model { return o.model }
+
+// shardFor hashes the key to a lock domain. The statement's identity and
+// the configuration key both contribute, so probes for one statement
+// spread across shards.
+func (o *Optimizer) shardFor(key cacheKey) *shard {
+	var h maphash.Hash
+	h.SetSeed(o.seed)
+	h.WriteString(key.cfg)
+	sum := h.Sum64() ^ uint64(key.s.ID)*0x9e3779b97f4a7c15
+	return &o.shard[sum&(shardCount-1)]
+}
 
 // CostUsed returns the what-if cost of s under cfg and the plan's used-
 // index set. The configuration is first restricted to indices relevant to
@@ -45,13 +106,18 @@ func (o *Optimizer) Model() *cost.Model { return o.model }
 func (o *Optimizer) CostUsed(s *stmt.Statement, cfg index.Set) (float64, index.Set) {
 	restricted := o.model.RestrictConfig(s, cfg)
 	key := cacheKey{s: s, cfg: restricted.Key()}
-	if e, ok := o.cache[key]; ok {
-		o.hits++
-		return e.cost, e.used
+	sh := o.shardFor(key)
+	if c, used, ok := sh.get(key); ok {
+		o.hits.Add(1)
+		return c, used
 	}
-	o.calls++
+	// Compute outside the shard lock so a slow optimization never blocks
+	// unrelated probes. Concurrent misses on the same key each pay one
+	// model call and then store identical results — the model is pure, so
+	// the race is benign and the cached value is deterministic.
+	o.calls.Add(1)
 	c, used := o.model.CostUsed(s, restricted)
-	o.cache[key] = entry{cost: c, used: used}
+	sh.put(key, c, used)
 	return c, used
 }
 
@@ -63,10 +129,92 @@ func (o *Optimizer) Cost(s *stmt.Statement, cfg index.Set) float64 {
 
 // Calls reports how many real optimizer invocations have happened (cache
 // misses since construction or the last ResetStats).
-func (o *Optimizer) Calls() int64 { return o.calls }
+func (o *Optimizer) Calls() int64 { return o.calls.Load() }
 
 // Hits reports how many probes were served from cache.
-func (o *Optimizer) Hits() int64 { return o.hits }
+func (o *Optimizer) Hits() int64 { return o.hits.Load() }
 
 // ResetStats zeroes the call and hit counters, keeping the cache.
-func (o *Optimizer) ResetStats() { o.calls, o.hits = 0, 0 }
+func (o *Optimizer) ResetStats() {
+	o.calls.Store(0)
+	o.hits.Store(0)
+}
+
+// CacheLen reports the number of resident entries across all shards.
+func (o *Optimizer) CacheLen() int {
+	total := 0
+	for i := range o.shard {
+		sh := &o.shard[i]
+		sh.mu.Lock()
+		total += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// get looks the key up and, on a hit, moves its entry to the recency
+// head.
+func (s *shard) get(key cacheKey) (float64, index.Set, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[key]
+	if !ok {
+		return 0, index.EmptySet, false
+	}
+	s.moveToFront(e)
+	return e.cost, e.used, true
+}
+
+// put inserts the entry, evicting from the recency tail past capacity.
+func (s *shard) put(key cacheKey, cost float64, used index.Set) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[key]; ok {
+		// A concurrent miss got here first with the same deterministic
+		// result; just refresh recency.
+		s.moveToFront(e)
+		return
+	}
+	e := &entry{key: key, cost: cost, used: used}
+	s.m[key] = e
+	s.pushFront(e)
+	for len(s.m) > s.capacity {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.m, victim.key)
+	}
+}
+
+func (s *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard) moveToFront(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}

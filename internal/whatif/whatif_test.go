@@ -1,6 +1,8 @@
 package whatif
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/cost"
@@ -93,5 +95,121 @@ func TestResetStats(t *testing.T) {
 	if o.Calls() != 1 {
 		// Note: query() builds a new statement value, so this is a
 		// fresh cache key — a call, not a hit.
+	}
+}
+
+// distinctQuery returns a statement whose cache keys cannot collide with
+// any other id's (distinct selectivity ⇒ distinct statement pointer and
+// distinct costs).
+func distinctQuery(id int) *stmt.Statement {
+	q := query()
+	q.ID = id
+	q.Preds[0].Selectivity = 0.001 + float64(id)*1e-6
+	return q
+}
+
+func TestCacheBoundedAndEvicts(t *testing.T) {
+	cat, _ := datagen.Build()
+	reg := index.NewRegistry()
+	m := cost.NewModel(cat, reg, cost.DefaultParams())
+	ship := reg.Intern(cost.BuildIndexProto(cat, m.Params(), "tpch.lineitem", []string{"l_shipdate"}))
+	const capacity = 64
+	o := NewWithCapacity(m, capacity)
+	cfg := index.NewSet(ship)
+
+	first := distinctQuery(1)
+	o.Cost(first, cfg)
+	// Stream far more distinct statements than the cache can hold.
+	for i := 2; i <= 50*capacity; i++ {
+		o.Cost(distinctQuery(i), cfg)
+	}
+	if got := o.CacheLen(); got > capacity {
+		t.Fatalf("cache holds %d entries, capacity %d", got, capacity)
+	}
+	// The long-cold first statement must have been evicted: probing it
+	// again is a real optimizer call, not a hit.
+	calls := o.Calls()
+	o.Cost(first, cfg)
+	if o.Calls() != calls+1 {
+		t.Fatalf("first statement still cached after %d insertions", 50*capacity)
+	}
+}
+
+func TestCacheLRUKeepsHotEntry(t *testing.T) {
+	cat, _ := datagen.Build()
+	reg := index.NewRegistry()
+	m := cost.NewModel(cat, reg, cost.DefaultParams())
+	ship := reg.Intern(cost.BuildIndexProto(cat, m.Params(), "tpch.lineitem", []string{"l_shipdate"}))
+	o := NewWithCapacity(m, 64)
+	cfg := index.NewSet(ship)
+
+	hot := distinctQuery(1)
+	o.Cost(hot, cfg)
+	// Keep touching the hot statement while cold ones stream past. Cold
+	// traffic stays well under capacity×shards, so the hot entry can only
+	// fall out if recency is ignored.
+	for i := 2; i <= 40; i++ {
+		o.Cost(distinctQuery(i), cfg)
+		o.Cost(hot, cfg)
+	}
+	calls := o.Calls()
+	o.Cost(hot, cfg)
+	if o.Calls() != calls {
+		t.Fatalf("hot statement was evicted despite constant reuse")
+	}
+}
+
+func TestConcurrentProbesConsistent(t *testing.T) {
+	o, ship, trade := setup(t)
+	q := query()
+	cfgs := []index.Set{
+		index.EmptySet,
+		index.NewSet(ship),
+		index.NewSet(trade),
+		index.NewSet(ship, trade),
+	}
+	want := make([]float64, len(cfgs))
+	for i, cfg := range cfgs {
+		want[i] = o.Model().Cost(q, o.Model().RestrictConfig(q, cfg))
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (seed + i) % len(cfgs)
+				if got := o.Cost(q, cfgs[k]); got != want[k] {
+					errs <- fmt.Sprintf("cfg %d: got %v want %v", k, got, want[k])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if o.Calls()+o.Hits() != 8*500 {
+		t.Fatalf("probe accounting lost events: calls=%d hits=%d", o.Calls(), o.Hits())
+	}
+}
+
+func TestCapacityNotMultipleOfShardsStaysBounded(t *testing.T) {
+	cat, _ := datagen.Build()
+	reg := index.NewRegistry()
+	m := cost.NewModel(cat, reg, cost.DefaultParams())
+	ship := reg.Intern(cost.BuildIndexProto(cat, m.Params(), "tpch.lineitem", []string{"l_shipdate"}))
+	const capacity = 100 // not a multiple of the shard count
+	o := NewWithCapacity(m, capacity)
+	cfg := index.NewSet(ship)
+	for i := 1; i <= 40*capacity; i++ {
+		o.Cost(distinctQuery(i), cfg)
+	}
+	if got := o.CacheLen(); got > capacity {
+		t.Fatalf("cache holds %d entries, capacity %d", got, capacity)
 	}
 }
