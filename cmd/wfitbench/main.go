@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/bench"
@@ -28,6 +29,13 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain carries the program body so error paths return instead of
+// calling os.Exit directly — the deferred profile writers must flush
+// even when a run fails partway.
+func realMain() int {
 	fig := flag.Int("fig", 0, "run a single figure (8..12); 0 runs everything")
 	overhead := flag.Bool("overhead", false, "run only the overhead measurement")
 	perf := flag.Bool("perf", false, "run only the serial-vs-parallel analysis benchmark")
@@ -38,7 +46,41 @@ func main() {
 	height := flag.Int("height", 14, "chart height")
 	workers := flag.Int("workers", 0, "worker bound for construction and runs (0 = one per CPU)")
 	benchout := flag.String("benchout", "BENCH_wfit.json", "perf trajectory output file (empty disables)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured runs to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "create %s: %v\n", *memprofile, err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "write alloc profile: %v\n", err)
+			}
+		}()
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *cpuprofile, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "start CPU profile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("CPU profile written to %s\n", *cpuprofile)
+		}()
+	}
 
 	opts := bench.DefaultOptions()
 	if *small {
@@ -62,14 +104,13 @@ func main() {
 
 	if *overhead {
 		printOverhead(env)
-		return
+		return 0
 	}
 	if *perf {
-		runPerf(env, *benchout)
-		return
+		return runPerf(env, *benchout)
 	}
 
-	run := func(n int) {
+	run := func(n int) int {
 		switch n {
 		case 8:
 			printRuns(env, "Figure 8: baseline performance (total work ratio, OPT=1)",
@@ -93,30 +134,37 @@ func main() {
 				res.WhatIfCalls, res.WhatIfPerStmt.Min, res.WhatIfPerStmt.Mean, res.WhatIfPerStmt.Max)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %d (want 8..12)\n", n)
-			os.Exit(2)
+			return 2
 		}
+		return 0
 	}
 
 	if *fig != 0 {
-		run(*fig)
-		return
+		return run(*fig)
 	}
 	for _, n := range []int{8, 9, 10, 11, 12} {
-		run(n)
+		if code := run(n); code != 0 {
+			return code
+		}
 	}
 	printOverhead(env)
-	runPerf(env, *benchout)
+	return runPerf(env, *benchout)
 }
 
 // runPerf measures the per-statement analysis loop serially and with the
-// worker pool, prints the comparison, and writes the JSON trajectory.
-func runPerf(env *bench.Env, outPath string) {
+// worker pool, prints the comparison, and writes the JSON trajectory. It
+// returns a process exit code instead of exiting so deferred profile
+// writers still run.
+func runPerf(env *bench.Env, outPath string) int {
 	fmt.Println("\nAnalysis-loop perf: full WFIT, serial (workers=1) vs parallel (one worker per core)")
 	r := env.RunPerfComparison()
 	show := func(label string, s *bench.PerfSide) {
-		fmt.Printf("  %-8s %8.1f µs/stmt (p50 %.1f, p90 %.1f), %d what-if calls, cache hit rate %.1f%%\n",
-			label, s.USPerStmtMean, s.USPerStmtP50, s.USPerStmtP90,
+		fmt.Printf("  %-8s %8.1f µs/stmt (p50 %.1f, p90 %.1f, p99 %.1f, max %.1f), %d what-if calls, cache hit rate %.1f%%\n",
+			label, s.USPerStmtMean, s.USPerStmtP50, s.USPerStmtP90, s.USPerStmtP99, s.USPerStmtMax,
 			s.WhatIfCalls, 100*s.CacheHitRate)
+		fmt.Printf("  %-8s %8.0f allocs/stmt, %.0f bytes/stmt mean (p50 %.0f, p90 %.0f, max %.0f)\n",
+			"", s.AllocsPerStmtMean, s.BytesPerStmtMean,
+			s.BytesPerStmtP50, s.BytesPerStmtP90, s.BytesPerStmtMax)
 	}
 	show("serial", r.Serial)
 	show("parallel", r.Parallel)
@@ -124,18 +172,19 @@ func runPerf(env *bench.Env, outPath string) {
 		r.Speedup, r.Cores, r.Parallel.FinalRatio, r.RatiosMatch)
 
 	if outPath == "" {
-		return
+		return 0
 	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "marshal perf report: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "write %s: %v\n", outPath, err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("  trajectory written to %s\n", outPath)
+	return 0
 }
 
 // printRuns charts the OPT-normalized ratio curves of a set of runs.

@@ -14,6 +14,7 @@ type fakeCost struct {
 
 func (f *fakeCost) Cost(cfg index.Set) float64          { return f.fn(cfg) }
 func (f *fakeCost) Influential(cfg index.Set) index.Set { return cfg.Intersect(f.infl) }
+func (f *fakeCost) Influences(cfg index.Set) bool       { return cfg.Intersects(f.infl) }
 
 func setup(create, drop float64) (*index.Registry, index.ID, index.ID) {
 	reg := index.NewRegistry()

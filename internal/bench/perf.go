@@ -17,12 +17,24 @@ type PerfSide struct {
 	WallMSTotal float64 `json:"analysis_wall_ms_total"`
 	// USPerStmtMean is the mean per-statement analysis wall time (µs).
 	USPerStmtMean float64 `json:"us_per_stmt_mean"`
-	// USPerStmtP50/P90/Max summarize the per-statement distribution.
+	// USPerStmtP50/P90/P99/Max summarize the per-statement distribution.
 	USPerStmtP50 float64 `json:"us_per_stmt_p50"`
 	USPerStmtP90 float64 `json:"us_per_stmt_p90"`
+	USPerStmtP99 float64 `json:"us_per_stmt_p99"`
 	USPerStmtMax float64 `json:"us_per_stmt_max"`
 	// PerStmtWallUS is the full per-statement wall-time trajectory (µs).
 	PerStmtWallUS []float64 `json:"per_stmt_wall_us"`
+	// AllocsPerStmt*/BytesPerStmt* summarize the per-statement heap
+	// allocation distribution (allocation count and allocated bytes
+	// attributable to the tuner, measured as runtime MemStats deltas
+	// around the analysis of each statement).
+	AllocsPerStmtMean float64 `json:"allocs_per_stmt_mean"`
+	AllocsPerStmtP50  float64 `json:"allocs_per_stmt_p50"`
+	AllocsPerStmtMax  float64 `json:"allocs_per_stmt_max"`
+	BytesPerStmtMean  float64 `json:"bytes_per_stmt_mean"`
+	BytesPerStmtP50   float64 `json:"bytes_per_stmt_p50"`
+	BytesPerStmtP90   float64 `json:"bytes_per_stmt_p90"`
+	BytesPerStmtMax   float64 `json:"bytes_per_stmt_max"`
 	// WhatIfCalls counts real optimizer invocations; CacheHits counts
 	// probes served by the what-if cache; CacheHitRate is
 	// hits / (hits + calls).
@@ -73,7 +85,7 @@ func (e *Env) RunPerf(workers int) *PerfSide {
 	options.StateCnt = e.middle()
 	options.Workers = workers
 	algo := e.NewWFITAutoAlgo("PERF", options)
-	run := e.Run(RunSpec{Algo: algo})
+	run := e.Run(RunSpec{Algo: algo, TrackAllocs: true})
 
 	n := len(run.StmtAnalyze)
 	side := &PerfSide{
@@ -106,9 +118,31 @@ func (e *Env) RunPerf(workers int) *PerfSide {
 		side.USPerStmtMean = total / float64(n)
 		side.USPerStmtP50 = sorted[n/2]
 		side.USPerStmtP90 = sorted[n*9/10]
+		side.USPerStmtP99 = sorted[n*99/100]
 		side.USPerStmtMax = sorted[n-1]
 	}
+	side.AllocsPerStmtMean, side.AllocsPerStmtP50, _, side.AllocsPerStmtMax =
+		distribution(run.StmtAllocs, sorted)
+	side.BytesPerStmtMean, side.BytesPerStmtP50, side.BytesPerStmtP90, side.BytesPerStmtMax =
+		distribution(run.StmtAllocBytes, sorted)
 	return side
+}
+
+// distribution summarizes a per-statement counter series, reusing the
+// caller's float scratch for the sort.
+func distribution(series []uint64, scratch []float64) (mean, p50, p90, max float64) {
+	n := len(series)
+	if n == 0 || len(scratch) < n {
+		return 0, 0, 0, 0
+	}
+	scratch = scratch[:n]
+	total := 0.0
+	for i, v := range series {
+		scratch[i] = float64(v)
+		total += float64(v)
+	}
+	sort.Float64s(scratch)
+	return total / float64(n), scratch[n/2], scratch[n*9/10], scratch[n-1]
 }
 
 // RunPerfComparison measures the serial and parallel analysis paths back
@@ -118,7 +152,7 @@ func (e *Env) RunPerfComparison() *PerfReport {
 	serial := e.RunPerf(1)
 	parallel := e.RunPerf(0)
 	r := &PerfReport{
-		Schema:      "wfit-perf/v1",
+		Schema:      "wfit-perf/v2",
 		GoVersion:   runtime.Version(),
 		Cores:       runtime.NumCPU(),
 		Statements:  len(e.Workload.Statements),

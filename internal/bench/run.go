@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -45,6 +46,12 @@ type RunSpec struct {
 	// out-of-band feedback). 0 means the default (300); negative
 	// disables retirement.
 	RetireIdleAfter int
+	// TrackAllocs records per-statement heap allocation counts and bytes
+	// (runtime.ReadMemStats deltas around the algorithm interactions).
+	// The snapshots run outside the timed sections, but they do add a
+	// small fixed cost per statement — leave this off unless the run is a
+	// perf measurement.
+	TrackAllocs bool
 }
 
 // defaultRetireIdleAfter is the modeled DBA's idle-index retirement
@@ -71,6 +78,15 @@ type RunResult struct {
 	// StmtAnalyze[i] is the wall time the algorithm spent on statement
 	// i+1 (analysis plus any feedback deliveries at that position).
 	StmtAnalyze []time.Duration
+	// StmtAllocs[i] and StmtAllocBytes[i] count the heap allocations and
+	// allocated bytes for statement i+1's algorithm interactions plus the
+	// thin harness bookkeeping between them (recommendation comparison,
+	// transition pricing, retirement tracking) — a small constant per
+	// statement, so the series remains a faithful regression signal for
+	// the tuner's allocation behavior. Only populated when
+	// RunSpec.TrackAllocs is set.
+	StmtAllocs     []uint64
+	StmtAllocBytes []uint64
 }
 
 // Run evaluates one algorithm over the environment's workload. Total work
@@ -94,12 +110,20 @@ func (e *Env) Run(spec RunSpec) *RunResult {
 	mat := index.EmptySet
 	lastUsed := make(map[index.ID]int)
 	total := 0.0
+	var memBefore, memAfter runtime.MemStats
+	if spec.TrackAllocs {
+		res.StmtAllocs = make([]uint64, n)
+		res.StmtAllocBytes = make([]uint64, n)
+	}
 	for i1, s := range e.Workload.Statements {
 		i := i1 + 1
 		sc := e.IBGs[i1]
 		charge := func(d time.Duration) {
 			res.AnalyzeTime += d
 			res.StmtAnalyze[i1] += d
+		}
+		if spec.TrackAllocs {
+			runtime.ReadMemStats(&memBefore)
 		}
 
 		start := time.Now()
@@ -155,6 +179,16 @@ func (e *Env) Run(spec RunSpec) *RunResult {
 			}
 		}
 		spec.Algo.SetMaterialized(mat)
+		if spec.TrackAllocs {
+			// Mallocs/TotalAlloc are monotonic, so the deltas survive
+			// any GC that runs mid-statement. The snapshots bracket the
+			// algorithm interactions and the harness bookkeeping between
+			// them — the true-cost pricing below is the simulated DBMS
+			// and stays outside the window.
+			runtime.ReadMemStats(&memAfter)
+			res.StmtAllocs[i1] = memAfter.Mallocs - memBefore.Mallocs
+			res.StmtAllocBytes[i1] = memAfter.TotalAlloc - memBefore.TotalAlloc
+		}
 
 		// Price the adopted configuration with the true model and track
 		// which materialized indices the plan actually used (feeding the

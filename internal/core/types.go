@@ -18,17 +18,30 @@ type StatementCost interface {
 	// (their work function would shift uniformly, which never changes
 	// any decision).
 	Influential(cfg index.Set) index.Set
+	// Influences reports whether any member of cfg can change the
+	// statement's cost — the same question as !Influential(cfg).Empty()
+	// without materializing the intersection. The per-statement analysis
+	// loop asks it once per part, so it must not allocate.
+	Influences(cfg index.Set) bool
 }
 
 // MaskCoster is an optional fast path a StatementCost can provide: a
 // probe function over bitmasks in the caller's id space (bit i of the
-// argument stands for ids[i]). WFA's work-function update sweeps every
-// configuration of its part, and pricing them as masks avoids one
-// index.Set materialization per configuration. *ibg.Graph implements it.
-// The returned function must agree exactly with Cost on every subset of
-// ids.
+// argument stands for ids[i], so len(ids) must be at most 32). WFA's
+// work-function update sweeps every configuration of its part, and
+// pricing them as masks avoids one index.Set materialization per
+// configuration. *ibg.Graph implements it.
 type MaskCoster interface {
-	CostMaskFunc(ids []index.ID) func(mask uint32) float64
+	// CostProbe returns the probe plus the mask of *relevant* caller
+	// bits: bit i of relevant is set iff ids[i] can change the
+	// statement's cost. The probe must agree exactly with Cost on every
+	// subset of ids, and must satisfy probe(m) == probe(m&relevant) —
+	// that projection is what lets the caller price one representative
+	// per coset instead of every configuration. xlat is caller-owned
+	// scratch with at least len(ids) entries that the implementation may
+	// use for its translation table, so repeated calls allocate nothing
+	// but the closure.
+	CostProbe(ids []index.ID, xlat []uint32) (probe func(mask uint32) float64, relevant uint32)
 }
 
 // Tuner is the common interface of the online tuning algorithms compared

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/index"
 )
@@ -21,10 +22,22 @@ const MaxPartBits = 20
 // which is exact because δ decomposes per index into direction-dependent
 // create/drop costs. That reduces the per-statement complexity from
 // O(4^n) to O(2^n · n).
+//
+// Two further observations keep the constant factors down. First, a
+// statement's cost depends only on the part bits its plans can use (k of
+// n, usually k ≪ n), so the cost stage prices one representative per
+// coset — 2^k probes broadcast over 2^(n−k) untouched-bit cosets —
+// instead of probing all 2^n configurations. Second, δ(·, R) for a fixed
+// R is additive per differing bit, so the score and feedback stages fill
+// a δ table with one addition per configuration (fillDeltaTable) instead
+// of an O(n) bit walk per configuration. Every scratch buffer is
+// allocated once at construction and reused across statements.
 type WFA struct {
 	reg  *index.Registry
 	cand []index.ID       // part members, ascending; bit i = cand[i]
 	pos  map[index.ID]int // index ID -> bit position
+
+	candSet index.Set // the part as a set (immutable, shared with callers)
 
 	create []float64 // δ+ per bit
 	drop   []float64 // δ− per bit
@@ -33,22 +46,30 @@ type WFA struct {
 	base    float64   // cumulative normalization offset
 	currRec uint32    // current recommendation mask
 
-	// scratch buffers reused across statements
-	v []float64
+	// scratch buffers reused across statements (zero steady-state
+	// allocation on the analysis path)
+	v         []float64 // stage-1 values w[X] + cost(q, X)
+	d         []float64 // δ table for the score stage
+	d2        []float64 // second δ table, feedback only (lazily sized)
+	c0, c1    []float64 // per-bit contributions feeding fillDeltaTable
+	probeBits []uint32  // id→coster-bit translation handed to CostProbe
 }
 
-// NewWFA creates a WFA instance for the given candidate part, with the
-// initial materialized configuration init (intersected with the part, per
-// the WFA+ initialization). The work function starts at w0(S) = δ(S0, S).
-func NewWFA(reg *index.Registry, part index.Set, init index.Set) *WFA {
+// newWFAShell allocates a WFA for the given part with every buffer sized
+// but the work function unfilled; callers must initialize w, currRec and
+// normalize. Split out so the repartition path can fill w directly in
+// mask space without paying for (and then overwriting) the δ(S0, ·)
+// initialization.
+func newWFAShell(reg *index.Registry, part index.Set) *WFA {
 	n := part.Len()
 	if n > MaxPartBits {
 		panic(fmt.Sprintf("core: part of %d indices exceeds MaxPartBits=%d", n, MaxPartBits))
 	}
 	a := &WFA{
-		reg:  reg,
-		cand: part.IDs(),
-		pos:  make(map[index.ID]int, n),
+		reg:     reg,
+		cand:    part.IDs(),
+		candSet: part,
+		pos:     make(map[index.ID]int, n),
 	}
 	for i, id := range a.cand {
 		a.pos[id] = i
@@ -59,11 +80,30 @@ func NewWFA(reg *index.Registry, part index.Set, init index.Set) *WFA {
 	size := 1 << n
 	a.w = make([]float64, size)
 	a.v = make([]float64, size)
+	a.d = make([]float64, size)
+	a.c0 = make([]float64, n)
+	a.c1 = make([]float64, n)
+	a.probeBits = make([]uint32, n)
+	return a
+}
+
+// NewWFA creates a WFA instance for the given candidate part, with the
+// initial materialized configuration init (intersected with the part, per
+// the WFA+ initialization). The work function starts at w0(S) = δ(S0, S).
+func NewWFA(reg *index.Registry, part index.Set, init index.Set) *WFA {
+	a := newWFAShell(reg, part)
 	s0 := a.MaskOf(init)
 	a.currRec = s0
-	for s := uint32(0); s < uint32(size); s++ {
-		a.w[s] = a.deltaMask(s0, s)
+	// w0(S) = δ(S0, S): a bit in S0 missing from S costs its drop, a bit
+	// in S missing from S0 its creation.
+	for i := range a.cand {
+		if s0&(1<<i) != 0 {
+			a.c0[i], a.c1[i] = a.drop[i], 0
+		} else {
+			a.c0[i], a.c1[i] = 0, a.create[i]
+		}
 	}
+	fillDeltaTable(a.w, a.c0, a.c1)
 	return a
 }
 
@@ -72,17 +112,17 @@ func NewWFA(reg *index.Registry, part index.Set, init index.Set) *WFA {
 // is preset. This is the entry point of WFIT's repartition step (Figure 5),
 // which rebuilds instances from sums of old per-part work functions.
 func NewWFAWithWork(reg *index.Registry, part index.Set, rec index.Set, work func(cfg index.Set) float64) *WFA {
-	a := NewWFA(reg, part, rec)
+	a := newWFAShell(reg, part)
+	a.currRec = a.MaskOf(rec)
 	for s := 0; s < len(a.w); s++ {
 		a.w[s] = work(a.SetOf(uint32(s)))
 	}
-	a.base = 0
 	a.normalize()
 	return a
 }
 
 // Candidates returns the part this instance is responsible for.
-func (a *WFA) Candidates() index.Set { return index.NewSet(a.cand...) }
+func (a *WFA) Candidates() index.Set { return a.candSet }
 
 // Size returns the number of tracked configurations (2^|part|).
 func (a *WFA) Size() int { return len(a.w) }
@@ -109,7 +149,10 @@ func (a *WFA) SetOf(mask uint32) index.Set {
 	return index.NewSet(ids...)
 }
 
-// deltaMask computes δ(from, to) within the part.
+// deltaMask computes δ(from, to) within the part. The analysis loop uses
+// δ tables (fillDeltaTable) instead; this per-pair form remains for
+// one-off probes and as the reference the differential tests compare
+// those tables against.
 func (a *WFA) deltaMask(from, to uint32) float64 {
 	diff := from ^ to
 	var total float64
@@ -126,6 +169,24 @@ func (a *WFA) deltaMask(from, to uint32) float64 {
 		diff &^= bit
 	}
 	return total
+}
+
+// fillDeltaTable fills d[s] = Σ_i (bit i of s ? c1[i] : c0[i]) for every
+// mask s, with the terms summed left-to-right in ascending bit order —
+// exactly the association deltaMask uses, so table entries are
+// bit-identical to per-configuration deltaMask calls (x + 0.0 == x for
+// the non-negative sums involved). One addition per table slot: O(2^n)
+// total where the per-configuration walks cost O(2^n · n).
+func fillDeltaTable(d []float64, c0, c1 []float64) {
+	d[0] = 0
+	for i, lo := range c0 {
+		hi := c1[i]
+		bit := 1 << i
+		for s := 0; s < bit; s++ {
+			d[s|bit] = d[s] + hi
+			d[s] += lo
+		}
+	}
 }
 
 // Recommend returns the current recommendation as an index set.
@@ -151,10 +212,12 @@ func (a *WFA) TrueWorkValue(cfg index.Set) float64 {
 // minimal score among configurations whose work-function path ends at
 // themselves (p-membership), with deterministic tie-breaking. When sc
 // offers the MaskCoster fast path (IBGs do), configurations are priced as
-// raw masks, skipping one set materialization per configuration.
+// raw masks — and only one per coset of the statement's relevant bits —
+// skipping both the set materialization and the redundant probes.
 func (a *WFA) AnalyzeStatement(sc StatementCost) {
 	if mc, ok := sc.(MaskCoster); ok {
-		a.analyzeMask(mc.CostMaskFunc(a.cand))
+		probe, relevant := mc.CostProbe(a.cand, a.probeBits)
+		a.analyzeMask(probe, relevant)
 		return
 	}
 	a.analyze(func(cfg index.Set) float64 { return sc.Cost(cfg) })
@@ -167,42 +230,91 @@ func (a *WFA) AnalyzeWithCost(costFn func(cfg index.Set) float64) {
 }
 
 func (a *WFA) analyze(costFn func(cfg index.Set) float64) {
-	a.analyzeMask(func(m uint32) float64 { return costFn(a.SetOf(m)) })
+	// No projection information: treat every bit as relevant.
+	full := uint32(len(a.w) - 1)
+	a.analyzeMask(func(m uint32) float64 { return costFn(a.SetOf(m)) }, full)
 }
 
-func (a *WFA) analyzeMask(costFn func(mask uint32) float64) {
+// analyzeMask runs one work-function update against a mask-space probe.
+// relevant marks the bits the probe can observe: costFn(m) must equal
+// costFn(m & relevant) for every mask, which holds for IBG probes because
+// indices outside the graph's used union never change a plan.
+func (a *WFA) analyzeMask(costFn func(mask uint32) float64, relevant uint32) {
 	size := len(a.w)
 	n := len(a.cand)
+	full := uint32(size - 1)
+	rel := relevant & full
+	irr := full &^ rel
 
-	// Stage 1a: v[X] = w[X] + cost(q, X).
-	for s := 0; s < size; s++ {
-		a.v[s] = a.w[s] + costFn(uint32(s))
+	// Stage 1a: v[X] = w[X] + cost(q, X). The cost is constant across
+	// each coset of the irrelevant bits, so evaluate the 2^k distinct
+	// costs once (k = |rel|) and broadcast each across its 2^(n−k)
+	// untouched-bit coset — the probe, its bit remap, and the memo walk
+	// run 2^k times instead of 2^n.
+	if irr == 0 {
+		for s := 0; s < size; s++ {
+			a.v[s] = a.w[s] + costFn(uint32(s))
+		}
+	} else {
+		r := uint32(0)
+		for {
+			c := costFn(r)
+			q := uint32(0)
+			for {
+				s := r | q
+				a.v[s] = a.w[s] + c
+				q = (q - irr) & irr
+				if q == 0 {
+					break
+				}
+			}
+			r = (r - rel) & rel
+			if r == 0 {
+				break
+			}
+		}
 	}
+
 	// Stage 1b: w'[S] = min_X v[X] + δ(X, S), via one relaxation pass per
 	// coordinate. Within a pass, S0 = S without the bit and S1 = with it:
 	// creating costs δ+, dropping costs δ−.
 	copy(a.w, a.v)
 	for i := 0; i < n; i++ {
 		bit := 1 << i
-		for s0 := 0; s0 < size; s0++ {
-			if s0&bit != 0 {
-				continue
-			}
-			s1 := s0 | bit
-			if c := a.w[s0] + a.create[i]; c < a.w[s1] {
-				a.w[s1] = c
-			}
-			if c := a.w[s1] + a.drop[i]; c < a.w[s0] {
-				a.w[s0] = c
+		step := bit << 1
+		ci, di := a.create[i], a.drop[i]
+		for base := 0; base < size; base += step {
+			for s0 := base; s0 < base+bit; s0++ {
+				s1 := s0 | bit
+				w1 := a.w[s1]
+				if c := a.w[s0] + ci; c < w1 {
+					w1 = c
+					a.w[s1] = c
+				}
+				if c := w1 + di; c < a.w[s0] {
+					a.w[s0] = c
+				}
 			}
 		}
 	}
 
-	// Stage 2: scores and recommendation. p-membership means the minimal
-	// path for S performs no transition after the statement: w'[S] = v[S].
+	// Stage 2: scores and recommendation. The score of S is
+	// w'[S] + δ(S, currRec); δ(·, currRec) is additive per bit, so one
+	// O(2^n) table fill replaces an O(n) bit walk per configuration.
+	// p-membership means the minimal path for S performs no transition
+	// after the statement: w'[S] = v[S].
+	for i := 0; i < n; i++ {
+		if a.currRec&(1<<i) != 0 {
+			a.c0[i], a.c1[i] = a.create[i], 0
+		} else {
+			a.c0[i], a.c1[i] = 0, a.drop[i]
+		}
+	}
+	fillDeltaTable(a.d, a.c0, a.c1)
+
 	minScore := math.Inf(1)
 	for s := 0; s < size; s++ {
-		if sc := a.w[s] + a.deltaMask(uint32(s), a.currRec); sc < minScore {
+		if sc := a.w[s] + a.d[s]; sc < minScore {
 			minScore = sc
 		}
 	}
@@ -210,7 +322,7 @@ func (a *WFA) analyzeMask(costFn func(mask uint32) float64) {
 	best := int32(-1)
 	bestIsP := false
 	for s := 0; s < size; s++ {
-		sc := a.w[s] + a.deltaMask(uint32(s), a.currRec)
+		sc := a.w[s] + a.d[s]
 		if sc > minScore+eps {
 			continue
 		}
@@ -265,19 +377,63 @@ func (a *WFA) normalize() {
 // recommendation consistent with the votes, then raise work-function
 // values so every configuration's score respects the bound (5.1) relative
 // to the new recommendation — as if the workload itself had justified the
-// switch.
+// switch. All three δ terms the bound needs are per-bit additive given the
+// vote masks, so they fill as O(2^n) tables rather than per-configuration
+// bit walks.
 func (a *WFA) Feedback(plus, minus index.Set) {
 	plusMask := a.MaskOf(plus)
 	minusMask := a.MaskOf(minus)
 	if plusMask == 0 && minusMask == 0 {
 		return
 	}
+	// Positive votes win on overlap (the recommendation update below
+	// encodes exactly that), so the consistent form of S is
+	// S − minusEff + plus.
+	minusEff := minusMask &^ plusMask
 	a.currRec = a.currRec&^minusMask | plusMask
 	wRec := a.w[a.currRec]
+	if a.d2 == nil {
+		a.d2 = make([]float64, len(a.w))
+	}
+	// d[S] = δ(S, currRec).
+	for i := range a.cand {
+		if a.currRec&(1<<i) != 0 {
+			a.c0[i], a.c1[i] = a.create[i], 0
+		} else {
+			a.c0[i], a.c1[i] = 0, a.drop[i]
+		}
+	}
+	fillDeltaTable(a.d, a.c0, a.c1)
+	// v[S] = δ(S, cons(S)): only vote bits S disagrees with contribute.
+	for i := range a.cand {
+		bit := uint32(1) << i
+		switch {
+		case plusMask&bit != 0:
+			a.c0[i], a.c1[i] = a.create[i], 0
+		case minusEff&bit != 0:
+			a.c0[i], a.c1[i] = 0, a.drop[i]
+		default:
+			a.c0[i], a.c1[i] = 0, 0
+		}
+	}
+	fillDeltaTable(a.v, a.c0, a.c1)
+	// d2[S] = δ(cons(S), S): the same bits, transitioned the other way.
+	for i := range a.cand {
+		bit := uint32(1) << i
+		switch {
+		case plusMask&bit != 0:
+			a.c0[i], a.c1[i] = a.drop[i], 0
+		case minusEff&bit != 0:
+			a.c0[i], a.c1[i] = 0, a.create[i]
+		default:
+			a.c0[i], a.c1[i] = 0, 0
+		}
+	}
+	fillDeltaTable(a.d2, a.c0, a.c1)
+
 	for s := range a.w {
-		cons := uint32(s)&^minusMask | plusMask
-		minDiff := a.deltaMask(uint32(s), cons) + a.deltaMask(cons, uint32(s))
-		diff := a.w[s] + a.deltaMask(uint32(s), a.currRec) - wRec
+		minDiff := a.v[s] + a.d2[s]
+		diff := a.w[s] + a.d[s] - wRec
 		if diff < minDiff {
 			a.w[s] += minDiff - diff
 		}
@@ -308,4 +464,16 @@ func preferMask(x, y, r uint32) bool {
 	}
 	low := diff & -diff
 	return (x^r)&low == 0
+}
+
+// remapTable fills rm[s] with the translation of each part mask s into
+// another WFA's bit space, given the per-bit image table img (img[i] is
+// the other instance's bit for a.cand[i], or 0 when absent). Filled as a
+// subset DP — one OR per slot — it is what lets repartition read old work
+// functions with array lookups instead of per-configuration set algebra.
+func remapTable(rm []uint32, img []uint32) {
+	rm[0] = 0
+	for s := 1; s < len(rm); s++ {
+		rm[s] = rm[s&(s-1)] | img[bits.TrailingZeros32(uint32(s))]
+	}
 }

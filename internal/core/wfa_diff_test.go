@@ -1,0 +1,308 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/index"
+)
+
+// maskCostTable is a StatementCost + MaskCoster over an explicit cost
+// table that depends only on a subset of the part's bits — the shape an
+// IBG probe has, where the relevant bits are the graph's used union. It
+// exercises the projection-aware cost stage of analyzeMask.
+type maskCostTable struct {
+	wfa    *WFA
+	rel    uint32
+	relSet index.Set
+	costs  []float64 // indexed by full part mask; value depends on mask&rel only
+}
+
+func (c *maskCostTable) Cost(cfg index.Set) float64 {
+	return c.costs[c.wfa.MaskOf(cfg)&c.rel]
+}
+func (c *maskCostTable) Influential(cfg index.Set) index.Set { return cfg.Intersect(c.relSet) }
+func (c *maskCostTable) Influences(cfg index.Set) bool       { return cfg.Intersects(c.relSet) }
+func (c *maskCostTable) CostProbe(ids []index.ID, xlat []uint32) (func(mask uint32) float64, uint32) {
+	// The test drives the same WFA the table was built for, so the id
+	// space is the part's own and the translation is the identity.
+	return func(m uint32) float64 { return c.costs[m&c.rel] }, c.rel
+}
+
+// naiveWFA is the O(4^n) textbook reference: the work-function update as
+// an explicit min over all X of w[X] + cost(X) + δ(X, S), with δ walked
+// bit by bit, and the recommendation selected with the same score rule
+// and tie-breaks the production code documents.
+type naiveWFA struct {
+	n            int
+	create, drop []float64
+	w            []float64
+	rec          uint32
+}
+
+func (na *naiveWFA) delta(from, to uint32) float64 {
+	diff := from ^ to
+	var total float64
+	for i := 0; diff != 0; i++ {
+		bit := uint32(1) << i
+		if diff&bit == 0 {
+			continue
+		}
+		if to&bit != 0 {
+			total += na.create[i]
+		} else {
+			total += na.drop[i]
+		}
+		diff &^= bit
+	}
+	return total
+}
+
+func (na *naiveWFA) analyze(cost func(mask uint32) float64) {
+	size := 1 << na.n
+	v := make([]float64, size)
+	for s := 0; s < size; s++ {
+		v[s] = na.w[s] + cost(uint32(s))
+	}
+	next := make([]float64, size)
+	for s := 0; s < size; s++ {
+		best := math.Inf(1)
+		for x := 0; x < size; x++ {
+			if c := v[x] + na.delta(uint32(x), uint32(s)); c < best {
+				best = c
+			}
+		}
+		next[s] = best
+	}
+	minScore := math.Inf(1)
+	for s := 0; s < size; s++ {
+		if sc := next[s] + na.delta(uint32(s), na.rec); sc < minScore {
+			minScore = sc
+		}
+	}
+	eps := scoreEps(minScore)
+	best := int32(-1)
+	bestIsP := false
+	for s := 0; s < size; s++ {
+		sc := next[s] + na.delta(uint32(s), na.rec)
+		if sc > minScore+eps {
+			continue
+		}
+		isP := next[s] >= v[s]-eps
+		if best < 0 {
+			best, bestIsP = int32(s), isP
+			continue
+		}
+		if isP != bestIsP {
+			if isP {
+				best, bestIsP = int32(s), true
+			}
+			continue
+		}
+		if preferMask(uint32(s), uint32(best), na.rec) {
+			best, bestIsP = int32(s), isP
+		}
+	}
+	na.rec = uint32(best)
+	na.w = next
+}
+
+// TestAnalyzeMaskDifferential pits the optimized analyzeMask — coset
+// broadcasting, δ tables, branch-free relaxation — against the naive
+// O(4^n) reference on randomized parts of up to 10 bits with randomized
+// asymmetric create/drop costs. Work-function values must agree to
+// floating-point roundoff (the min-plus relaxation associates sums along
+// paths differently than the explicit min) and recommendations must agree
+// exactly. A twin instance driven through the set-based fallback — which
+// probes every configuration instead of one per coset — must agree with
+// the mask-coster instance to the last bit, proving the projection never
+// changes a result. Run with -race this also exercises the scratch-buffer
+// reuse.
+func TestAnalyzeMaskDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(10)
+		size := 1 << n
+		reg := index.NewRegistry()
+		ids := make([]index.ID, n)
+		for i := range ids {
+			ids[i] = reg.Intern(index.Index{
+				Table:      "t",
+				Columns:    []string{string(rune('a' + i))},
+				CreateCost: 5 + rng.Float64()*45,
+				DropCost:   rng.Float64() * 3,
+			})
+		}
+		part := index.NewSet(ids...)
+		initMask := uint32(rng.Intn(size))
+		var initIDs []index.ID
+		for i := range ids {
+			if initMask&(1<<i) != 0 {
+				initIDs = append(initIDs, ids[i])
+			}
+		}
+		init := index.NewSet(initIDs...)
+
+		impl := NewWFA(reg, part, init)     // mask-coster (projected) path
+		fallback := NewWFA(reg, part, init) // set-based fallback path
+		ref := &naiveWFA{
+			n:      n,
+			create: impl.create,
+			drop:   impl.drop,
+			w:      make([]float64, size),
+			rec:    initMask,
+		}
+		for s := 0; s < size; s++ {
+			ref.w[s] = ref.delta(initMask, uint32(s))
+		}
+
+		for step := 0; step < 25; step++ {
+			// A random relevant subset of the bits, empty and full
+			// included, with random costs over its submasks.
+			rel := uint32(rng.Intn(size))
+			costs := make([]float64, size)
+			for s := 0; s < size; s++ {
+				if uint32(s)&^rel == 0 {
+					costs[s] = rng.Float64() * 80
+				}
+			}
+			sc := &maskCostTable{wfa: impl, rel: rel, relSet: impl.SetOf(rel), costs: costs}
+
+			impl.AnalyzeStatement(sc)
+			fallback.AnalyzeWithCost(func(cfg index.Set) float64 { return sc.Cost(cfg) })
+			ref.analyze(func(m uint32) float64 { return costs[m&rel] })
+
+			if impl.RecommendMask() != ref.rec {
+				t.Fatalf("trial %d step %d (n=%d rel=%b): recommendation %b, naive reference %b",
+					trial, step, n, rel, impl.RecommendMask(), ref.rec)
+			}
+			if impl.RecommendMask() != fallback.RecommendMask() {
+				t.Fatalf("trial %d step %d: projected path recommends %b, fallback %b",
+					trial, step, impl.RecommendMask(), fallback.RecommendMask())
+			}
+			for s := 0; s < size; s++ {
+				cfg := impl.SetOf(uint32(s))
+				got := impl.TrueWorkValue(cfg)
+				want := ref.w[s]
+				if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+					t.Fatalf("trial %d step %d cfg %b: w=%v, naive reference %v",
+						trial, step, s, got, want)
+				}
+				if fb := fallback.TrueWorkValue(cfg); fb != got {
+					t.Fatalf("trial %d step %d cfg %b: projected path w=%v, fallback w=%v (must be bit-identical)",
+						trial, step, s, got, fb)
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaTableMatchesDeltaMask checks the δ-table fill against the
+// per-configuration bit walk it replaces, bit for bit: the table
+// construction inserts zero terms into the same left-to-right ascending
+// summation, which is exact for the non-negative costs involved.
+func TestDeltaTableMatchesDeltaMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(10)
+		size := 1 << n
+		reg := index.NewRegistry()
+		ids := make([]index.ID, n)
+		for i := range ids {
+			ids[i] = reg.Intern(index.Index{
+				Table:      "t",
+				Columns:    []string{string(rune('a' + i))},
+				CreateCost: rng.Float64() * 100,
+				DropCost:   rng.Float64() * 10,
+			})
+		}
+		a := NewWFA(reg, index.NewSet(ids...), index.EmptySet)
+		to := uint32(rng.Intn(size))
+		for i := 0; i < n; i++ {
+			if to&(1<<i) != 0 {
+				a.c0[i], a.c1[i] = a.create[i], 0
+			} else {
+				a.c0[i], a.c1[i] = 0, a.drop[i]
+			}
+		}
+		table := make([]float64, size)
+		fillDeltaTable(table, a.c0, a.c1)
+		for s := 0; s < size; s++ {
+			if want := a.deltaMask(uint32(s), to); table[s] != want {
+				t.Fatalf("trial %d: δ(%b, %b) table=%v walk=%v (must be bit-identical)",
+					trial, s, to, table[s], want)
+			}
+		}
+	}
+}
+
+// TestFeedbackDeltaTablesExact verifies the table-driven Feedback against
+// the formula spelled out with per-configuration deltaMask walks, exactly
+// — including overlapping positive and negative votes, where positives
+// win.
+func TestFeedbackDeltaTablesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(8)
+		size := 1 << n
+		reg := index.NewRegistry()
+		ids := make([]index.ID, n)
+		for i := range ids {
+			ids[i] = reg.Intern(index.Index{
+				Table:      "t",
+				Columns:    []string{string(rune('a' + i))},
+				CreateCost: 10 + rng.Float64()*40,
+				DropCost:   rng.Float64() * 2,
+			})
+		}
+		part := index.NewSet(ids...)
+		a := NewWFA(reg, part, index.EmptySet)
+		for step := 0; step < 5; step++ {
+			a.AnalyzeWithCost(func(cfg index.Set) float64 {
+				return float64(20 + (cfg.Len()*7+step*3)%13)
+			})
+		}
+
+		plusMask := uint32(rng.Intn(size))
+		minusMask := uint32(rng.Intn(size)) // may overlap plus: positives win
+		wBefore := append([]float64(nil), a.w...)
+		recBefore := a.currRec
+
+		// Expected values via the original per-configuration walks.
+		wantRec := recBefore&^minusMask | plusMask
+		want := append([]float64(nil), wBefore...)
+		if plusMask != 0 || minusMask != 0 {
+			wRec := wBefore[wantRec]
+			for s := 0; s < size; s++ {
+				cons := uint32(s)&^minusMask | plusMask
+				minDiff := a.deltaMask(uint32(s), cons) + a.deltaMask(cons, uint32(s))
+				diff := wBefore[s] + a.deltaMask(uint32(s), wantRec) - wRec
+				if diff < minDiff {
+					want[s] += minDiff - diff
+				}
+			}
+		}
+
+		var plusIDs, minusIDs []index.ID
+		for i := range ids {
+			if plusMask&(1<<i) != 0 {
+				plusIDs = append(plusIDs, ids[i])
+			}
+			if minusMask&(1<<i) != 0 {
+				minusIDs = append(minusIDs, ids[i])
+			}
+		}
+		a.Feedback(index.NewSet(plusIDs...), index.NewSet(minusIDs...))
+
+		if a.currRec != wantRec && (plusMask != 0 || minusMask != 0) {
+			t.Fatalf("trial %d: rec=%b want %b", trial, a.currRec, wantRec)
+		}
+		for s := 0; s < size; s++ {
+			if a.w[s] != want[s] {
+				t.Fatalf("trial %d cfg %b: w=%v want %v (must be bit-identical)",
+					trial, s, a.w[s], want[s])
+			}
+		}
+	}
+}

@@ -19,6 +19,7 @@ func (f *fakeCost) Cost(cfg index.Set) float64 { return f.fn(cfg) }
 func (f *fakeCost) Influential(cfg index.Set) index.Set {
 	return cfg.Intersect(f.infl)
 }
+func (f *fakeCost) Influences(cfg index.Set) bool { return cfg.Intersects(f.infl) }
 
 // newTestRegistry interns n single-column indices with the given create
 // and drop costs.

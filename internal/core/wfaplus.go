@@ -20,6 +20,8 @@ type WFAPlus struct {
 	partition interaction.Partition
 	parts     []*WFA
 	workers   int
+
+	active []*WFA // scratch reused across statements
 }
 
 // NewWFAPlus creates per-part WFA instances, each initialized with the
@@ -50,13 +52,13 @@ func (p *WFAPlus) SetWorkers(n int) { p.workers = n }
 // updates across the worker pool. Untouched parts would receive a uniform
 // work-function shift, which changes no decision, so they are skipped.
 func (p *WFAPlus) AnalyzeStatement(sc StatementCost) {
-	active := p.parts[:0:0]
+	p.active = p.active[:0]
 	for _, part := range p.parts {
-		if !sc.Influential(part.Candidates()).Empty() {
-			active = append(active, part)
+		if sc.Influences(part.candSet) {
+			p.active = append(p.active, part)
 		}
 	}
-	analyzeParts(p.workers, active, sc)
+	analyzeParts(p.workers, p.active, sc)
 }
 
 // parallelAnalyzeThreshold is the minimum total configuration count

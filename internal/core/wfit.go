@@ -76,8 +76,25 @@ type WFIT struct {
 	intStats *interaction.InteractionStats
 	partn    *interaction.Partitioner
 
+	// Per-statement doi cache, flat over (i, j) position pairs within the
+	// current candidate set d — |d| is bounded by IdxCnt plus the
+	// materialized set, so the pair table stays small no matter how large
+	// the mined universe grows. Positions resolve through an
+	// epoch-stamped id→position table (linear in the registry, refreshed
+	// in O(|d|) per statement).
+	doiIDs      []index.ID
+	doiVals     []float64
+	doiSeen     []bool
+	doiPos      []int32
+	doiPosStamp []uint32
+	doiPosEpoch uint32
+
+	scoreScratch []scoredCandidate // chooseTop scratch
+
 	partition interaction.Partition
+	partsetC  index.Set // cached t.partition.Union(), refreshed on repartition
 	parts     []*WFA
+	active    []*WFA // scratch reused across statements
 
 	n             int // statements analyzed
 	repartitions  int
@@ -90,6 +107,7 @@ type WFIT struct {
 func NewWFIT(opt *whatif.Optimizer, options Options) *WFIT {
 	t := newWFITBase(opt, options)
 	t.partition = interaction.Singletons(t.s0)
+	t.partsetC = t.partition.Union()
 	for _, part := range t.partition {
 		t.parts = append(t.parts, NewWFA(t.reg, part, t.s0.Intersect(part)))
 	}
@@ -103,10 +121,11 @@ func NewWFIT(opt *whatif.Optimizer, options Options) *WFIT {
 func NewWFITFixed(opt *whatif.Optimizer, options Options, partition interaction.Partition) *WFIT {
 	t := newWFITBase(opt, options)
 	t.partition = partition.Normalize()
+	t.partsetC = t.partition.Union()
 	for _, part := range t.partition {
 		t.parts = append(t.parts, NewWFA(t.reg, part, t.s0.Intersect(part)))
 	}
-	t.universe = t.partition.Union().Union(t.s0)
+	t.universe = t.partsetC.Union(t.s0)
 	t.statsDisabled = true
 	return t
 }
@@ -162,7 +181,8 @@ func (t *WFIT) Recommend() index.Set {
 // AnalyzeQuery implements WFIT.analyzeQuery (Figure 4): maintain the
 // candidate partition via chooseCands/repartition, then fan the per-part
 // work-function updates against the statement's index benefit graph out
-// across the worker pool.
+// across the worker pool. The graph is private to this call, so its
+// pooled probe cache is released at the end for the next statement.
 func (t *WFIT) AnalyzeQuery(s *stmt.Statement) {
 	t.n++
 	var g *ibg.Graph
@@ -172,13 +192,14 @@ func (t *WFIT) AnalyzeQuery(s *stmt.Statement) {
 		g = t.chooseCandsAndRepartition(s)
 	}
 	t.lastIBGNodes = g.NodeCount()
-	active := t.parts[:0:0]
+	t.active = t.active[:0]
 	for _, part := range t.parts {
-		if !g.Influential(part.Candidates()).Empty() {
-			active = append(active, part)
+		if g.Influences(part.candSet) {
+			t.active = append(t.active, part)
 		}
 	}
-	analyzeParts(t.options.Workers, active, g)
+	analyzeParts(t.options.Workers, t.active, g)
+	g.Release()
 }
 
 // chooseCandsAndRepartition implements chooseCands (Figure 6) and applies
@@ -195,7 +216,7 @@ func (t *WFIT) chooseCandsAndRepartition(s *stmt.Statement) *ibg.Graph {
 	// the paper's 5–100 band while the universe grows into the hundreds.
 	// Statistics for universe members untouched by recent statements
 	// simply age out through the history window.
-	ibgSet := extracted.Union(t.partition.Union()).Union(t.materialized)
+	ibgSet := extracted.Union(t.partsetC).Union(t.materialized)
 	g := ibg.BuildWorkers(t.opt, s, ibgSet, t.options.Workers)
 	// Line 3: update benefit and interaction statistics. The per-index
 	// benefit maximizations and per-pair doi maximizations are pure
@@ -216,28 +237,90 @@ func (t *WFIT) chooseCandsAndRepartition(s *stmt.Statement) *ibg.Graph {
 	// Lines 4–5: D = M ∪ topIndices(U − M, idxCnt − |M|).
 	d := t.chooseTop()
 	// Line 6: choose the stable partition of D.
-	doi := t.doiFunc()
+	doi := t.doiFunc(d)
+	// Both sides are normalized — t.partition always is (see repartition
+	// and the constructors) and Choose returns Normalize output — so the
+	// comparison needs none of Equal's re-sorting copies.
 	newPartition := t.partn.Choose(d, t.partition, doi)
-	if !newPartition.Equal(t.partition) {
+	if !newPartition.EqualNormalized(t.partition) {
 		t.repartition(newPartition)
 		t.repartitions++
 	}
 	return g
 }
 
-// doiFunc returns the current degree-of-interaction estimator, honoring
-// the independence assumption and the doi threshold.
-func (t *WFIT) doiFunc() interaction.DoiFunc {
+// doiFunc returns the current degree-of-interaction estimator over the
+// candidate set d, honoring the independence assumption and the doi
+// threshold. The estimator is a pure function of (pair, t.n), and
+// choosePartition asks for the same pairs across its baseline evaluation
+// and every randomized restart, so values are memoized for the duration
+// of the statement — identical numbers, one history-window scan per pair
+// instead of ten. The memo is a flat |d|×|d| table indexed by position
+// in d; pairs outside d (which choosePartition never asks for) fall
+// through to an uncached evaluation.
+func (t *WFIT) doiFunc(d index.Set) interaction.DoiFunc {
 	if t.options.AssumeIndependent {
 		return func(a, b index.ID) float64 { return 0 }
 	}
-	return func(a, b index.ID) float64 {
-		d := t.intStats.Current(a, b, t.n)
-		if d <= t.options.DoiThreshold {
+	t.doiIDs = append(t.doiIDs[:0], d.IDs()...)
+	n := len(t.doiIDs)
+	if cap(t.doiVals) < n*n {
+		t.doiVals = make([]float64, n*n)
+		t.doiSeen = make([]bool, n*n)
+	}
+	t.doiVals = t.doiVals[:n*n]
+	t.doiSeen = t.doiSeen[:n*n]
+	clear(t.doiSeen)
+	if need := t.reg.Len() + 1; len(t.doiPos) < need {
+		t.doiPos = make([]int32, (need+63)&^63)
+		t.doiPosStamp = make([]uint32, len(t.doiPos))
+		t.doiPosEpoch = 0
+	}
+	t.doiPosEpoch++
+	if t.doiPosEpoch == 0 {
+		clear(t.doiPosStamp)
+		t.doiPosEpoch = 1
+	}
+	for i, id := range t.doiIDs {
+		t.doiPos[id] = int32(i)
+		t.doiPosStamp[id] = t.doiPosEpoch
+	}
+	posEpoch := t.doiPosEpoch
+	pos := func(id index.ID) int {
+		if int(id) < len(t.doiPosStamp) && t.doiPosStamp[id] == posEpoch {
+			return int(t.doiPos[id])
+		}
+		return -1
+	}
+	current := func(a, b index.ID) float64 {
+		v := t.intStats.Current(a, b, t.n)
+		if v <= t.options.DoiThreshold {
 			return 0
 		}
-		return d
+		return v
 	}
+	return func(a, b index.ID) float64 {
+		i, j := pos(a), pos(b)
+		if i < 0 || j < 0 {
+			return current(a, b)
+		}
+		k := i*n + j
+		if t.doiSeen[k] {
+			return t.doiVals[k]
+		}
+		v := current(a, b)
+		t.doiVals[k] = v
+		t.doiSeen[k] = true
+		t.doiVals[j*n+i] = v
+		t.doiSeen[j*n+i] = true
+		return v
+	}
+}
+
+// scoredCandidate is one chooseTop entry (index and its current score).
+type scoredCandidate struct {
+	id    index.ID
+	score float64
 }
 
 // chooseTop implements topIndices: keep the materialized set M, then fill
@@ -253,23 +336,23 @@ func (t *WFIT) chooseTop() index.Set {
 	if budget < 0 {
 		budget = 0
 	}
-	currentC := t.partition.Union()
+	currentC := t.partsetC
 
-	type scored struct {
-		id    index.ID
-		score float64
-	}
-	var entries []scored
-	t.universe.Minus(m).Each(func(a index.ID) {
+	entries := t.scoreScratch[:0]
+	t.universe.Each(func(a index.ID) {
+		if m.Contains(a) {
+			return
+		}
 		if currentC.Contains(a) {
-			entries = append(entries, scored{a, t.idxStats.Current(a, t.n)})
+			entries = append(entries, scoredCandidate{a, t.idxStats.Current(a, t.n)})
 			return
 		}
 		if t.idxStats.Current(a, t.n) <= 0 {
 			return // never beneficial: not worth monitoring yet
 		}
-		entries = append(entries, scored{a, t.idxStats.CurrentPenalized(a, t.n, t.reg.CreateCost(a))})
+		entries = append(entries, scoredCandidate{a, t.idxStats.CurrentPenalized(a, t.n, t.reg.CreateCost(a))})
 	})
+	t.scoreScratch = entries
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].score != entries[j].score {
 			return entries[i].score > entries[j].score
@@ -307,31 +390,75 @@ func (t *WFIT) chooseTop() index.Set {
 // recommendation Dm ∩ currRec. Old parts that do not overlap a new part
 // would contribute the same w(k)[∅] to every X — a uniform shift — and are
 // skipped.
+//
+// The composition runs in mask space: each overlapping old part
+// contributes through a subset-DP remap table (old.w read with an array
+// lookup per configuration) and the δ term fills as a per-bit-additive
+// table, in the exact summation order the set-based formula used — so
+// the rebuilt work functions are bit-identical to evaluating the Figure 5
+// expression per configuration, at O(2^|Dm|) per overlapping part instead
+// of O(2^|Dm|) set materializations, intersections, and merge scans.
 func (t *WFIT) repartition(newPartition interaction.Partition) {
 	oldParts := t.parts
-	oldC := t.partition.Union()
+	oldC := t.partsetC
 	currRec := t.Recommend()
 
 	var parts []*WFA
+	var rm []uint32
+	var img []uint32
 	for _, dm := range newPartition {
 		newIdx := dm.Minus(oldC)        // Dm − C
 		s0New := t.s0.Intersect(newIdx) // S0 ∩ Dm − C
-		var overlapping []*WFA
+		a := newWFAShell(t.reg, dm)
+		a.currRec = a.MaskOf(dm.Intersect(currRec))
+		size := len(a.w)
+		if cap(rm) < size {
+			rm = make([]uint32, size)
+			img = make([]uint32, MaxPartBits)
+		}
+		rm = rm[:size]
+		for s := range a.w {
+			a.w[s] = 0
+		}
+		// Σ_k w(k)[Ck ∩ X], accumulated in old-part order so the
+		// floating-point sums match the set-based evaluation exactly.
 		for _, old := range oldParts {
-			if !old.Candidates().Disjoint(dm) {
-				overlapping = append(overlapping, old)
+			if old.candSet.Disjoint(dm) {
+				continue
+			}
+			for j, id := range a.cand {
+				if p, ok := old.pos[id]; ok {
+					img[j] = 1 << p
+				} else {
+					img[j] = 0
+				}
+			}
+			remapTable(rm, img[:len(a.cand)])
+			for s := range a.w {
+				a.w[s] += old.w[rm[s]]
 			}
 		}
-		work := func(x index.Set) float64 {
-			total := 0.0
-			for _, old := range overlapping {
-				total += old.WorkValue(old.Candidates().Intersect(x))
+		// + δ(S0 ∩ Dm − C, X − C): per-bit additive over the new indices,
+		// summed in ascending ID order like Registry.Delta's merge scan.
+		for j, id := range a.cand {
+			switch {
+			case !newIdx.Contains(id):
+				a.c0[j], a.c1[j] = 0, 0
+			case s0New.Contains(id):
+				a.c0[j], a.c1[j] = a.drop[j], 0
+			default:
+				a.c0[j], a.c1[j] = 0, a.create[j]
 			}
-			return total + t.reg.Delta(s0New, x.Intersect(newIdx))
 		}
-		parts = append(parts, NewWFAWithWork(t.reg, dm, dm.Intersect(currRec), work))
+		fillDeltaTable(a.v, a.c0, a.c1)
+		for s := range a.w {
+			a.w[s] += a.v[s]
+		}
+		a.normalize()
+		parts = append(parts, a)
 	}
 	t.partition = newPartition.Normalize()
+	t.partsetC = t.partition.Union()
 	t.parts = parts
 }
 
@@ -340,7 +467,7 @@ func (t *WFIT) repartition(newPartition interaction.Partition) {
 // parts first (through repartition), so the consistency constraint
 // F+ ⊆ S can always be honored.
 func (t *WFIT) Feedback(plus, minus index.Set) {
-	if unknown := plus.Minus(t.partition.Union()); !unknown.Empty() {
+	if unknown := plus.Minus(t.partsetC); !unknown.Empty() {
 		t.universe = t.universe.Union(unknown)
 		extended := append(interaction.Partition{}, t.partition...)
 		unknown.Each(func(id index.ID) {

@@ -15,6 +15,7 @@ package cost
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/index"
@@ -105,9 +106,21 @@ func (m *Model) Relevant(s *stmt.Statement, id index.ID) bool {
 }
 
 // RestrictConfig drops from cfg every index irrelevant to s. The cost
-// model guarantees Cost(s, cfg) == Cost(s, RestrictConfig(s, cfg)).
+// model guarantees Cost(s, cfg) == Cost(s, RestrictConfig(s, cfg)). When
+// every member is relevant — the common case for IBG probes, whose
+// configurations are subsets of an already-restricted root — cfg itself
+// is returned and nothing is allocated.
 func (m *Model) RestrictConfig(s *stmt.Statement, cfg index.Set) index.Set {
-	var keep []index.ID
+	relevant := 0
+	cfg.Each(func(id index.ID) {
+		if m.Relevant(s, id) {
+			relevant++
+		}
+	})
+	if relevant == cfg.Len() {
+		return cfg
+	}
+	keep := make([]index.ID, 0, relevant)
 	cfg.Each(func(id index.ID) {
 		if m.Relevant(s, id) {
 			keep = append(keep, id)
@@ -123,9 +136,10 @@ type accessResult struct {
 	used []index.ID
 }
 
-// tableIndexes resolves the members of cfg that live on the given table.
-func (m *Model) tableIndexes(cfg index.Set, table string) []*index.Index {
-	var out []*index.Index
+// tableIndexes resolves the members of cfg that live on the given table,
+// appending into buf (reused across calls by the pooled plan context).
+func (m *Model) tableIndexes(cfg index.Set, table string, buf []*index.Index) []*index.Index {
+	out := buf[:0]
 	cfg.Each(func(id index.ID) {
 		def := m.reg.Get(id)
 		if def.Table == table {
@@ -141,8 +155,14 @@ func (m *Model) tableIndexes(cfg index.Set, table string) []*index.Index {
 // one more column and stops the match. Returns the combined selectivity of
 // the matched predicates and their count (sel=1, n=0 when unusable).
 func matchPreds(idx *index.Index, preds []stmt.Pred) (sel float64, matched int) {
+	return matchPredCols(idx.Columns, preds)
+}
+
+// matchPredCols is matchPreds over a bare key-column slice, so callers
+// matching a suffix of an index key need not materialize a scratch Index.
+func matchPredCols(cols []string, preds []stmt.Pred) (sel float64, matched int) {
 	sel = 1.0
-	for _, col := range idx.Columns {
+	for _, col := range cols {
 		var hit *stmt.Pred
 		for i := range preds {
 			if preds[i].Column == col {
@@ -164,12 +184,13 @@ func matchPreds(idx *index.Index, preds []stmt.Pred) (sel float64, matched int) 
 
 // scanTable prices the cheapest standalone access to a table: sequential
 // scan, single index scan (covering or fetching), covering-only full index
-// scan, or two-index intersection.
-func (m *Model) scanTable(s *stmt.Statement, table string, avail []*index.Index) accessResult {
+// scan, or two-index intersection. pc only supplies reusable scratch.
+func (m *Model) scanTable(s *stmt.Statement, table string, avail []*index.Index, pc *planContext) accessResult {
 	t := m.cat.MustTable(table)
-	preds := s.TablePreds(table)
-	selAll := s.PredSelectivity(table)
-	needed := s.NeededColumns(table)
+	view := s.View(table)
+	preds := view.Preds
+	selAll := view.Selectivity
+	needed := view.Needed
 	rows := t.Rows
 
 	best := accessResult{
@@ -177,13 +198,7 @@ func (m *Model) scanTable(s *stmt.Statement, table string, avail []*index.Index)
 		rows: rows * selAll,
 	}
 
-	type scored struct {
-		idx      *index.Index
-		sel      float64
-		matched  int
-		leafScan float64
-	}
-	var usable []scored
+	usable := pc.usable[:0]
 
 	for _, idx := range avail {
 		sel, matched := matchPreds(idx, preds)
@@ -231,6 +246,7 @@ func (m *Model) scanTable(s *stmt.Statement, table string, avail []*index.Index)
 			}
 		}
 	}
+	pc.usable = usable
 	return best
 }
 
@@ -256,8 +272,7 @@ func (m *Model) probeTable(s *stmt.Statement, table, joinCol string, avail []*in
 		}
 		// Predicates matched by key columns after the join column cut
 		// down the rows that must be fetched per probe.
-		rest := &index.Index{Table: idx.Table, Columns: idx.Columns[1:]}
-		extraSel, _ := matchPreds(rest, preds)
+		extraSel, _ := matchPredCols(idx.Columns[1:], preds)
 		fetched := matchRows * extraSel
 		var c float64
 		if idx.Covers(needed) {
@@ -286,15 +301,71 @@ func (m *Model) joinDistinct(table, column string) float64 {
 	return 1
 }
 
-// planContext memoizes per-table access results within one cost call, so
-// join-order enumeration does not recompute identical scans and probes.
-type planContext struct {
-	m     *Model
-	s     *stmt.Statement
-	avail map[string][]*index.Index
+// probeEntry is one resolved index-nested-loop probe option of a table
+// (keyed by the join column that drives it).
+type probeEntry struct {
+	col string
+	res probeResult
+}
 
-	scans  map[string]accessResult
-	probes map[string]probeResult
+// joinLink is a join predicate resolved to table positions within one
+// cost call, so order enumeration compares small integers instead of
+// hashing table names.
+type joinLink struct {
+	a, b       int // positions in planContext.tables
+	colA, colB string
+}
+
+// planContext holds the per-table work of one cost call — resolved
+// candidate indexes, scan and probe results, join links — indexed by
+// table position, plus the enumeration scratch. Everything the
+// join-order enumeration touches is a flat slice: the string-keyed memo
+// maps this replaces were the single largest per-optimization cost.
+// Contexts are pooled and reused across what-if optimizations.
+type planContext struct {
+	tables []string
+	avail  [][]*index.Index // resolved per table position, backing reused
+	scans  []accessResult
+	probes [][]probeEntry
+	links  []joinLink
+
+	usable []scored   // scanTable scratch
+	order  []int      // permutation scratch
+	used   []index.ID // per-order used accumulator
+	best   []index.ID // used set of the best order so far
+}
+
+// scored is scanTable's per-index evaluation record.
+type scored struct {
+	idx      *index.Index
+	sel      float64
+	matched  int
+	leafScan float64
+}
+
+var planContextPool = sync.Pool{New: func() any { return &planContext{} }}
+
+func acquirePlanContext(tables []string) *planContext {
+	pc := planContextPool.Get().(*planContext)
+	n := len(tables)
+	pc.tables = tables
+	for len(pc.avail) < n {
+		pc.avail = append(pc.avail, nil)
+		pc.probes = append(pc.probes, nil)
+	}
+	if cap(pc.scans) < n {
+		pc.scans = make([]accessResult, n)
+	}
+	pc.scans = pc.scans[:n]
+	for i := 0; i < n; i++ {
+		pc.avail[i] = pc.avail[i][:0]
+		pc.probes[i] = pc.probes[i][:0]
+	}
+	pc.links = pc.links[:0]
+	pc.order = pc.order[:0]
+	pc.used = pc.used[:0]
+	pc.best = pc.best[:0]
+	return pc
 }
 
 type probeResult struct {
@@ -303,119 +374,162 @@ type probeResult struct {
 	ok       bool
 }
 
-func (pc *planContext) scan(table string) accessResult {
-	if r, ok := pc.scans[table]; ok {
-		return r
+// ensureProbe resolves (and memoizes) the index-nested-loop probe option
+// of table position ti via joinCol.
+func (pc *planContext) ensureProbe(m *Model, s *stmt.Statement, ti int, joinCol string) {
+	for _, e := range pc.probes[ti] {
+		if e.col == joinCol {
+			return
+		}
 	}
-	r := pc.m.scanTable(pc.s, table, pc.avail[table])
-	pc.scans[table] = r
-	return r
+	perProbe, _, used, ok := m.probeTable(s, pc.tables[ti], joinCol, pc.avail[ti])
+	pc.probes[ti] = append(pc.probes[ti], probeEntry{
+		col: joinCol,
+		res: probeResult{perProbe: perProbe, used: used, ok: ok},
+	})
 }
 
-func (pc *planContext) probe(table, joinCol string) probeResult {
-	key := table + "\x00" + joinCol
-	if r, ok := pc.probes[key]; ok {
-		return r
+// probeFor returns the resolved probe option of table position ti via
+// joinCol.
+func (pc *planContext) probeFor(ti int, joinCol string) (probeResult, bool) {
+	for _, e := range pc.probes[ti] {
+		if e.col == joinCol {
+			return e.res, true
+		}
 	}
-	perProbe, _, used, ok := pc.m.probeTable(pc.s, table, joinCol, pc.avail[table])
-	r := probeResult{perProbe: perProbe, used: used, ok: ok}
-	pc.probes[key] = r
-	return r
+	return probeResult{}, false
 }
 
 // queryCost prices a query by minimizing over left-deep join orders.
 func (m *Model) queryCost(s *stmt.Statement, cfg index.Set) (float64, index.Set) {
 	tables := s.Tables
+	pc := acquirePlanContext(tables)
+	defer planContextPool.Put(pc)
+
 	if len(tables) == 1 {
-		r := m.scanTable(s, tables[0], m.tableIndexes(cfg, tables[0]))
+		pc.avail[0] = m.tableIndexes(cfg, tables[0], pc.avail[0])
+		r := m.scanTable(s, tables[0], pc.avail[0], pc)
 		return r.cost + r.rows*m.p.CPUPerRow, index.NewSet(r.used...)
 	}
 
-	pc := &planContext{
-		m:      m,
-		s:      s,
-		avail:  make(map[string][]*index.Index, len(tables)),
-		scans:  make(map[string]accessResult, len(tables)),
-		probes: make(map[string]probeResult, 2*len(tables)),
+	// Resolve candidate indexes, scans, join links, and probe options per
+	// table position up front. Everything is a pure function of the
+	// statement and configuration, so eager resolution prices exactly
+	// what the former lazy string-keyed memo did — without any hashing in
+	// the enumeration loop.
+	for i, t := range tables {
+		pc.avail[i] = m.tableIndexes(cfg, t, pc.avail[i])
+		pc.scans[i] = m.scanTable(s, t, pc.avail[i], pc)
 	}
-	for _, t := range tables {
-		pc.avail[t] = m.tableIndexes(cfg, t)
+	pos := func(t string) int {
+		for i, x := range tables {
+			if x == t {
+				return i
+			}
+		}
+		return -1
+	}
+	for i := range s.Joins {
+		j := &s.Joins[i]
+		a, b := pos(j.LeftTable), pos(j.RightTable)
+		if a < 0 || b < 0 {
+			continue // a dangling join can never connect an order
+		}
+		pc.links = append(pc.links, joinLink{a: a, b: b, colA: j.LeftColumn, colB: j.RightColumn})
+	}
+	for _, l := range pc.links {
+		pc.ensureProbe(m, s, l.a, l.colA)
+		pc.ensureProbe(m, s, l.b, l.colB)
 	}
 
 	bestCost := math.Inf(1)
-	var bestUsed []index.ID
-	tryOrder := func(order []string) {
-		cost, rows, used, ok := m.planOrder(pc, order)
+	tryOrder := func(order []int) {
+		cost, rows, ok := m.planOrder(pc, s, order)
 		if ok && cost < bestCost {
 			bestCost = cost + rows*m.p.CPUPerRow
-			bestUsed = used
+			pc.best = append(pc.best[:0], pc.used...)
 		}
 	}
+	for i := range tables {
+		pc.order = append(pc.order, i)
+	}
 	if len(tables) <= m.p.MaxPermutedTables {
-		permute(append([]string(nil), tables...), 0, tryOrder)
+		permute(pc.order, 0, tryOrder)
 	} else {
-		tryOrder(tables)
+		tryOrder(pc.order)
 	}
 	if math.IsInf(bestCost, 1) {
 		// No connected order: price the cross product pessimistically.
 		var total, rows float64 = 0, 1
 		var used []index.ID
-		for _, t := range tables {
-			r := pc.scan(t)
+		for i := range tables {
+			r := &pc.scans[i]
 			total += r.cost
 			rows *= math.Max(r.rows, 1)
 			used = append(used, r.used...)
 		}
 		return total + rows*m.p.CPUPerRow, index.NewSet(used...)
 	}
-	return bestCost, index.NewSet(bestUsed...)
+	return bestCost, index.NewSet(pc.best...)
 }
 
-// planOrder prices one left-deep join order. Each joined table enters via
-// the cheaper of index nested-loop (driven by a connecting join predicate)
-// or hash join; disconnected orders are rejected.
-func (m *Model) planOrder(pc *planContext, order []string) (cost, rows float64, used []index.ID, ok bool) {
-	s := pc.s
-	first := pc.scan(order[0])
+// planOrder prices one left-deep join order (given as table positions),
+// leaving the used indices of the order in pc.used. Each joined table
+// enters via the cheaper of index nested-loop (driven by a connecting
+// join predicate) or hash join; disconnected orders are rejected.
+// Membership in the partial plan is a prefix of order, so connectivity is
+// a few integer comparisons per step.
+func (m *Model) planOrder(pc *planContext, s *stmt.Statement, order []int) (cost, rows float64, ok bool) {
+	first := &pc.scans[order[0]]
 	cost = first.cost
 	rows = first.rows
-	used = append(used, first.used...)
-	included := map[string]bool{order[0]: true}
+	used := append(pc.used[:0], first.used...)
 
-	for _, t := range order[1:] {
-		// Find a join predicate connecting t to the tables already in
-		// the plan.
-		var conn *stmt.Join
-		for i := range s.Joins {
-			j := &s.Joins[i]
-			if j.Touches(t) {
-				other := j.LeftTable
-				if other == t {
-					other = j.RightTable
-				}
-				if included[other] {
-					conn = j
+	for oi := 1; oi < len(order); oi++ {
+		ti := order[oi]
+		// Find a join predicate connecting ti to the tables already in
+		// the plan — exactly the positions in order[:oi]. Links are in
+		// s.Joins order, preserving the original first-match rule.
+		joinCol := ""
+		connected := false
+		for _, l := range pc.links {
+			var other int
+			var col string
+			switch ti {
+			case l.a:
+				other, col = l.b, l.colA
+			case l.b:
+				other, col = l.a, l.colB
+			default:
+				continue
+			}
+			for k := 0; k < oi; k++ {
+				if order[k] == other {
+					joinCol, connected = col, true
 					break
 				}
 			}
+			if connected {
+				break
+			}
 		}
-		if conn == nil {
-			return 0, 0, nil, false
+		if !connected {
+			pc.used = used
+			return 0, 0, false
 		}
-		joinCol := conn.ColumnOn(t)
-		d := m.joinDistinct(t, joinCol)
+		d := m.joinDistinct(pc.tables[ti], joinCol)
 
 		stepCost := math.Inf(1)
 		var stepUsed []index.ID
 		// Index nested-loop join.
-		if pr := pc.probe(t, joinCol); pr.ok {
+		if pr, found := pc.probeFor(ti, joinCol); found && pr.ok {
 			if c := rows * pr.perProbe; c < stepCost {
 				stepCost = c
 				stepUsed = pr.used
 			}
 		}
 		// Hash join: scan the inner once, hash both sides.
-		inner := pc.scan(t)
+		inner := &pc.scans[ti]
 		hashCost := inner.cost + (rows+inner.rows)*m.p.CPUPerRow
 		if hashCost < stepCost {
 			stepCost = hashCost
@@ -425,9 +539,9 @@ func (m *Model) planOrder(pc *planContext, order []string) (cost, rows float64, 
 		cost += stepCost
 		used = append(used, stepUsed...)
 		rows = math.Max(rows*inner.rows/d, 1e-9)
-		included[t] = true
 	}
-	return cost, rows, used, true
+	pc.used = used
+	return cost, rows, true
 }
 
 // updateCost prices an update: locate the affected rows via the cheapest
@@ -436,9 +550,12 @@ func (m *Model) planOrder(pc *planContext, order []string) (cost, rows float64, 
 func (m *Model) updateCost(s *stmt.Statement, cfg index.Set) (float64, index.Set) {
 	table := s.UpdateTable()
 	t := m.cat.MustTable(table)
-	avail := m.tableIndexes(cfg, table)
+	pc := acquirePlanContext(s.Tables)
+	defer planContextPool.Put(pc)
+	avail := m.tableIndexes(cfg, table, pc.avail[0])
+	pc.avail[0] = avail
 
-	where := m.scanTable(s, table, avail)
+	where := m.scanTable(s, table, avail, pc)
 	affected := t.Rows * s.PredSelectivity(table)
 	total := where.cost + affected*m.p.UpdateRowCost
 	used := append([]index.ID(nil), where.used...)
@@ -465,7 +582,7 @@ func containsAny(cols, targets []string) bool {
 }
 
 // permute enumerates permutations of order[k:] in place.
-func permute(order []string, k int, visit func([]string)) {
+func permute(order []int, k int, visit func([]int)) {
 	if k == len(order)-1 {
 		visit(order)
 		return

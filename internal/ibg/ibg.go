@@ -20,6 +20,14 @@
 // with bitmask walks over the used union and a flat memo array: no
 // allocation, no optimizer.
 //
+// Because WFIT builds and discards a graph per statement, construction
+// and serving are tuned for steady-state reuse: the construction scratch
+// (node slab, child links, dedup maps) lives in a sync.Pool, the frozen
+// form is two flat slabs instead of per-node maps, and the cost memo is
+// a pooled, epoch-stamped buffer that Release returns for the next
+// statement — so the analysis path performs no O(2^bits) allocation or
+// initialization per statement.
+//
 // Construction expands the node frontier wave by wave, so the per-node
 // what-if optimizations of one wave can run on a worker pool
 // (BuildWorkers); the resulting graph is byte-identical to a serial
@@ -31,6 +39,7 @@ package ibg
 import (
 	"math"
 	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/index"
@@ -47,9 +56,9 @@ const MaxNodes = 4096
 // enumeration; larger graphs fall back to node-derived contexts.
 const exactEnumBits = 12
 
-// unsetCost marks an unfilled memo slot. The bit pattern is a NaN, which
-// no real statement cost can produce.
-const unsetCost = ^uint64(0)
+// memoMaxBits bounds the used-union size for the flat cost memo; wider
+// graphs (which the MaxNodes cap keeps rare) fall back to uncached walks.
+const memoMaxBits = 20
 
 // node is one IBG vertex. Configurations and used sets are bitmasks over
 // the graph's used-union (only used indices influence walks and costs).
@@ -57,7 +66,48 @@ type node struct {
 	cost     float64
 	cfgMask  uint32
 	usedMask uint32
-	children []*node // indexed by bit position in the used union
+	children []*node // indexed by bit position in the used union; nil = leaf
+}
+
+// costMemo is a pooled probe cache. A slot is valid only when its stamp
+// equals the current epoch, so a recycled buffer needs no O(2^bits)
+// clearing: bumping the epoch invalidates every stale entry at once.
+// (Earlier versions allocated a fresh array per statement and initialized
+// every slot to an all-ones sentinel — a NaN bit pattern — which made the
+// memo the single largest per-statement allocation.)
+type costMemo struct {
+	bits  int
+	epoch uint32
+	vals  []uint64 // float64 bit patterns, valid iff stamped
+	stamp []uint32
+	// dense is the benefit/doi statistics table: every mask's cost as a
+	// plain float64, filled in one pass (Graph.statsCosts) when the used
+	// union fits exactEnumBits. The submask enumerations behind
+	// MaxBenefit and DOI then read raw floats instead of doing an atomic
+	// dance per probe. Lazily sized, pooled with the memo.
+	dense []float64
+}
+
+// memoPool[b] recycles memos of 2^b slots.
+var memoPool [memoMaxBits + 1]sync.Pool
+
+func acquireMemo(bits int) *costMemo {
+	if m, _ := memoPool[bits].Get().(*costMemo); m != nil {
+		m.epoch++
+		if m.epoch == 0 {
+			// Stamp wraparound (once per 2^32 reuses): old stamps could
+			// collide with the restarted epoch, so clear them.
+			clear(m.stamp)
+			m.epoch = 1
+		}
+		return m
+	}
+	return &costMemo{
+		bits:  bits,
+		epoch: 1,
+		vals:  make([]uint64, 1<<bits),
+		stamp: make([]uint32, 1<<bits),
+	}
 }
 
 // Graph is the index benefit graph of one statement over a candidate set.
@@ -67,15 +117,17 @@ type Graph struct {
 	usedIDs   []index.ID
 	usedPos   map[index.ID]int
 	root      *node
-	nodeCount int
+	nodes     []node  // all vertices in creation (BFS) order; root first
+	kids      []*node // children backing storage, sliced per parent
 	truncated bool
 	usedUnion index.Set
+	denseOnce sync.Once // guards memo.dense fill for this graph
 
-	// costMemo caches CostMask results as float64 bit patterns accessed
-	// atomically (unsetCost marks empty slots), so concurrent probes are
-	// race-free: every writer stores the same deterministic value. Only
-	// allocated when the used union is small enough.
-	costMemo []uint64
+	// memo caches CostMask results as float64 bit patterns accessed
+	// atomically, so concurrent probes are race-free: every writer stores
+	// the same deterministic value. Only present when the used union is
+	// small enough; nil after Release.
+	memo *costMemo
 }
 
 // buildNode is the construction-time representation before masks exist.
@@ -84,7 +136,48 @@ type buildNode struct {
 	mask     uint64 // bitmask over top's IDs (valid when top has <= 64 indices)
 	cost     float64
 	used     index.Set
-	children map[index.ID]*buildNode
+	usedTop  uint64 // used as a top-space mask (valid when top has <= 64 indices)
+	kidStart int32  // span into builder.links
+	kidEnd   int32
+}
+
+// childLink records one parent→child edge during construction; parents
+// own contiguous spans, replacing the per-node map of the original
+// implementation.
+type childLink struct {
+	id    index.ID
+	child int32
+}
+
+// builder is the pooled construction scratch: node slab, edge list, wave
+// queues, and dedup maps, all reused across statements.
+type builder struct {
+	nodes  []buildNode
+	links  []childLink
+	wave   []int32
+	nextWv []int32
+	byMask map[uint64]int32
+	byKey  map[string]int32
+	topPos map[index.ID]int32
+}
+
+var builderPool = sync.Pool{New: func() any {
+	return &builder{
+		byMask: make(map[uint64]int32),
+		topPos: make(map[index.ID]int32),
+	}
+}}
+
+func (b *builder) reset() {
+	b.nodes = b.nodes[:0]
+	b.links = b.links[:0]
+	b.wave = b.wave[:0]
+	b.nextWv = b.nextWv[:0]
+	clear(b.byMask)
+	clear(b.topPos)
+	if b.byKey != nil {
+		clear(b.byKey)
+	}
 }
 
 // Build constructs the IBG of s over the candidate set, restricted to the
@@ -102,30 +195,22 @@ func Build(opt *whatif.Optimizer, s *stmt.Statement, candidates index.Set) *Grap
 // identical to Build's for any worker count.
 func BuildWorkers(opt *whatif.Optimizer, s *stmt.Statement, candidates index.Set, workers int) *Graph {
 	top := opt.Model().RestrictConfig(s, candidates)
-	g := &Graph{stmt: s, top: top, usedPos: make(map[index.ID]int)}
+	g := &Graph{stmt: s, top: top}
+
+	b := builderPool.Get().(*builder)
+	b.reset()
+	defer builderPool.Put(b)
 
 	// Node lookup is by configuration identity. Configurations are
 	// subsets of top, so when top is small they intern as bitmasks; the
 	// string-key map is the fallback for oversized candidate sets.
 	topIDs := top.IDs()
 	useMask := len(topIDs) <= 64
-	topPos := make(map[index.ID]int, len(topIDs))
 	for i, id := range topIDs {
-		topPos[id] = i
+		b.topPos[id] = int32(i)
 	}
-	var byMask map[uint64]*buildNode
-	var byKey map[string]*buildNode
-	if useMask {
-		byMask = make(map[uint64]*buildNode)
-	} else {
-		byKey = make(map[string]*buildNode)
-	}
-	store := func(n *buildNode) {
-		if useMask {
-			byMask[n.mask] = n
-		} else {
-			byKey[n.cfg.Key()] = n
-		}
+	if !useMask && b.byKey == nil {
+		b.byKey = make(map[string]int32)
 	}
 
 	var fullMask uint64
@@ -136,100 +221,181 @@ func BuildWorkers(opt *whatif.Optimizer, s *stmt.Statement, candidates index.Set
 			fullMask = (1 << len(topIDs)) - 1
 		}
 	}
-	rootB := &buildNode{cfg: top, mask: fullMask}
-	store(rootB)
-	all := []*buildNode{rootB}
+	b.nodes = append(b.nodes, buildNode{cfg: top, mask: fullMask})
+	if useMask {
+		b.byMask[fullMask] = 0
+	} else {
+		b.byKey[top.Key()] = 0
+	}
 
 	// costWave prices every node of a frontier wave: one independent
-	// what-if optimization each.
-	costWave := func(wave []*buildNode) {
+	// what-if optimization each. The used set is also projected onto the
+	// top bit space here so the freeze below runs map-free.
+	costWave := func(wave []int32) {
 		par.Do(workers, len(wave), func(i int) {
-			n := wave[i]
+			n := &b.nodes[wave[i]]
 			n.cost, n.used = opt.CostUsed(s, n.cfg)
+			if useMask {
+				var um uint64
+				n.used.Each(func(a index.ID) {
+					um |= 1 << b.topPos[a]
+				})
+				n.usedTop = um
+			}
 		})
 	}
-	costWave(all)
+	b.wave = append(b.wave, 0)
+	costWave(b.wave)
 
-	wave := all
-	for len(wave) > 0 && !g.truncated {
-		var next []*buildNode
-		for _, n := range wave {
-			if len(all) >= MaxNodes {
+	for len(b.wave) > 0 && !g.truncated {
+		b.nextWv = b.nextWv[:0]
+		for _, ni := range b.wave {
+			if len(b.nodes) >= MaxNodes {
 				g.truncated = true
 				break
 			}
-			n.used.Each(func(a index.ID) {
-				var child *buildNode
+			// Copy the expansion inputs out: appending children may grow
+			// the node slab and invalidate pointers into it.
+			mask := b.nodes[ni].mask
+			cfg := b.nodes[ni].cfg
+			used := b.nodes[ni].used
+			kidStart := int32(len(b.links))
+			used.Each(func(a index.ID) {
+				var child int32
 				var ok bool
 				if useMask {
-					childMask := n.mask &^ (1 << topPos[a])
-					if child, ok = byMask[childMask]; !ok {
-						child = &buildNode{cfg: n.cfg.Remove(a), mask: childMask}
+					childMask := mask &^ (1 << b.topPos[a])
+					if child, ok = b.byMask[childMask]; !ok {
+						child = int32(len(b.nodes))
+						b.nodes = append(b.nodes, buildNode{cfg: cfg.Remove(a), mask: childMask})
+						b.byMask[childMask] = child
 					}
 				} else {
-					childCfg := n.cfg.Remove(a)
-					if child, ok = byKey[childCfg.Key()]; !ok {
-						child = &buildNode{cfg: childCfg}
+					childCfg := cfg.Remove(a)
+					key := childCfg.Key()
+					if child, ok = b.byKey[key]; !ok {
+						child = int32(len(b.nodes))
+						b.nodes = append(b.nodes, buildNode{cfg: childCfg})
+						b.byKey[key] = child
 					}
 				}
 				if !ok {
-					store(child)
-					all = append(all, child)
-					next = append(next, child)
+					b.nextWv = append(b.nextWv, child)
 				}
-				if n.children == nil {
-					n.children = make(map[index.ID]*buildNode)
-				}
-				n.children[a] = child
+				b.links = append(b.links, childLink{id: a, child: child})
 			})
+			b.nodes[ni].kidStart, b.nodes[ni].kidEnd = kidStart, int32(len(b.links))
 		}
 		// Even on truncation the created children get priced: the serial
 		// algorithm computes a node's cost the moment it is enqueued.
-		costWave(next)
-		wave = next
+		costWave(b.nextWv)
+		b.wave, b.nextWv = b.nextWv, b.wave
 	}
-	g.nodeCount = len(all)
 
-	// Freeze: compute the used union and rewrite nodes into the compact
-	// mask-based form.
-	union := index.EmptySet
-	for _, n := range all {
-		union = union.Union(n.used)
+	g.freeze(b, topIDs, useMask)
+	return g
+}
+
+// freeze computes the used union and rewrites the construction state into
+// the compact probe-time form: one flat node slab, one children slab, and
+// (when feasible) a pooled cost memo.
+func (g *Graph) freeze(b *builder, topIDs []index.ID, useMask bool) {
+	if useMask {
+		var unionTop uint64
+		for i := range b.nodes {
+			unionTop |= b.nodes[i].usedTop
+		}
+		ids := make([]index.ID, 0, bits.OnesCount64(unionTop))
+		for m := unionTop; m != 0; m &= m - 1 {
+			ids = append(ids, topIDs[bits.TrailingZeros64(m)])
+		}
+		g.usedUnion = index.NewSet(ids...)
+	} else {
+		union := index.EmptySet
+		for i := range b.nodes {
+			union = union.Union(b.nodes[i].used)
+		}
+		g.usedUnion = union
 	}
-	g.usedUnion = union
-	g.usedIDs = union.IDs()
+	g.usedIDs = g.usedUnion.IDs()
+	g.usedPos = make(map[index.ID]int, len(g.usedIDs))
 	for i, id := range g.usedIDs {
 		g.usedPos[id] = i
 	}
-	frozen := make(map[*buildNode]*node, len(all))
-	var freeze func(b *buildNode) *node
-	freeze = func(b *buildNode) *node {
-		if f, ok := frozen[b]; ok {
-			return f
-		}
-		f := &node{
-			cost:     b.cost,
-			cfgMask:  g.maskOf(b.cfg),
-			usedMask: g.maskOf(b.used),
-		}
-		frozen[b] = f
-		if len(b.children) > 0 {
-			f.children = make([]*node, len(g.usedIDs))
-			for a, cb := range b.children {
-				f.children[g.usedPos[a]] = freeze(cb)
+
+	// Translate top-space masks to used-union masks with a flat table.
+	var top2union []uint32
+	if useMask {
+		top2union = make([]uint32, len(topIDs))
+		for i, id := range topIDs {
+			if p, ok := g.usedPos[id]; ok {
+				top2union[i] = 1 << p
 			}
 		}
-		return f
 	}
-	g.root = freeze(rootB)
-
-	if bits := len(g.usedIDs); bits <= 20 {
-		g.costMemo = make([]uint64, 1<<bits)
-		for i := range g.costMemo {
-			g.costMemo[i] = unsetCost
+	g.nodes = make([]node, len(b.nodes))
+	parents := 0
+	for i := range b.nodes {
+		bn := &b.nodes[i]
+		if useMask {
+			g.nodes[i] = node{
+				cost:     bn.cost,
+				cfgMask:  projectTop(bn.mask, top2union),
+				usedMask: projectTop(bn.usedTop, top2union),
+			}
+		} else {
+			g.nodes[i] = node{
+				cost:     bn.cost,
+				cfgMask:  g.maskOf(bn.cfg),
+				usedMask: g.maskOf(bn.used),
+			}
+		}
+		if bn.kidEnd > bn.kidStart {
+			parents++
 		}
 	}
-	return g
+	g.kids = make([]*node, parents*len(g.usedIDs))
+	next := 0
+	for i := range b.nodes {
+		bn := &b.nodes[i]
+		if bn.kidEnd <= bn.kidStart {
+			continue
+		}
+		children := g.kids[next : next+len(g.usedIDs) : next+len(g.usedIDs)]
+		next += len(g.usedIDs)
+		for _, l := range b.links[bn.kidStart:bn.kidEnd] {
+			children[g.usedPos[l.id]] = &g.nodes[l.child]
+		}
+		g.nodes[i].children = children
+	}
+	g.root = &g.nodes[0]
+
+	if bits := len(g.usedIDs); bits <= memoMaxBits {
+		g.memo = acquireMemo(bits)
+	}
+}
+
+// Release returns the graph's pooled probe cache for reuse by a later
+// graph. Call it once all probing is done (WFIT releases each
+// statement's graph at the end of the analysis); probing a released
+// graph is still correct but falls back to uncached walks. Long-lived
+// graphs (the benchmark environment's evaluation IBGs) simply never
+// release. Release must not run concurrently with probes.
+func (g *Graph) Release() {
+	if m := g.memo; m != nil {
+		g.memo = nil
+		memoPool[m.bits].Put(m)
+	}
+}
+
+// projectTop translates a top-space bitmask into the used-union space
+// via the per-bit image table.
+func projectTop(topMask uint64, top2union []uint32) uint32 {
+	var um uint32
+	for m := topMask; m != 0; m &= m - 1 {
+		um |= top2union[bits.TrailingZeros64(m)]
+	}
+	return um
 }
 
 // maskOf projects a set onto the used-union bit space.
@@ -261,7 +427,7 @@ func (g *Graph) Statement() *stmt.Statement { return g.stmt }
 func (g *Graph) Top() index.Set { return g.top }
 
 // NodeCount reports how many nodes (= what-if calls) the graph holds.
-func (g *Graph) NodeCount() int { return g.nodeCount }
+func (g *Graph) NodeCount() int { return len(g.nodes) }
 
 // Truncated reports whether construction hit MaxNodes.
 func (g *Graph) Truncated() bool { return g.truncated }
@@ -271,9 +437,16 @@ func (g *Graph) Truncated() bool { return g.truncated }
 func (g *Graph) UsedUnion() index.Set { return g.usedUnion }
 
 // Influential returns the members of cfg that can change the statement's
-// cost. It makes *Graph satisfy the core.StatementCost interface.
+// cost.
 func (g *Graph) Influential(cfg index.Set) index.Set {
 	return cfg.Intersect(g.usedUnion)
+}
+
+// Influences reports whether any member of cfg can change the
+// statement's cost, without materializing the intersection. Together
+// with Influential it makes *Graph satisfy core.StatementCost.
+func (g *Graph) Influences(cfg index.Set) bool {
+	return g.usedUnion.Intersects(cfg)
 }
 
 // find walks from the root to the node covering mask (used ⊆ mask).
@@ -295,12 +468,16 @@ func (g *Graph) find(mask uint32) *node {
 
 // CostMask returns cost(q, X) for X given as a used-union mask.
 func (g *Graph) CostMask(mask uint32) float64 {
-	if g.costMemo != nil {
-		if b := atomic.LoadUint64(&g.costMemo[mask]); b != unsetCost {
-			return math.Float64frombits(b)
+	if m := g.memo; m != nil {
+		if atomic.LoadUint32(&m.stamp[mask]) == m.epoch {
+			return math.Float64frombits(atomic.LoadUint64(&m.vals[mask]))
 		}
 		v := g.find(mask).cost
-		atomic.StoreUint64(&g.costMemo[mask], math.Float64bits(v))
+		// Value first, stamp second: a reader that observes the stamp is
+		// guaranteed to read a (deterministic) value. Racing writers
+		// store identical bits.
+		atomic.StoreUint64(&m.vals[mask], math.Float64bits(v))
+		atomic.StoreUint32(&m.stamp[mask], m.epoch)
 		return v
 	}
 	return g.find(mask).cost
@@ -312,25 +489,38 @@ func (g *Graph) Cost(x index.Set) float64 {
 	return g.CostMask(g.maskOf(x))
 }
 
-// CostMaskFunc returns a probe function over bitmasks in the caller's own
-// id space: bit i of the argument stands for ids[i]. It lets mask-indexed
-// consumers (WFA's work-function update sweeps all 2^|part|
-// configurations) price configurations without materializing an index.Set
-// per probe. Ids outside the used union are cost-irrelevant and ignored.
-func (g *Graph) CostMaskFunc(ids []index.ID) func(mask uint32) float64 {
-	bit := make([]uint32, len(ids))
+// CostProbe implements core.MaskCoster: it returns a probe over bitmasks
+// in the caller's own id space (bit i of the argument stands for ids[i])
+// plus the mask of relevant caller bits — the ids inside the graph's used
+// union, the only ones that can change the cost. xlat is caller scratch
+// (len ≥ len(ids)) that carries the id→graph-bit translation, so repeated
+// calls allocate nothing beyond the closure. Requires len(ids) ≤ 32.
+func (g *Graph) CostProbe(ids []index.ID, xlat []uint32) (func(mask uint32) float64, uint32) {
+	xlat = xlat[:len(ids)]
+	var relevant uint32
 	for i, id := range ids {
 		if p, ok := g.usedPos[id]; ok {
-			bit[i] = 1 << p
+			xlat[i] = 1 << p
+			relevant |= 1 << i
+		} else {
+			xlat[i] = 0
 		}
 	}
-	return func(m uint32) float64 {
+	probe := func(m uint32) float64 {
 		var gm uint32
 		for ; m != 0; m &= m - 1 {
-			gm |= bit[bits.TrailingZeros32(m)]
+			gm |= xlat[bits.TrailingZeros32(m)]
 		}
 		return g.CostMask(gm)
 	}
+	return probe, relevant
+}
+
+// CostMaskFunc is CostProbe without the projection information, kept for
+// callers that only need the probe.
+func (g *Graph) CostMaskFunc(ids []index.ID) func(mask uint32) float64 {
+	probe, _ := g.CostProbe(ids, make([]uint32, len(ids)))
+	return probe
 }
 
 // Used returns the used set of the plan for configuration X.
@@ -366,16 +556,25 @@ func (g *Graph) MaxBenefit(a index.ID) float64 {
 	bit := uint32(1) << pos
 	full := g.fullMask()
 	best := math.Inf(-1)
-	visit := func(ctx uint32) {
-		ctx &^= bit
-		if b := g.CostMask(ctx) - g.CostMask(ctx|bit); b > best {
-			best = b
-		}
-	}
-	if len(g.usedIDs) <= exactEnumBits {
-		forEachSubmask(full&^bit, visit)
+	if dense := g.statsCosts(); dense != nil {
+		forEachSubmask(full&^bit, func(ctx uint32) {
+			ctx &^= bit
+			if b := dense[ctx] - dense[ctx|bit]; b > best {
+				best = b
+			}
+		})
 	} else {
-		g.visitNodeContexts(visit)
+		visit := func(ctx uint32) {
+			ctx &^= bit
+			if b := g.CostMask(ctx) - g.CostMask(ctx|bit); b > best {
+				best = b
+			}
+		}
+		if len(g.usedIDs) <= exactEnumBits {
+			forEachSubmask(full&^bit, visit)
+		} else {
+			g.visitNodeContexts(visit)
+		}
 	}
 	if math.IsInf(best, -1) {
 		return 0
@@ -397,20 +596,56 @@ func (g *Graph) DOI(a, b index.ID) float64 {
 	}
 	bitA, bitB := uint32(1)<<pa, uint32(1)<<pb
 	best := 0.0
-	visit := func(ctx uint32) {
-		ctx &^= bitA | bitB
-		v := math.Abs(g.CostMask(ctx) - g.CostMask(ctx|bitA) -
-			g.CostMask(ctx|bitB) + g.CostMask(ctx|bitA|bitB))
-		if v > best {
-			best = v
+	if dense := g.statsCosts(); dense != nil {
+		forEachSubmask(g.fullMask()&^(bitA|bitB), func(ctx uint32) {
+			ctx &^= bitA | bitB
+			v := math.Abs(dense[ctx] - dense[ctx|bitA] -
+				dense[ctx|bitB] + dense[ctx|bitA|bitB])
+			if v > best {
+				best = v
+			}
+		})
+	} else {
+		visit := func(ctx uint32) {
+			ctx &^= bitA | bitB
+			v := math.Abs(g.CostMask(ctx) - g.CostMask(ctx|bitA) -
+				g.CostMask(ctx|bitB) + g.CostMask(ctx|bitA|bitB))
+			if v > best {
+				best = v
+			}
+		}
+		if len(g.usedIDs) <= exactEnumBits {
+			forEachSubmask(g.fullMask()&^(bitA|bitB), visit)
+		} else {
+			g.visitNodeContexts(visit)
 		}
 	}
-	if len(g.usedIDs) <= exactEnumBits {
-		forEachSubmask(g.fullMask()&^(bitA|bitB), visit)
-	} else {
-		g.visitNodeContexts(visit)
-	}
 	return best
+}
+
+// statsCosts returns a dense cost table over every used-union mask —
+// dense[m] == CostMask(m) — filled once per graph, or nil when the union
+// exceeds exactEnumBits or the memo was released. Safe for concurrent
+// use: the sync.Once fill happens-before every read.
+func (g *Graph) statsCosts() []float64 {
+	if len(g.usedIDs) > exactEnumBits {
+		return nil
+	}
+	m := g.memo
+	if m == nil {
+		return nil
+	}
+	g.denseOnce.Do(func() {
+		size := 1 << len(g.usedIDs)
+		if cap(m.dense) < size {
+			m.dense = make([]float64, size)
+		}
+		m.dense = m.dense[:size]
+		for mask := 0; mask < size; mask++ {
+			m.dense[mask] = g.find(uint32(mask)).cost
+		}
+	})
+	return m.dense
 }
 
 // fullMask is the mask with every used-union bit set.
@@ -434,23 +669,14 @@ func forEachSubmask(rest uint32, visit func(uint32)) {
 }
 
 // visitNodeContexts visits each graph node's configuration mask — the
-// fallback context pool when exact enumeration is infeasible.
+// fallback context pool when exact enumeration is infeasible. The node
+// slab holds every vertex exactly once, so this is a flat scan; the
+// per-call map-tracked graph walk it replaces dominated the analysis
+// tail on large statements.
 func (g *Graph) visitNodeContexts(visit func(uint32)) {
-	var walk func(n *node, seen map[*node]bool)
-	seen := make(map[*node]bool)
-	walk = func(n *node, seen map[*node]bool) {
-		if seen[n] {
-			return
-		}
-		seen[n] = true
-		visit(n.cfgMask)
-		for _, c := range n.children {
-			if c != nil {
-				walk(c, seen)
-			}
-		}
+	for i := range g.nodes {
+		visit(g.nodes[i].cfgMask)
 	}
-	walk(g.root, seen)
 }
 
 // Interaction is one interacting index pair with its degree.

@@ -356,6 +356,72 @@ func TestCostMaskFuncMatchesCost(t *testing.T) {
 	}
 }
 
+// TestCostProbeProjection checks the projection contract of CostProbe:
+// the relevant mask flags exactly the ids inside the used union, and the
+// probe is constant across each coset of the irrelevant bits — the
+// property that lets WFA price one representative per coset.
+func TestCostProbeProjection(t *testing.T) {
+	o, _, ids := testSetup(t)
+	q := joinQuery()
+	g := Build(o, q, index.NewSet(ids...))
+	xlat := make([]uint32, len(ids))
+	probe, relevant := g.CostProbe(ids, xlat)
+	for i, id := range ids {
+		if got, want := relevant&(1<<i) != 0, g.UsedUnion().Contains(id); got != want {
+			t.Fatalf("relevant bit %d = %v, used union membership %v", i, got, want)
+		}
+	}
+	for mask := uint32(0); mask < 1<<len(ids); mask++ {
+		got := probe(mask)
+		if proj := probe(mask & relevant); got != proj {
+			t.Fatalf("mask %b: probe %v differs from projected probe %v", mask, got, proj)
+		}
+		var cur []index.ID
+		for j := range ids {
+			if mask&(1<<j) != 0 {
+				cur = append(cur, ids[j])
+			}
+		}
+		if want := g.Cost(index.NewSet(cur...)); got != want {
+			t.Fatalf("mask %b: probe %v, set path %v", mask, got, want)
+		}
+	}
+}
+
+// TestReleaseRecyclesMemo builds, probes, and releases graphs in a loop —
+// the per-statement lifecycle WFIT drives — checking that probe answers
+// stay correct as the pooled, epoch-stamped memo buffers are recycled
+// across statements, and that a released graph still answers correctly
+// through the uncached path.
+func TestReleaseRecyclesMemo(t *testing.T) {
+	o, _, ids := testSetup(t)
+	stmts := []*stmt.Statement{joinQuery(), updateStmt()}
+	for round := 0; round < 6; round++ {
+		s := stmts[round%len(stmts)]
+		g := Build(o, s, index.NewSet(ids...))
+		want := make(map[uint32]float64)
+		full := g.fullMask()
+		for m := uint32(0); m <= full; m++ {
+			want[m] = g.find(m).cost
+			if got := g.CostMask(m); got != want[m] {
+				t.Fatalf("round %d mask %b: memoized %v, walk %v", round, m, got, want[m])
+			}
+		}
+		// Probe twice: the second pass is served from the recycled memo.
+		for m := uint32(0); m <= full; m++ {
+			if got := g.CostMask(m); got != want[m] {
+				t.Fatalf("round %d mask %b: second probe %v, want %v", round, m, got, want[m])
+			}
+		}
+		g.Release()
+		for m := uint32(0); m <= full; m++ {
+			if got := g.CostMask(m); got != want[m] {
+				t.Fatalf("round %d mask %b: post-release probe %v, want %v", round, m, got, want[m])
+			}
+		}
+	}
+}
+
 // TestConcurrentProbesAreRaceFree hammers one graph from many goroutines;
 // run under -race this validates the atomic cost memo.
 func TestConcurrentProbesAreRaceFree(t *testing.T) {

@@ -10,8 +10,10 @@ package index
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // ID identifies an interned index within a Registry.
@@ -101,6 +103,12 @@ type Registry struct {
 	mu    sync.RWMutex
 	byKey map[string]ID
 	defs  []*Index // defs[i] has ID i+1
+
+	// snapshot holds the current defs slice for lock-free Get: Intern
+	// publishes a fresh header after every append, readers load it with
+	// one atomic. Interned definitions are immutable, so a slightly stale
+	// snapshot is only ever missing IDs the reader cannot hold yet.
+	snapshot atomic.Pointer[[]*Index]
 }
 
 // NewRegistry returns an empty registry.
@@ -131,6 +139,8 @@ func (r *Registry) Intern(proto Index) ID {
 	def.Columns = append([]string(nil), proto.Columns...)
 	r.defs = append(r.defs, &def)
 	r.byKey[key] = id
+	defs := r.defs
+	r.snapshot.Store(&defs)
 	return id
 }
 
@@ -143,8 +153,15 @@ func (r *Registry) Lookup(table string, columns []string) (ID, bool) {
 }
 
 // Get returns the definition for id. It panics on an unknown ID, which
-// always indicates a programming error (IDs only come from Intern).
+// always indicates a programming error (IDs only come from Intern). The
+// hot path is one atomic load — the cost model resolves definitions on
+// every what-if optimization, where the read lock was measurable.
 func (r *Registry) Get(id ID) *Index {
+	if sp := r.snapshot.Load(); sp != nil {
+		if defs := *sp; id != Invalid && int(id) <= len(defs) {
+			return defs[id-1]
+		}
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if id == Invalid || int(id) > len(r.defs) {
@@ -208,9 +225,21 @@ type Set struct {
 var EmptySet = Set{}
 
 // NewSet builds a set from the given IDs (duplicates allowed, order free).
+// Already-sorted unique input — the common case, since most callers
+// enumerate existing sets in order — is copied without the sort.
 func NewSet(ids ...ID) Set {
 	if len(ids) == 0 {
 		return Set{}
+	}
+	ascending := true
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			ascending = false
+			break
+		}
+	}
+	if ascending {
+		return Set{ids: append([]ID(nil), ids...)}
 	}
 	sorted := append([]ID(nil), ids...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
@@ -231,6 +260,21 @@ func (s Set) Empty() bool { return len(s.ids) == 0 }
 
 // IDs returns a copy of the member IDs in ascending order.
 func (s Set) IDs() []ID { return append([]ID(nil), s.ids...) }
+
+// First returns the smallest member ID, or Invalid for the empty set. It
+// exists so ordering code (e.g. partition normalization) need not copy
+// the whole member slice just to look at one element.
+func (s Set) First() ID {
+	if len(s.ids) == 0 {
+		return Invalid
+	}
+	return s.ids[0]
+}
+
+// At returns the i-th smallest member (0 ≤ i < Len). Together with Len
+// it supports plain index loops where the Each closure shows up in
+// profiles.
+func (s Set) At(i int) ID { return s.ids[i] }
 
 // Contains reports membership of id.
 func (s Set) Contains(id ID) bool {
@@ -262,13 +306,22 @@ func (s Set) Equal(t Set) bool {
 	return true
 }
 
-// Union returns s ∪ t.
+// Union returns s ∪ t. When one side contains the other the larger set
+// is returned as-is — sets are immutable, so sharing is safe — which
+// keeps repeated unions against a slowly-growing accumulator (candidate
+// universes, partition unions) allocation-free in the steady state.
 func (s Set) Union(t Set) Set {
 	if s.Empty() {
 		return t
 	}
 	if t.Empty() {
 		return s
+	}
+	if t.SubsetOf(s) {
+		return s
+	}
+	if s.SubsetOf(t) {
+		return t
 	}
 	out := make([]ID, 0, len(s.ids)+len(t.ids))
 	i, j := 0, 0
@@ -350,11 +403,48 @@ func (s Set) Remove(id ID) Set {
 	return s.Minus(NewSet(id))
 }
 
-// Disjoint reports whether s ∩ t = ∅.
-func (s Set) Disjoint(t Set) bool { return s.Intersect(t).Empty() }
+// Intersects reports whether s and t share at least one member. Unlike
+// Intersect(t).Empty() it allocates nothing, which matters to the per-
+// statement analysis loop that asks this question for every part of the
+// stable partition.
+func (s Set) Intersects(t Set) bool {
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(t.ids) {
+		switch {
+		case s.ids[i] < t.ids[j]:
+			i++
+		case s.ids[i] > t.ids[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
 
-// SubsetOf reports whether every member of s is in t.
-func (s Set) SubsetOf(t Set) bool { return s.Minus(t).Empty() }
+// Disjoint reports whether s ∩ t = ∅.
+func (s Set) Disjoint(t Set) bool { return !s.Intersects(t) }
+
+// SubsetOf reports whether every member of s is in t, without
+// allocating.
+func (s Set) SubsetOf(t Set) bool {
+	if len(s.ids) > len(t.ids) {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(s.ids) {
+		if j >= len(t.ids) || s.ids[i] < t.ids[j] {
+			return false
+		}
+		if s.ids[i] > t.ids[j] {
+			j++
+			continue
+		}
+		i++
+		j++
+	}
+	return true
+}
 
 // Key returns a compact string usable as a map key. Distinct sets always
 // produce distinct keys.
@@ -362,14 +452,20 @@ func (s Set) Key() string {
 	if s.Empty() {
 		return ""
 	}
-	var b strings.Builder
+	return string(s.AppendKey(make([]byte, 0, 4*len(s.ids))))
+}
+
+// AppendKey appends the canonical Key representation to b and returns
+// the extended slice. Callers on hot paths (the what-if cache) use it
+// with a reused buffer so a probe costs no allocation beyond the lookup.
+func (s Set) AppendKey(b []byte) []byte {
 	for i, id := range s.ids {
 		if i > 0 {
-			b.WriteByte(',')
+			b = append(b, ',')
 		}
-		fmt.Fprintf(&b, "%d", id)
+		b = strconv.AppendUint(b, uint64(id), 10)
 	}
-	return b.String()
+	return b
 }
 
 // String renders the set with index definitions resolved through reg, or

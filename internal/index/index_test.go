@@ -344,3 +344,64 @@ func TestFormat(t *testing.T) {
 		t.Fatalf("empty Format = %q", EmptySet.Format(reg))
 	}
 }
+
+func TestIntersectsMatchesIntersect(t *testing.T) {
+	// Intersects must agree with the allocating definition on arbitrary
+	// inputs, including empty sets and identical sets.
+	f := func(xs, ys []uint8) bool {
+		toSet := func(v []uint8) Set {
+			ids := make([]ID, len(v))
+			for i, x := range v {
+				ids[i] = ID(x) + 1
+			}
+			return NewSet(ids...)
+		}
+		a, b := toSet(xs), toSet(ys)
+		if a.Intersects(b) != !a.Intersect(b).Empty() {
+			return false
+		}
+		if a.Disjoint(b) != a.Intersect(b).Empty() {
+			return false
+		}
+		return a.Intersects(b) == b.Intersects(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirst(t *testing.T) {
+	if EmptySet.First() != Invalid {
+		t.Fatalf("empty First = %v", EmptySet.First())
+	}
+	if got := NewSet(9, 3, 7).First(); got != 3 {
+		t.Fatalf("First = %v, want 3", got)
+	}
+}
+
+func TestAppendKeyMatchesKey(t *testing.T) {
+	sets := []Set{EmptySet, NewSet(1), NewSet(3, 1, 2), NewSet(1000000, 42)}
+	for _, s := range sets {
+		if got := string(s.AppendKey(nil)); got != s.Key() {
+			t.Fatalf("AppendKey = %q, Key = %q", got, s.Key())
+		}
+	}
+	// Appending extends rather than replaces.
+	b := []byte("prefix:")
+	if got := string(NewSet(5).AppendKey(b)); got != "prefix:5" {
+		t.Fatalf("AppendKey with prefix = %q", got)
+	}
+}
+
+func TestNewSetSortedFastPath(t *testing.T) {
+	// Ascending input (fast path) and permuted/duplicated input must
+	// produce identical sets.
+	asc := NewSet(1, 2, 5, 9)
+	shuffled := NewSet(9, 5, 2, 1, 5, 2)
+	if !asc.Equal(shuffled) {
+		t.Fatalf("fast path diverges: %v vs %v", asc, shuffled)
+	}
+	if asc.Len() != 4 {
+		t.Fatalf("Len = %d", asc.Len())
+	}
+}

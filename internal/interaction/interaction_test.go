@@ -329,3 +329,49 @@ func enumeratePartitions(ids []index.ID, visit func(Partition)) {
 	}
 	assign(0, nil)
 }
+
+// TestEqualNormalized checks the no-copy comparison against Equal on
+// normalized inputs, and that Choose/randomMerge outputs satisfy its
+// precondition (parts ordered by smallest member).
+func TestEqualNormalized(t *testing.T) {
+	a := Partition{index.NewSet(1, 2), index.NewSet(5)}.Normalize()
+	b := Partition{index.NewSet(5), index.NewSet(2, 1)}.Normalize()
+	if !a.EqualNormalized(b) || !a.Equal(b) {
+		t.Fatalf("equal partitions not detected")
+	}
+	c := Partition{index.NewSet(1, 2), index.NewSet(6)}.Normalize()
+	if a.EqualNormalized(c) || a.Equal(c) {
+		t.Fatalf("unequal partitions not detected")
+	}
+}
+
+// TestChooseReturnsNormalized verifies the documented contract that
+// Choose output is in Normalize form, which WFIT's EqualNormalized
+// comparison relies on.
+func TestChooseReturnsNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ids := make([]index.ID, 12)
+	for i := range ids {
+		ids[i] = index.ID(i + 1)
+	}
+	doiTable := make(map[Pair]float64)
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if rng.Float64() < 0.4 {
+				doiTable[MakePair(ids[i], ids[j])] = rng.Float64() * 50
+			}
+		}
+	}
+	doi := func(a, b index.ID) float64 { return doiTable[MakePair(a, b)] }
+	for trial := 0; trial < 10; trial++ {
+		pt := &Partitioner{StateCnt: 200, MaxPartSize: 6, RandCnt: 8,
+			Rand: rand.New(rand.NewSource(int64(trial)))}
+		got := pt.Choose(index.NewSet(ids...), nil, doi)
+		if !got.EqualNormalized(got.Normalize()) {
+			t.Fatalf("trial %d: Choose output not normalized: %v", trial, got)
+		}
+		if !got.Validate() {
+			t.Fatalf("trial %d: invalid partition", trial)
+		}
+	}
+}

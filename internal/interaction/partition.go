@@ -2,6 +2,7 @@ package interaction
 
 import (
 	"math"
+	"math/bits"
 	"sort"
 
 	"repro/internal/index"
@@ -22,19 +23,28 @@ func (p Partition) Normalize() Partition {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
-		return out[i].IDs()[0] < out[j].IDs()[0]
+		return out[i].First() < out[j].First()
 	})
 	return out
 }
 
 // Equal reports whether two partitions contain the same parts.
 func (p Partition) Equal(q Partition) bool {
-	a, b := p.Normalize(), q.Normalize()
-	if len(a) != len(b) {
+	return p.Normalize().EqualNormalized(q.Normalize())
+}
+
+// EqualNormalized reports whether two already-normalized partitions
+// contain the same parts. Both receivers must be Normalize outputs
+// (non-empty parts ordered by smallest member); under that precondition
+// it performs no sorting and no copies. WFIT asks this question once per
+// statement against its stored (always-normalized) partition, where
+// Equal's double re-normalization was pure overhead.
+func (p Partition) EqualNormalized(q Partition) bool {
+	if len(p) != len(q) {
 		return false
 	}
-	for i := range a {
-		if !a[i].Equal(b[i]) {
+	for i := range p {
+		if !p[i].Equal(q[i]) {
 			return false
 		}
 	}
@@ -105,16 +115,21 @@ func (p Partition) Validate() bool {
 type DoiFunc func(a, b index.ID) float64
 
 // Loss returns the total doi mass across part boundaries — the error the
-// partition introduces in the decomposed cost formula (2.1).
+// partition introduces in the decomposed cost formula (2.1). Plain index
+// loops: choosePartition evaluates Loss for every candidate partition of
+// every statement, where closure-based iteration was measurable.
 func (p Partition) Loss(doi DoiFunc) float64 {
 	total := 0.0
 	for i := 0; i < len(p); i++ {
+		pi := p[i]
 		for j := i + 1; j < len(p); j++ {
-			p[i].Each(func(a index.ID) {
-				p[j].Each(func(b index.ID) {
-					total += doi(a, b)
-				})
-			})
+			pj := p[j]
+			for x := 0; x < pi.Len(); x++ {
+				a := pi.At(x)
+				for y := 0; y < pj.Len(); y++ {
+					total += doi(a, pj.At(y))
+				}
+			}
 		}
 	}
 	return total
@@ -161,24 +176,14 @@ func ConnectedComponents(ids index.Set, interacts func(a, b index.ID) bool) Part
 	return out.Normalize()
 }
 
-// Singletons returns the full-independence partition of ids.
+// Singletons returns the full-independence partition of ids, already in
+// Normalize form (ids iterate in ascending order).
 func Singletons(ids index.Set) Partition {
 	var out Partition
 	ids.Each(func(id index.ID) {
 		out = append(out, index.NewSet(id))
 	})
 	return out
-}
-
-// crossLoss is the doi mass between two concrete parts.
-func crossLoss(a, b index.Set, doi DoiFunc) float64 {
-	total := 0.0
-	a.Each(func(x index.ID) {
-		b.Each(func(y index.ID) {
-			total += doi(x, y)
-		})
-	})
-	return total
 }
 
 // rngSource is the minimal random interface the partitioner needs,
@@ -189,7 +194,11 @@ type rngSource interface {
 
 // Partitioner implements choosePartition (Figure 7): a randomized search
 // for a feasible partition (Σ 2^|Pk| ≤ StateCnt, parts ≤ MaxPartSize)
-// minimizing the cross-part interaction loss.
+// minimizing the cross-part interaction loss. A Partitioner is not safe
+// for concurrent use: besides the random source, it keeps scratch
+// buffers (cross-loss matrix, merge state, candidate edges) that Choose
+// reuses across calls — WFIT calls it once per statement, where fresh
+// per-restart allocations dominated the search's cost.
 type Partitioner struct {
 	// StateCnt bounds Σ 2^|Pk|; non-positive means unbounded.
 	StateCnt int
@@ -200,10 +209,22 @@ type Partitioner struct {
 	RandCnt int
 	// Rand supplies randomness; required.
 	Rand rngSource
+
+	// scratch reused across Choose calls
+	singles   []index.Set // singleton partition of d, shared by restarts
+	parts     []index.Set
+	baseCross []float64 // singleton cross-loss matrix, shared by restarts
+	cross     []float64 // working n×n cross-loss matrix, flattened
+	baseRows  []uint64  // per-part bitmask of positive-loss partners (n ≤ 64)
+	rows      []uint64
+	alive     []bool
+	edges     []mergeEdge
+	out       []index.Set // restart result scratch
 }
 
 // Choose computes a feasible partition of d, seeded by the current
-// partition, minimizing loss under doi.
+// partition, minimizing loss under doi. The result is always in
+// Normalize form, so callers may compare it with EqualNormalized.
 func (pt *Partitioner) Choose(d index.Set, current Partition, doi DoiFunc) Partition {
 	maxPart := pt.MaxPartSize
 	if maxPart <= 0 {
@@ -227,6 +248,18 @@ func (pt *Partitioner) Choose(d index.Set, current Partition, doi DoiFunc) Parti
 			bestSoln = p.Normalize()
 		}
 	}
+	// considerNormalized is consider for partitions already in Normalize
+	// form (randomMerge output is by construction: merges keep the
+	// lowest-membered part in place), saving the re-sort and filter.
+	considerNormalized := func(p Partition) {
+		if !feasible(p) {
+			return
+		}
+		if l := p.Loss(doi); l < bestLoss {
+			bestLoss = l
+			bestSoln = append(Partition{}, p...)
+		}
+	}
 
 	// Baseline: the current partition restricted to d, plus singletons
 	// for new indices.
@@ -244,13 +277,44 @@ func (pt *Partitioner) Choose(d index.Set, current Partition, doi DoiFunc) Parti
 	})
 	consider(baseline)
 
-	// Randomized merge restarts.
+	// Randomized merge restarts, all growing from the same singleton
+	// start state: the singleton part list and its pairwise cross-loss
+	// matrix are computed once, and each restart works on private copies
+	// (the sets themselves are immutable and shared).
 	randCnt := pt.RandCnt
 	if randCnt <= 0 {
 		randCnt = 8
 	}
+	pt.singles = append(pt.singles[:0], Singletons(d)...)
+	n := len(pt.singles)
+	if cap(pt.baseCross) < n*n {
+		pt.baseCross = make([]float64, n*n)
+		pt.cross = make([]float64, n*n)
+		pt.alive = make([]bool, n)
+	}
+	pt.baseCross = pt.baseCross[:n*n]
+	useRows := n <= 64
+	if useRows {
+		if cap(pt.baseRows) < n {
+			pt.baseRows = make([]uint64, n)
+			pt.rows = make([]uint64, n)
+		}
+		pt.baseRows = pt.baseRows[:n]
+		clear(pt.baseRows)
+	}
+	ids := d.IDs()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			l := doi(ids[i], ids[j])
+			pt.baseCross[i*n+j] = l
+			if useRows && l > 0 {
+				pt.baseRows[i] |= 1 << j
+				pt.baseRows[j] |= 1 << i
+			}
+		}
+	}
 	for iter := 0; iter < randCnt; iter++ {
-		consider(pt.randomMerge(d, doi, maxPart))
+		considerNormalized(pt.randomMerge(doi, maxPart))
 	}
 
 	if bestSoln == nil {
@@ -261,72 +325,97 @@ func (pt *Partitioner) Choose(d index.Set, current Partition, doi DoiFunc) Parti
 	return bestSoln
 }
 
-// randomMerge runs one randomized merging pass from singletons.
-func (pt *Partitioner) randomMerge(d index.Set, doi DoiFunc, maxPart int) Partition {
-	parts := []index.Set(Singletons(d))
+// randomMerge runs one randomized merging pass from the precomputed
+// singleton start state, using the Partitioner's scratch buffers. The
+// returned partition is in Normalize form by construction — merges fold
+// the higher-membered part into the lower one, so surviving parts stay
+// ordered by smallest member — and aliases scratch that the next restart
+// overwrites; callers must copy what they keep.
+func (pt *Partitioner) randomMerge(doi DoiFunc, maxPart int) Partition {
+	parts := append(pt.parts[:0], pt.singles...)
+	pt.parts = parts
 	states := len(parts) * 2
-	// cross[i][j] caches crossLoss(parts[i], parts[j]).
+	// cross[i*n+j] caches the cross loss of parts i and j, seeded from
+	// the shared singleton matrix.
 	n := len(parts)
-	cross := make([][]float64, n)
-	for i := range cross {
-		cross[i] = make([]float64, n)
-		for j := range cross[i] {
-			if j > i {
-				cross[i][j] = crossLoss(parts[i], parts[j], doi)
-			}
-		}
-	}
+	cross := append(pt.cross[:0], pt.baseCross...)
+	pt.cross = cross
 	get := func(i, j int) float64 {
 		if i > j {
 			i, j = j, i
 		}
-		return cross[i][j]
+		return cross[i*n+j]
 	}
-	alive := make([]bool, n)
+	alive := pt.alive[:n]
 	for i := range alive {
 		alive[i] = true
 	}
+	// With n ≤ 64 parts, each part carries a bitmask of its positive-loss
+	// partners, so the per-round candidate scan touches only interacting
+	// pairs instead of all n²/2 — losses are sums of non-negative doi, so
+	// positivity is monotone under merging and the masks just OR.
+	useRows := n <= 64
+	var aliveMask uint64
+	var rows []uint64
+	if useRows {
+		rows = append(pt.rows[:0], pt.baseRows...)
+		pt.rows = rows
+		if n == 64 {
+			aliveMask = ^uint64(0)
+		} else {
+			aliveMask = 1<<n - 1
+		}
+	}
 
 	for {
-		var candidates []mergeEdge
+		candidates := pt.edges[:0]
 		onlySingles := false
+		addEdge := func(i, j int, l float64) {
+			si, sj := parts[i].Len(), parts[j].Len()
+			if si+sj > maxPart {
+				return
+			}
+			if pt.StateCnt > 0 {
+				newStates := states - (1 << si) - (1 << sj) + (1 << (si + sj))
+				if newStates > pt.StateCnt {
+					return
+				}
+			}
+			e := mergeEdge{i: i, j: j, loss: l}
+			if si == 1 && sj == 1 {
+				e.weight = l
+				if !onlySingles {
+					onlySingles = true
+					candidates = candidates[:0]
+				}
+				candidates = append(candidates, e)
+			} else if !onlySingles {
+				denom := float64(int(1)<<(si+sj) - int(1)<<si - int(1)<<sj)
+				e.weight = l / denom
+				candidates = append(candidates, e)
+			}
+		}
 		for i := 0; i < n; i++ {
 			if !alive[i] {
 				continue
 			}
-			for j := i + 1; j < n; j++ {
-				if !alive[j] {
-					continue
+			if useRows {
+				for m := rows[i] & aliveMask & (^uint64(0) << (i + 1)); m != 0; m &= m - 1 {
+					j := bits.TrailingZeros64(m)
+					addEdge(i, j, get(i, j))
 				}
-				l := get(i, j)
-				if l <= 0 {
-					continue
-				}
-				si, sj := parts[i].Len(), parts[j].Len()
-				if si+sj > maxPart {
-					continue
-				}
-				if pt.StateCnt > 0 {
-					newStates := states - (1 << si) - (1 << sj) + (1 << (si + sj))
-					if newStates > pt.StateCnt {
+			} else {
+				for j := i + 1; j < n; j++ {
+					if !alive[j] {
 						continue
 					}
-				}
-				e := mergeEdge{i: i, j: j, loss: l}
-				if si == 1 && sj == 1 {
-					e.weight = l
-					if !onlySingles {
-						onlySingles = true
-						candidates = candidates[:0]
+					if l := get(i, j); l > 0 {
+						addEdge(i, j, l)
 					}
-					candidates = append(candidates, e)
-				} else if !onlySingles {
-					denom := float64(int(1)<<(si+sj) - int(1)<<si - int(1)<<sj)
-					e.weight = l / denom
-					candidates = append(candidates, e)
 				}
 			}
 		}
+		pt.edges = candidates
 		if len(candidates) == 0 {
 			break
 		}
@@ -343,20 +432,29 @@ func (pt *Partitioner) randomMerge(d index.Set, doi DoiFunc, maxPart int) Partit
 			}
 			merged := get(i, k) + get(j, k)
 			if k < i {
-				cross[k][i] = merged
+				cross[k*n+i] = merged
 			} else {
-				cross[i][k] = merged
+				cross[i*n+k] = merged
+			}
+		}
+		if useRows {
+			aliveMask &^= 1 << j
+			rows[i] = (rows[i] | rows[j]) &^ (1<<i | 1<<j)
+			for m := rows[j] & aliveMask &^ (1 << i); m != 0; m &= m - 1 {
+				k := bits.TrailingZeros64(m)
+				rows[k] = rows[k]&^(1<<j) | 1<<i
 			}
 		}
 	}
 
-	var out Partition
+	out := pt.out[:0]
 	for i := 0; i < n; i++ {
 		if alive[i] {
 			out = append(out, parts[i])
 		}
 	}
-	return out.Normalize()
+	pt.out = out
+	return Partition(out)
 }
 
 // mergeEdge is a candidate merge of two parts during randomized search.

@@ -215,7 +215,7 @@ func runPartDP(p *part, in Input, n int) {
 				}
 			}
 		}
-		if sc.Influential(cand).Empty() {
+		if !sc.Influences(cand) {
 			c0 := sc.Cost(index.EmptySet)
 			for s := range next {
 				next[s] += c0
@@ -243,7 +243,7 @@ func runPartBackwardDP(p *part, in Input, n int) {
 	for i := n; i >= 1; i-- {
 		sc := in.Costers[i-1]
 		next := make([]float64, size)
-		if sc.Influential(cand).Empty() {
+		if !sc.Influences(cand) {
 			c0 := sc.Cost(index.EmptySet)
 			for s := range next {
 				next[s] = p.future[i+1][s] + c0

@@ -10,6 +10,7 @@ package stmt
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Kind distinguishes queries from updates.
@@ -97,6 +98,62 @@ type Statement struct {
 
 	// SQL optionally carries a rendered SQL text for display.
 	SQL string
+
+	// tables caches the per-table views (predicates, selectivity, needed
+	// columns) the cost model asks for on every what-if optimization —
+	// tens of thousands of times per statement across an IBG build. The
+	// cache is built once on first use; a statement must not be mutated
+	// after its first cost evaluation (the what-if cache already keys
+	// entries by statement identity, so that was the contract anyway).
+	tablesOnce sync.Once
+	tableViews map[string]*TableView
+}
+
+// TableView is the cached per-table derivation of a statement: what the
+// cost model needs to price one table's access paths.
+type TableView struct {
+	// Preds are the selection predicates on the table.
+	Preds []Pred
+	// Selectivity is the product of the predicates' selectivities.
+	Selectivity float64
+	// Needed are the columns the statement must read from the table.
+	Needed []string
+}
+
+// View returns the cached per-table view, computing all views on first
+// use. Tables the statement does not touch share one empty view.
+func (s *Statement) View(table string) *TableView {
+	s.tablesOnce.Do(s.buildViews)
+	if v, ok := s.tableViews[table]; ok {
+		return v
+	}
+	return &emptyView
+}
+
+var emptyView = TableView{Selectivity: 1}
+
+func (s *Statement) buildViews() {
+	views := make(map[string]*TableView, len(s.Tables))
+	get := func(table string) *TableView {
+		v, ok := views[table]
+		if !ok {
+			v = &TableView{Selectivity: 1}
+			views[table] = v
+		}
+		return v
+	}
+	for _, t := range s.Tables {
+		get(t)
+	}
+	for _, p := range s.Preds {
+		v := get(p.Table)
+		v.Preds = append(v.Preds, p)
+		v.Selectivity *= p.Selectivity
+	}
+	for t, v := range views {
+		v.Needed = s.computeNeededColumns(t)
+	}
+	s.tableViews = views
 }
 
 // OutputCol is a projected column.
@@ -123,28 +180,17 @@ func (s *Statement) HasTable(table string) bool {
 	return false
 }
 
-// TablePreds returns the selection predicates on one table.
+// TablePreds returns the selection predicates on one table. The returned
+// slice is cached on the statement; callers must not modify it.
 func (s *Statement) TablePreds(table string) []Pred {
-	var out []Pred
-	for _, p := range s.Preds {
-		if p.Table == table {
-			out = append(out, p)
-		}
-	}
-	return out
+	return s.View(table).Preds
 }
 
 // PredSelectivity returns the combined selectivity of all predicates on a
 // table under the independence assumption (product of selectivities), or 1
 // when the table has no predicates.
 func (s *Statement) PredSelectivity(table string) float64 {
-	sel := 1.0
-	for _, p := range s.Preds {
-		if p.Table == table {
-			sel *= p.Selectivity
-		}
-	}
-	return sel
+	return s.View(table).Selectivity
 }
 
 // JoinsOn returns the join predicates touching the table.
@@ -160,8 +206,13 @@ func (s *Statement) JoinsOn(table string) []Join {
 
 // NeededColumns returns the set of columns of a table the statement needs
 // to read: predicate columns, join columns, projected columns, and (for
-// updates) the modified columns. Used for covering-index decisions.
+// updates) the modified columns. Used for covering-index decisions. The
+// returned slice is cached on the statement; callers must not modify it.
 func (s *Statement) NeededColumns(table string) []string {
+	return s.View(table).Needed
+}
+
+func (s *Statement) computeNeededColumns(table string) []string {
 	seen := make(map[string]bool)
 	var out []string
 	add := func(c string) {

@@ -29,7 +29,9 @@ const shardCount = 16
 
 // Optimizer is a caching, call-counting what-if optimizer. It is safe for
 // concurrent use: the memo is sharded across independently locked,
-// LRU-bounded segments, and the call/hit counters are atomic.
+// LRU-bounded segments, and the call/hit counters are atomic. Probes
+// build their configuration key in a pooled buffer and look it up
+// through a per-statement inner map, so a cache hit allocates nothing.
 type Optimizer struct {
 	model *cost.Model
 	seed  maphash.Seed
@@ -38,27 +40,32 @@ type Optimizer struct {
 	hits  atomic.Int64
 }
 
-type cacheKey struct {
-	s   *stmt.Statement
-	cfg string
-}
-
 // entry is one resident cache line, threaded on its shard's LRU list.
 type entry struct {
-	key        cacheKey
+	s          *stmt.Statement
+	cfg        string
 	cost       float64
 	used       index.Set
 	prev, next *entry
 }
 
-// shard is one lock domain of the cache: a map for lookup plus an
+// shard is one lock domain of the cache: a two-level map (statement →
+// configuration key → entry) for allocation-free lookup plus an
 // intrusive doubly linked list in recency order (head = most recent).
 type shard struct {
 	mu         sync.Mutex
-	m          map[cacheKey]*entry
+	m          map[*stmt.Statement]map[string]*entry
 	head, tail *entry
+	n          int // resident entries across all inner maps
 	capacity   int
 }
+
+// keyBufPool recycles the scratch buffers probes render their
+// configuration keys into.
+var keyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64)
+	return &b
+}}
 
 // New wraps the model with the default cache capacity.
 func New(m *cost.Model) *Optimizer {
@@ -81,7 +88,7 @@ func NewWithCapacity(m *cost.Model, capacity int) *Optimizer {
 	}
 	o := &Optimizer{model: m, seed: maphash.MakeSeed()}
 	for i := range o.shard {
-		o.shard[i] = shard{m: make(map[cacheKey]*entry), capacity: perShard}
+		o.shard[i] = shard{m: make(map[*stmt.Statement]map[string]*entry), capacity: perShard}
 	}
 	return o
 }
@@ -89,14 +96,14 @@ func NewWithCapacity(m *cost.Model, capacity int) *Optimizer {
 // Model exposes the underlying cost model.
 func (o *Optimizer) Model() *cost.Model { return o.model }
 
-// shardFor hashes the key to a lock domain. The statement's identity and
+// shardFor hashes a probe to a lock domain. The statement's identity and
 // the configuration key both contribute, so probes for one statement
 // spread across shards.
-func (o *Optimizer) shardFor(key cacheKey) *shard {
+func (o *Optimizer) shardFor(s *stmt.Statement, cfg []byte) *shard {
 	var h maphash.Hash
 	h.SetSeed(o.seed)
-	h.WriteString(key.cfg)
-	sum := h.Sum64() ^ uint64(key.s.ID)*0x9e3779b97f4a7c15
+	h.Write(cfg)
+	sum := h.Sum64() ^ uint64(s.ID)*0x9e3779b97f4a7c15
 	return &o.shard[sum&(shardCount-1)]
 }
 
@@ -105,9 +112,12 @@ func (o *Optimizer) shardFor(key cacheKey) *shard {
 // s, so logically-identical probes share one cache entry.
 func (o *Optimizer) CostUsed(s *stmt.Statement, cfg index.Set) (float64, index.Set) {
 	restricted := o.model.RestrictConfig(s, cfg)
-	key := cacheKey{s: s, cfg: restricted.Key()}
-	sh := o.shardFor(key)
-	if c, used, ok := sh.get(key); ok {
+	bp := keyBufPool.Get().(*[]byte)
+	key := restricted.AppendKey((*bp)[:0])
+	sh := o.shardFor(s, key)
+	if c, used, ok := sh.get(s, key); ok {
+		*bp = key
+		keyBufPool.Put(bp)
 		o.hits.Add(1)
 		return c, used
 	}
@@ -117,7 +127,9 @@ func (o *Optimizer) CostUsed(s *stmt.Statement, cfg index.Set) (float64, index.S
 	// the race is benign and the cached value is deterministic.
 	o.calls.Add(1)
 	c, used := o.model.CostUsed(s, restricted)
-	sh.put(key, c, used)
+	sh.put(s, key, c, used)
+	*bp = key
+	keyBufPool.Put(bp)
 	return c, used
 }
 
@@ -146,18 +158,19 @@ func (o *Optimizer) CacheLen() int {
 	for i := range o.shard {
 		sh := &o.shard[i]
 		sh.mu.Lock()
-		total += len(sh.m)
+		total += sh.n
 		sh.mu.Unlock()
 	}
 	return total
 }
 
-// get looks the key up and, on a hit, moves its entry to the recency
-// head.
-func (s *shard) get(key cacheKey) (float64, index.Set, bool) {
+// get looks the probe up and, on a hit, moves its entry to the recency
+// head. The string(cfg) conversions index maps directly, which the
+// compiler compiles without copying the bytes — a hit is allocation-free.
+func (s *shard) get(st *stmt.Statement, cfg []byte) (float64, index.Set, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e, ok := s.m[key]
+	e, ok := s.m[st][string(cfg)]
 	if !ok {
 		return 0, index.EmptySet, false
 	}
@@ -166,22 +179,33 @@ func (s *shard) get(key cacheKey) (float64, index.Set, bool) {
 }
 
 // put inserts the entry, evicting from the recency tail past capacity.
-func (s *shard) put(key cacheKey, cost float64, used index.Set) {
+func (s *shard) put(st *stmt.Statement, cfg []byte, cost float64, used index.Set) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if e, ok := s.m[key]; ok {
+	inner := s.m[st]
+	if e, ok := inner[string(cfg)]; ok {
 		// A concurrent miss got here first with the same deterministic
 		// result; just refresh recency.
 		s.moveToFront(e)
 		return
 	}
-	e := &entry{key: key, cost: cost, used: used}
-	s.m[key] = e
+	if inner == nil {
+		inner = make(map[string]*entry)
+		s.m[st] = inner
+	}
+	e := &entry{s: st, cfg: string(cfg), cost: cost, used: used}
+	inner[e.cfg] = e
 	s.pushFront(e)
-	for len(s.m) > s.capacity {
+	s.n++
+	for s.n > s.capacity {
 		victim := s.tail
 		s.unlink(victim)
-		delete(s.m, victim.key)
+		vi := s.m[victim.s]
+		delete(vi, victim.cfg)
+		if len(vi) == 0 {
+			delete(s.m, victim.s)
+		}
+		s.n--
 	}
 }
 
