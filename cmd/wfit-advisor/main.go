@@ -11,8 +11,17 @@
 //	\vote +t(c1,c2) …  cast votes; + for positive, - for negative
 //	\accept            materialize the current recommendation (implicit +votes)
 //	\status            tuner statistics (universe, partition, overhead)
+//	\save FILE         snapshot the full tuner state to FILE
+//	\load FILE         restore the tuner state from FILE
 //	\help              this text
 //	\quit              exit
+//
+// \save and \load use the same versioned binary codec as wfit-serve's
+// snapshots, so an interactive session can be parked overnight (or handed
+// to a colleague) and resumed exactly where it left off.
+//
+// With piped (non-interactive) input, any statement or command error makes
+// the advisor exit non-zero after processing the stream.
 package main
 
 import (
@@ -27,12 +36,18 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/index"
 	"repro/internal/sqlmini"
+	"repro/internal/state"
 	"repro/internal/whatif"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	stateCnt := flag.Int("statecnt", 500, "stateCnt knob (bound on tracked configurations)")
 	idxCnt := flag.Int("idxcnt", 40, "idxCnt knob (bound on monitored candidates)")
+	load := flag.String("load", "", "restore tuner state from this snapshot before reading input")
 	flag.Parse()
 
 	cat, _ := datagen.Build()
@@ -50,6 +65,14 @@ func main() {
 	session := &session{
 		tuner: tuner, parser: parser, reg: reg, model: model,
 		materialized: index.EmptySet,
+		interactive:  stdinIsTerminal(),
+	}
+	if *load != "" {
+		if err := session.load(*load); err != nil {
+			fmt.Fprintf(os.Stderr, "wfit-advisor: %v\n", err)
+			return 1
+		}
+		fmt.Printf("restored %d statements of tuner state from %s\n", session.statements, *load)
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -57,7 +80,7 @@ func main() {
 		fmt.Print("wfit> ")
 		if !sc.Scan() {
 			fmt.Println()
-			return
+			break
 		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
@@ -65,12 +88,17 @@ func main() {
 		}
 		if strings.HasPrefix(line, "\\") {
 			if session.command(line) {
-				return
+				return session.exitCode()
 			}
 			continue
 		}
 		session.analyze(line)
 	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "wfit-advisor: reading input: %v\n", err)
+		return 1
+	}
+	return session.exitCode()
 }
 
 // session holds the interactive state.
@@ -81,6 +109,63 @@ type session struct {
 	model        *cost.Model
 	materialized index.Set
 	statements   int
+	errors       int
+	interactive  bool
+}
+
+// stdinIsTerminal reports whether stdin is a character device (a human at
+// a prompt) rather than a pipe or file.
+func stdinIsTerminal() bool {
+	info, err := os.Stdin.Stat()
+	return err == nil && info.Mode()&os.ModeCharDevice != 0
+}
+
+// exitCode reports accumulated input failures: typos at an interactive
+// prompt were already reported inline and are forgiven, but a piped
+// workload with failing statements must not exit 0 as if it had been
+// fully analyzed.
+func (s *session) exitCode() int {
+	if s.errors > 0 && !s.interactive {
+		fmt.Fprintf(os.Stderr, "wfit-advisor: %d input line(s) failed\n", s.errors)
+		return 1
+	}
+	return 0
+}
+
+// save snapshots the full tuner state (registry, work functions,
+// statistics, materialized set) with the service's snapshot codec.
+func (s *session) save(path string) error {
+	snap := &state.Snapshot{
+		Defs:  state.CaptureRegistry(s.reg),
+		Tuner: s.tuner.ExportState(),
+		Session: state.SessionState{
+			Name:       "wfit-advisor",
+			Statements: s.statements,
+		},
+	}
+	return state.WriteFile(path, snap)
+}
+
+// load replaces the session's tuner world with a snapshot's: restored
+// registry, fresh model and what-if optimizer over it, restored tuner.
+func (s *session) load(path string) error {
+	snap, err := state.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	reg, err := index.RestoreRegistry(snap.Defs)
+	if err != nil {
+		return err
+	}
+	model := cost.NewModel(s.model.Catalog(), reg, cost.DefaultParams())
+	tuner, err := core.RestoreWFIT(whatif.New(model), snap.Tuner)
+	if err != nil {
+		return err
+	}
+	s.tuner, s.reg, s.model = tuner, reg, model
+	s.materialized = snap.Tuner.Materialized
+	s.statements = snap.Session.Statements
+	return nil
 }
 
 // analyze feeds one SQL statement to the tuner.
@@ -88,6 +173,7 @@ func (s *session) analyze(sql string) {
 	st, err := s.parser.Parse(strings.TrimSuffix(sql, ";"))
 	if err != nil {
 		fmt.Println("error:", err)
+		s.errors++
 		return
 	}
 	s.statements++
@@ -114,7 +200,33 @@ func (s *session) command(line string) bool {
 		fmt.Println("  \\vote +tbl(c1,c2) …  cast explicit votes (+ positive, - negative)")
 		fmt.Println("  \\accept              materialize the recommendation (implicit +votes)")
 		fmt.Println("  \\status              tuner statistics")
+		fmt.Println("  \\save FILE           snapshot the tuner state to FILE")
+		fmt.Println("  \\load FILE           restore the tuner state from FILE")
 		fmt.Println("  \\quit                exit")
+	case "\\save":
+		if len(fields) != 2 {
+			fmt.Println("error: usage: \\save FILE")
+			s.errors++
+			break
+		}
+		if err := s.save(fields[1]); err != nil {
+			fmt.Println("error:", err)
+			s.errors++
+			break
+		}
+		fmt.Printf("saved %d statements of tuner state to %s\n", s.statements, fields[1])
+	case "\\load":
+		if len(fields) != 2 {
+			fmt.Println("error: usage: \\load FILE")
+			s.errors++
+			break
+		}
+		if err := s.load(fields[1]); err != nil {
+			fmt.Println("error:", err)
+			s.errors++
+			break
+		}
+		fmt.Printf("restored %d statements of tuner state from %s\n", s.statements, fields[1])
 	case "\\rec":
 		fmt.Println("recommendation:", s.tuner.Recommend().Format(s.reg))
 	case "\\status":
@@ -143,12 +255,14 @@ func (s *session) command(line string) bool {
 			if len(spec) < 2 || (spec[0] != '+' && spec[0] != '-') {
 				fmt.Printf("error: vote %q must start with + or -\n", spec)
 				ok = false
+				s.errors++
 				break
 			}
 			id, err := s.parseIndexSpec(spec[1:])
 			if err != nil {
 				fmt.Println("error:", err)
 				ok = false
+				s.errors++
 				break
 			}
 			if spec[0] == '+' {
@@ -163,6 +277,7 @@ func (s *session) command(line string) bool {
 		}
 	default:
 		fmt.Printf("unknown command %s (\\help for help)\n", fields[0])
+		s.errors++
 	}
 	return false
 }

@@ -1,0 +1,108 @@
+// Command wfit-serve runs the semi-automatic index tuning service: a
+// network-facing daemon hosting N concurrent named tuning sessions whose
+// state (index registry, work-function tables, benefit/interaction
+// statistics, votes) survives restarts through snapshot + write-ahead-log
+// persistence. Recovery is bit-identical to an uninterrupted tuner.
+//
+// Usage:
+//
+//	wfit-serve -addr :7781 -data ./wfit-data [-checkpoint-every N]
+//	           [-queue N] [-idxcnt N] [-statecnt N] [-histsize N] [-fsync]
+//
+// The HTTP/JSON API (see the README's "Running as a service" section):
+//
+//	POST   /sessions                      create a session
+//	GET    /sessions                      list sessions
+//	POST   /sessions/{id}/sql             ingest a batch of SQL statements
+//	GET    /sessions/{id}/recommendation  current recommendation + diff
+//	POST   /sessions/{id}/votes           cast explicit index votes
+//	POST   /sessions/{id}/accept          materialize the recommendation
+//	GET    /sessions/{id}/status          session statistics
+//	POST   /sessions/{id}/checkpoint      force a snapshot
+//	GET    /healthz                       liveness probe
+//
+// SIGINT/SIGTERM trigger a graceful shutdown that checkpoints every
+// session, so the next start recovers without WAL replay.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	addr := flag.String("addr", ":7781", "listen address")
+	dataDir := flag.String("data", "wfit-data", "state directory (snapshots + WALs)")
+	checkpointEvery := flag.Int("checkpoint-every", 500, "statements between automatic snapshots (negative disables)")
+	queueDepth := flag.Int("queue", 256, "per-session ingest queue depth (backpressure bound)")
+	idxCnt := flag.Int("idxcnt", 40, "default idxCnt knob for new sessions")
+	stateCnt := flag.Int("statecnt", 500, "default stateCnt knob for new sessions")
+	histSize := flag.Int("histsize", 100, "default histSize knob for new sessions")
+	fsync := flag.Bool("fsync", false, "fsync the WAL on every append (power-loss durability)")
+	flag.Parse()
+
+	options := core.DefaultOptions()
+	options.IdxCnt = *idxCnt
+	options.StateCnt = *stateCnt
+	options.HistSize = *histSize
+
+	sv, err := server.New(server.Config{
+		DataDir:         *dataDir,
+		DefaultOptions:  options,
+		QueueDepth:      *queueDepth,
+		CheckpointEvery: *checkpointEvery,
+		Fsync:           *fsync,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfit-serve: %v\n", err)
+		return 1
+	}
+	if n := len(sv.Sessions()); n > 0 {
+		fmt.Printf("wfit-serve: recovered %d session(s) from %s\n", n, *dataDir)
+	}
+
+	httpServer := &http.Server{Addr: *addr, Handler: sv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("wfit-serve: listening on %s (data dir %s)\n", *addr, *dataDir)
+		errCh <- httpServer.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("wfit-serve: %v, shutting down (checkpointing sessions)\n", sig)
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "wfit-serve: %v\n", err)
+		sv.Close()
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	code := 0
+	if err := httpServer.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "wfit-serve: http shutdown: %v\n", err)
+		code = 1
+	}
+	if err := sv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "wfit-serve: closing sessions: %v\n", err)
+		code = 1
+	}
+	return code
+}

@@ -46,6 +46,7 @@ func realMain() int {
 	height := flag.Int("height", 14, "chart height")
 	workers := flag.Int("workers", 0, "worker bound for construction and runs (0 = one per CPU)")
 	benchout := flag.String("benchout", "BENCH_wfit.json", "perf trajectory output file (empty disables)")
+	service := flag.Bool("service", true, "include the wfit-serve loadgen (K concurrent sessions over HTTP) in the perf run")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured runs to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -107,7 +108,7 @@ func realMain() int {
 		return 0
 	}
 	if *perf {
-		return runPerf(env, *benchout)
+		return runPerf(env, *benchout, *service)
 	}
 
 	run := func(n int) int {
@@ -148,14 +149,14 @@ func realMain() int {
 		}
 	}
 	printOverhead(env)
-	return runPerf(env, *benchout)
+	return runPerf(env, *benchout, *service)
 }
 
 // runPerf measures the per-statement analysis loop serially and with the
-// worker pool, prints the comparison, and writes the JSON trajectory. It
-// returns a process exit code instead of exiting so deferred profile
-// writers still run.
-func runPerf(env *bench.Env, outPath string) int {
+// worker pool, optionally drives the service-mode loadgen, prints the
+// comparison, and writes the JSON trajectory. It returns a process exit
+// code instead of exiting so deferred profile writers still run.
+func runPerf(env *bench.Env, outPath string, service bool) int {
 	fmt.Println("\nAnalysis-loop perf: full WFIT, serial (workers=1) vs parallel (one worker per core)")
 	r := env.RunPerfComparison()
 	show := func(label string, s *bench.PerfSide) {
@@ -170,6 +171,25 @@ func runPerf(env *bench.Env, outPath string) int {
 	show("parallel", r.Parallel)
 	fmt.Printf("  speedup %.2fx on %d core(s); OPT-normalized final ratio %.3f; identical results: %v\n",
 		r.Speedup, r.Cores, r.Parallel.FinalRatio, r.RatiosMatch)
+
+	if service {
+		fmt.Println("\nService perf: wfit-serve loadgen, concurrent sessions over HTTP")
+		dataDir, err := os.MkdirTemp("", "wfit-serve-bench-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "service bench temp dir: %v\n", err)
+			return 1
+		}
+		defer os.RemoveAll(dataDir)
+		sp, err := env.RunServicePerf(dataDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "service bench: %v\n", err)
+			return 1
+		}
+		r.Service = sp
+		fmt.Printf("  %d sessions × %d statements: %.0f stmts/s, ingest latency mean %.0f µs (p50 %.0f, p90 %.0f, p99 %.0f, max %.0f)\n",
+			sp.Sessions, sp.PerSession, sp.IngestPerSec,
+			sp.IngestUSMean, sp.IngestUSP50, sp.IngestUSP90, sp.IngestUSP99, sp.IngestUSMax)
+	}
 
 	if outPath == "" {
 		return 0

@@ -1,0 +1,251 @@
+// Service client: the semi-automatic tuning loop against wfit-serve.
+//
+// This example is living documentation for the HTTP/JSON API. It connects
+// to a running wfit-serve (-addr), or starts one in-process when no
+// address is given, then walks the whole DBA loop over the wire:
+//
+//  1. POST /sessions — create (or reattach to) a named session
+//  2. POST /sessions/{id}/sql — stream a TPC-C slice of the benchmark
+//     workload, batch by batch
+//  3. GET  /sessions/{id}/recommendation — inspect what the tuner wants
+//  4. POST /sessions/{id}/votes — cast an explicit positive vote
+//  5. POST /sessions/{id}/accept — materialize the recommendation
+//  6. POST /sessions/{id}/checkpoint + GET status — persist and summarize
+//
+// Because the server persists every session (snapshot + WAL), running
+// this client, killing the server, restarting it, and running the client
+// again continues the same session where it left off — the CI smoke test
+// does exactly that.
+//
+// Run with: go run ./examples/service_client [-addr host:port] [-n 80]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "", "wfit-serve address (empty: start an in-process server)")
+	dataDir := flag.String("data", "", "data dir for the in-process server (default: a temp dir)")
+	session := flag.String("session", "demo", "session name")
+	n := flag.Int("n", 80, "number of TPC-C statements to stream")
+	batch := flag.Int("batch", 10, "statements per ingest request")
+	flag.Parse()
+
+	base, shutdown, err := connectOrStart(*addr, *dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer shutdown()
+
+	c := &client{base: base}
+
+	// 1. Create the session; 409 means it already exists (e.g. a previous
+	// run against the same server) and we simply continue it.
+	created, err := c.post("/sessions", map[string]any{"name": *session, "idx_cnt": 24, "state_cnt": 300})
+	switch {
+	case err == nil:
+		fmt.Printf("created session %q\n", *session)
+		_ = created
+	case strings.Contains(err.Error(), "409"):
+		fmt.Printf("session %q already exists, continuing it\n", *session)
+	default:
+		log.Fatal(err)
+	}
+
+	// 2. Stream the TPC-C slice of the benchmark workload.
+	sqls := tpccSlice(*n)
+	fmt.Printf("streaming %d TPC-C statements in batches of %d ...\n", len(sqls), *batch)
+	for at := 0; at < len(sqls); at += *batch {
+		end := min(at+*batch, len(sqls))
+		if _, err := c.post("/sessions/"+*session+"/sql", map[string]any{"sql": sqls[at:end]}); err != nil {
+			log.Fatalf("ingest batch at %d: %v", at, err)
+		}
+	}
+
+	// 3. Inspect the recommendation.
+	rec, err := c.get("/sessions/" + *session + "/recommendation")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrecommendation after the stream:")
+	printIndexes(rec["recommendation"])
+
+	// 4. The DBA disagrees about one index: vote the customer last-name
+	// lookup in explicitly (a positive vote forces it into the
+	// recommendation and biases future ones — §5.1).
+	votes := map[string]any{"plus": []map[string]any{{
+		"table":   "tpcc.customer",
+		"columns": []string{"c_last"},
+	}}}
+	voted, err := c.post("/sessions/"+*session+"/votes", votes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter voting +tpcc.customer(c_last):")
+	printIndexes(voted["recommendation"])
+
+	// 5. Accept: materialize the recommendation (implicit feedback).
+	accepted, err := c.post("/sessions/"+*session+"/accept", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\naccepted: materialized %v indices (transition cost %.4g)\n",
+		count(accepted["materialized"]), accepted["transition_cost"])
+
+	// 6. Checkpoint and summarize.
+	if _, err := c.post("/sessions/"+*session+"/checkpoint", nil); err != nil {
+		log.Fatal(err)
+	}
+	status, err := c.get("/sessions/" + *session + "/status")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsession status: %.0f statements, %.0f candidates mined, %.0f repartitions, total work %.4g\n",
+		status["statements"], status["universe_size"], status["repartitions"], status["total_work"])
+}
+
+// connectOrStart returns a base URL: the given address, or an in-process
+// wfit-serve listening on a loopback port.
+func connectOrStart(addr, dataDir string) (string, func(), error) {
+	if addr != "" {
+		return "http://" + strings.TrimPrefix(addr, "http://"), func() {}, nil
+	}
+	if dataDir == "" {
+		dir, err := os.MkdirTemp("", "wfit-serve-demo-*")
+		if err != nil {
+			return "", nil, err
+		}
+		dataDir = dir
+	}
+	sv, err := server.New(server.Config{DataDir: dataDir})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		sv.Close()
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: sv.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // closed on shutdown
+	fmt.Printf("started in-process wfit-serve on %s (data dir %s)\n", ln.Addr(), dataDir)
+	shutdown := func() {
+		hs.Close()
+		if err := sv.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+		}
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// tpccSlice renders the TPC-C-only statements of the benchmark workload.
+func tpccSlice(n int) []string {
+	cat, joins := datagen.Build()
+	opts := workload.DefaultOptions()
+	opts.Phases = 2 // phases 0-1 focus on TPC-C (and its TPC-H overlap)
+	opts.PerPhase = 400
+	wl := workload.Generate(cat, joins, opts)
+	var out []string
+	for _, s := range wl.Statements {
+		if len(out) >= n {
+			break
+		}
+		tpccOnly := true
+		for _, t := range s.Tables {
+			if !strings.HasPrefix(t, "tpcc.") {
+				tpccOnly = false
+			}
+		}
+		if tpccOnly {
+			out = append(out, s.SQL)
+		}
+	}
+	return out
+}
+
+// client is a minimal JSON-over-HTTP helper.
+type client struct {
+	base string
+}
+
+func (c *client) do(method, path string, body any) (map[string]any, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		return nil, fmt.Errorf("%s %s: %d: %s", method, path, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s %s: decoding response: %w", method, path, err)
+	}
+	return out, nil
+}
+
+func (c *client) post(path string, body any) (map[string]any, error) {
+	if body == nil {
+		body = map[string]any{}
+	}
+	return c.do(http.MethodPost, path, body)
+}
+
+func (c *client) get(path string) (map[string]any, error) {
+	return c.do(http.MethodGet, path, nil)
+}
+
+// printIndexes renders a recommendation payload.
+func printIndexes(v any) {
+	list, _ := v.([]any)
+	if len(list) == 0 {
+		fmt.Println("  (empty)")
+		return
+	}
+	for _, e := range list {
+		ix, _ := e.(map[string]any)
+		cols, _ := ix["columns"].([]any)
+		names := make([]string, 0, len(cols))
+		for _, c := range cols {
+			names = append(names, fmt.Sprint(c))
+		}
+		fmt.Printf("  %v(%s)\n", ix["table"], strings.Join(names, ","))
+	}
+}
+
+// count returns the length of a JSON array value.
+func count(v any) int {
+	list, _ := v.([]any)
+	return len(list)
+}

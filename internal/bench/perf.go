@@ -57,7 +57,8 @@ type PerfSide struct {
 }
 
 // PerfReport compares the serial and parallel per-statement analysis
-// paths; it is the payload of cmd/wfitbench's BENCH_wfit.json.
+// paths; it is the payload of cmd/wfitbench's BENCH_wfit.json. Schema
+// wfit-perf/v3 added the Service section (the wfit-serve loadgen).
 type PerfReport struct {
 	Schema     string `json:"schema"`
 	GoVersion  string `json:"go_version"`
@@ -72,6 +73,9 @@ type PerfReport struct {
 	// RatiosMatch records the determinism guarantee as measured: the two
 	// paths produced bit-identical total-work trajectories.
 	RatiosMatch bool `json:"serial_parallel_results_identical"`
+	// Service is the service-mode loadgen measurement (K concurrent
+	// sessions driving wfit-serve over HTTP); nil when it was skipped.
+	Service *ServicePerf `json:"service,omitempty"`
 }
 
 // RunPerf evaluates the full WFIT once with the given worker bound and
@@ -152,7 +156,7 @@ func (e *Env) RunPerfComparison() *PerfReport {
 	serial := e.RunPerf(1)
 	parallel := e.RunPerf(0)
 	r := &PerfReport{
-		Schema:      "wfit-perf/v2",
+		Schema:      "wfit-perf/v3",
 		GoVersion:   runtime.Version(),
 		Cores:       runtime.NumCPU(),
 		Statements:  len(e.Workload.Statements),

@@ -1,0 +1,281 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// ServiceOptions configures the service-mode loadgen: K concurrent
+// sessions driving one wfit-serve instance over HTTP, each streaming its
+// own contiguous slice of the benchmark workload.
+type ServiceOptions struct {
+	// DataDir roots the server's persisted state (required).
+	DataDir string
+	// Sessions is the number of concurrent sessions (default 4).
+	Sessions int
+	// PerSession is the number of statements each session ingests
+	// (default 100).
+	PerSession int
+	// BatchSize is the number of statements per ingest request (default
+	// 1, which makes each recorded latency one statement's ingest).
+	BatchSize int
+	// IdxCnt and StateCnt are the per-session tuner knobs (defaults 16
+	// and 200 — service-bench scale, not the paper's full 40/500).
+	IdxCnt, StateCnt int
+	// CheckpointEvery controls automatic snapshots (default 200).
+	CheckpointEvery int
+	// Seed drives workload generation.
+	Seed int64
+}
+
+func (o *ServiceOptions) applyDefaults() {
+	if o.Sessions <= 0 {
+		o.Sessions = 4
+	}
+	if o.PerSession <= 0 {
+		o.PerSession = 100
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 1
+	}
+	if o.IdxCnt <= 0 {
+		o.IdxCnt = 16
+	}
+	if o.StateCnt <= 0 {
+		o.StateCnt = 200
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 200
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+}
+
+// ServicePerf is the service-mode section of the BENCH trajectory: the
+// client-observed per-statement ingest latency distribution (queueing
+// included — this is what a DBA's tooling experiences under backpressure)
+// and per-session outcomes.
+type ServicePerf struct {
+	Sessions   int `json:"sessions"`
+	PerSession int `json:"statements_per_session"`
+	BatchSize  int `json:"batch_size"`
+	// WallMS is the wall time for all sessions to stream their slices.
+	WallMS float64 `json:"wall_ms"`
+	// IngestPerSec is total statements ingested / wall time.
+	IngestPerSec float64 `json:"ingest_stmts_per_sec"`
+	// IngestUS* summarize the client-observed per-statement latency.
+	IngestUSMean float64 `json:"ingest_us_mean"`
+	IngestUSP50  float64 `json:"ingest_us_p50"`
+	IngestUSP90  float64 `json:"ingest_us_p90"`
+	IngestUSP99  float64 `json:"ingest_us_p99"`
+	IngestUSMax  float64 `json:"ingest_us_max"`
+	// PerStmtIngestUS is the full latency trajectory, sessions
+	// interleaved in completion order within each session's slice order.
+	PerStmtIngestUS []float64 `json:"per_stmt_ingest_us"`
+	// SessionTotalWork and SessionStatements are the per-session final
+	// accounts as reported by /status (name order).
+	SessionTotalWork  []float64 `json:"session_total_work"`
+	SessionStatements []int     `json:"session_statements"`
+}
+
+// RunService starts an in-process wfit-serve over DataDir, fans Sessions
+// concurrent clients out against it, and records per-statement ingest
+// latency. The server is driven purely over HTTP — the measured path is
+// exactly what a remote client sees.
+func RunService(o ServiceOptions) (*ServicePerf, error) {
+	o.applyDefaults()
+	if o.DataDir == "" {
+		return nil, fmt.Errorf("bench: ServiceOptions.DataDir is required")
+	}
+
+	sv, err := server.New(server.Config{
+		DataDir:         o.DataDir,
+		CheckpointEvery: o.CheckpointEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(sv.Handler())
+	defer func() {
+		ts.Close()
+		sv.Close()
+	}()
+
+	// One workload, sliced contiguously per session.
+	cat, joins := datagen.Build()
+	wopts := workload.DefaultOptions()
+	wopts.Seed = o.Seed
+	need := o.Sessions * o.PerSession
+	wopts.Phases = (need+wopts.PerPhase-1)/wopts.PerPhase + 1
+	wl := workload.Generate(cat, joins, wopts)
+	if wl.Len() < need {
+		return nil, fmt.Errorf("bench: workload too short (%d < %d)", wl.Len(), need)
+	}
+
+	perf := &ServicePerf{
+		Sessions:   o.Sessions,
+		PerSession: o.PerSession,
+		BatchSize:  o.BatchSize,
+	}
+	latencies := make([][]float64, o.Sessions)
+	errs := make([]error, o.Sessions)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for k := 0; k < o.Sessions; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			name := fmt.Sprintf("load-%d", k)
+			if err := createSession(ts.URL, name, o, int64(k+1)); err != nil {
+				errs[k] = err
+				return
+			}
+			slice := wl.Statements[k*o.PerSession : (k+1)*o.PerSession]
+			lats := make([]float64, 0, len(slice))
+			for at := 0; at < len(slice); at += o.BatchSize {
+				end := at + o.BatchSize
+				if end > len(slice) {
+					end = len(slice)
+				}
+				sqls := make([]string, 0, end-at)
+				for _, s := range slice[at:end] {
+					sqls = append(sqls, s.SQL)
+				}
+				t0 := time.Now()
+				if err := postJSON(ts.URL+"/sessions/"+name+"/sql", map[string]any{"sql": sqls}, nil); err != nil {
+					errs[k] = fmt.Errorf("session %s batch at %d: %w", name, at, err)
+					return
+				}
+				us := float64(time.Since(t0).Microseconds()) / float64(end-at)
+				for i := at; i < end; i++ {
+					lats = append(lats, us)
+				}
+			}
+			latencies[k] = lats
+		}(k)
+	}
+	wg.Wait()
+	perf.WallMS = float64(time.Since(start).Microseconds()) / 1e3
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for k := 0; k < o.Sessions; k++ {
+		perf.PerStmtIngestUS = append(perf.PerStmtIngestUS, latencies[k]...)
+	}
+	n := len(perf.PerStmtIngestUS)
+	if n > 0 {
+		sorted := append([]float64(nil), perf.PerStmtIngestUS...)
+		sort.Float64s(sorted)
+		total := 0.0
+		for _, us := range sorted {
+			total += us
+		}
+		perf.IngestUSMean = total / float64(n)
+		perf.IngestUSP50 = sorted[n/2]
+		perf.IngestUSP90 = sorted[n*9/10]
+		perf.IngestUSP99 = sorted[n*99/100]
+		perf.IngestUSMax = sorted[n-1]
+		perf.IngestPerSec = float64(n) / (perf.WallMS / 1e3)
+	}
+
+	for k := 0; k < o.Sessions; k++ {
+		var status struct {
+			Statements int     `json:"statements"`
+			TotalWork  float64 `json:"total_work"`
+		}
+		if err := getJSON(ts.URL+fmt.Sprintf("/sessions/load-%d/status", k), &status); err != nil {
+			return nil, err
+		}
+		if status.Statements != o.PerSession {
+			return nil, fmt.Errorf("bench: session load-%d ingested %d statements, want %d", k, status.Statements, o.PerSession)
+		}
+		perf.SessionStatements = append(perf.SessionStatements, status.Statements)
+		perf.SessionTotalWork = append(perf.SessionTotalWork, status.TotalWork)
+	}
+	return perf, nil
+}
+
+func createSession(base, name string, o ServiceOptions, seed int64) error {
+	body := map[string]any{
+		"name":      name,
+		"idx_cnt":   o.IdxCnt,
+		"state_cnt": o.StateCnt,
+		"seed":      seed,
+	}
+	return postJSON(base+"/sessions", body, nil)
+}
+
+func postJSON(url string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return doJSON(req, out)
+}
+
+func getJSON(url string, out any) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return doJSON(req, out)
+}
+
+func doJSON(req *http.Request, out any) error {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s %s: %d: %s", req.Method, req.URL.Path, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+// serviceOptionsFor scales the loadgen to the environment: small
+// environments get the small service bench.
+func (e *Env) serviceOptionsFor(dataDir string) ServiceOptions {
+	o := ServiceOptions{DataDir: dataDir, Seed: e.Options.Workload.Seed}
+	if e.Options.Workload.PerPhase < 100 {
+		o.PerSession = 50
+	}
+	return o
+}
+
+// RunServicePerf runs the service loadgen against a temp data dir scaled
+// to this environment and returns its perf section.
+func (e *Env) RunServicePerf(dataDir string) (*ServicePerf, error) {
+	return RunService(e.serviceOptionsFor(dataDir))
+}

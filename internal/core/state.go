@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/index"
+	"repro/internal/interaction"
+	"repro/internal/whatif"
+)
+
+// WFAState is the exportable state of one per-part work function: the part
+// members, the normalized work-function table with its accumulated offset,
+// and the current recommendation mask. The create/drop cost vectors and
+// every scratch buffer are derived from the registry and the part on
+// restore.
+type WFAState struct {
+	Cand    []index.ID
+	W       []float64
+	Base    float64
+	CurrRec uint32
+}
+
+// TunerState is the full exportable state of a WFIT instance. Together
+// with the index registry (serialized separately — see internal/state) it
+// determines the tuner's future behavior exactly: a restored instance fed
+// the same statement and feedback stream produces bit-identical work
+// functions, statistics, partitions, and recommendations.
+type TunerState struct {
+	Options Options // InitialMaterialized carried as S0 below
+
+	N             int
+	Repartitions  int
+	StatsDisabled bool
+
+	S0           index.Set
+	Materialized index.Set
+	Universe     index.Set
+
+	// Partition is the stable partition in Normalize form; Parts carries
+	// the per-part work functions in t.parts order, which can differ from
+	// partition order after a Feedback-driven extension and matters to the
+	// floating-point summation order of the next repartition.
+	Partition interaction.Partition
+	Parts     []WFAState
+
+	IdxStats interaction.BenefitStatsState
+	IntStats interaction.InteractionStatsState
+
+	// RandState is the partitioner's position in its random stream.
+	RandState uint64
+}
+
+// ExportState captures the tuner's complete state. The snapshot shares no
+// mutable structure with the tuner except the exported statistics windows
+// (see Window.Export); callers must serialize it before analyzing further
+// statements.
+func (t *WFIT) ExportState() *TunerState {
+	st := &TunerState{
+		Options:       t.options,
+		N:             t.n,
+		Repartitions:  t.repartitions,
+		StatsDisabled: t.statsDisabled,
+		S0:            t.s0,
+		Materialized:  t.materialized,
+		Universe:      t.universe,
+		Partition:     t.partition,
+		IdxStats:      t.idxStats.Export(),
+		IntStats:      t.intStats.Export(),
+		RandState:     t.rng.State(),
+	}
+	for _, a := range t.parts {
+		st.Parts = append(st.Parts, WFAState{
+			Cand:    a.cand,
+			W:       a.w,
+			Base:    a.base,
+			CurrRec: a.currRec,
+		})
+	}
+	return st
+}
+
+// RestoreWFIT rebuilds a tuner from an exported state against a what-if
+// optimizer whose registry already holds every index the state references
+// (restore the registry first — see internal/state). The restored instance
+// continues the interrupted one bit-identically.
+func RestoreWFIT(opt *whatif.Optimizer, st *TunerState) (*WFIT, error) {
+	options := st.Options
+	options.InitialMaterialized = st.S0
+	t := newWFITBase(opt, options)
+	t.n = st.N
+	t.repartitions = st.Repartitions
+	t.statsDisabled = st.StatsDisabled
+	t.materialized = st.Materialized
+	t.universe = st.Universe
+	t.partition = st.Partition
+	t.partsetC = t.partition.Union()
+	t.rng.SetState(st.RandState)
+
+	reg := opt.Model().Registry()
+	regLen := reg.Len()
+	check := func(s index.Set) error {
+		if !s.Empty() && int(s.IDs()[s.Len()-1]) > regLen {
+			return fmt.Errorf("core: tuner state references index ID %d beyond registry size %d", s.IDs()[s.Len()-1], regLen)
+		}
+		return nil
+	}
+	if err := check(t.universe); err != nil {
+		return nil, err
+	}
+	if err := check(t.partsetC); err != nil {
+		return nil, err
+	}
+
+	for i, ps := range st.Parts {
+		part := index.NewSet(ps.Cand...)
+		if part.Len() != len(ps.Cand) {
+			return nil, fmt.Errorf("core: part %d has duplicate members", i)
+		}
+		if err := check(part); err != nil {
+			return nil, err
+		}
+		if len(ps.W) != 1<<len(ps.Cand) {
+			return nil, fmt.Errorf("core: part %d has %d work entries for %d candidates", i, len(ps.W), len(ps.Cand))
+		}
+		a := newWFAShell(reg, part)
+		copy(a.w, ps.W)
+		a.base = ps.Base
+		a.currRec = ps.CurrRec
+		t.parts = append(t.parts, a)
+	}
+
+	var err error
+	if t.idxStats, err = interaction.RestoreBenefitStats(st.IdxStats); err != nil {
+		return nil, err
+	}
+	if t.intStats, err = interaction.RestoreInteractionStats(st.IntStats); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math/rand"
 	"sort"
 
 	"repro/internal/cost"
@@ -75,6 +74,7 @@ type WFIT struct {
 	idxStats *interaction.BenefitStats
 	intStats *interaction.InteractionStats
 	partn    *interaction.Partitioner
+	rng      *interaction.Rand // the partitioner's random source (snapshot state)
 
 	// Per-statement doi cache, flat over (i, j) position pairs within the
 	// current candidate set d — |d| is bounded by IdxCnt plus the
@@ -131,6 +131,9 @@ func NewWFITFixed(opt *whatif.Optimizer, options Options, partition interaction.
 }
 
 func newWFITBase(opt *whatif.Optimizer, options Options) *WFIT {
+	// The partitioner draws from a serializable source (not math/rand) so
+	// snapshots can capture the exact stream position — see TunerState.
+	rng := interaction.NewRand(options.Seed)
 	return &WFIT{
 		opt:          opt,
 		extractor:    cost.NewExtractor(opt.Model()),
@@ -140,11 +143,12 @@ func newWFITBase(opt *whatif.Optimizer, options Options) *WFIT {
 		materialized: options.InitialMaterialized,
 		idxStats:     interaction.NewBenefitStats(options.HistSize),
 		intStats:     interaction.NewInteractionStats(options.HistSize),
+		rng:          rng,
 		partn: &interaction.Partitioner{
 			StateCnt:    options.StateCnt,
 			MaxPartSize: options.MaxPartSize,
 			RandCnt:     options.RandCnt,
-			Rand:        rand.New(rand.NewSource(options.Seed)),
+			Rand:        rng,
 		},
 	}
 }

@@ -186,6 +186,27 @@ func (r *Registry) All() []*Index {
 	return out
 }
 
+// RestoreRegistry rebuilds a registry from definitions exported in ID
+// order (the shape All returns, as value copies). Every definition is
+// re-interned, which must reassign it the ID it held before — the
+// snapshot codec's guarantee that persisted index IDs stay meaningful
+// across a restart. A gap, duplicate, or out-of-order definition is an
+// error, not a silent renumbering.
+func RestoreRegistry(defs []Index) (*Registry, error) {
+	r := NewRegistry()
+	for i, def := range defs {
+		want := ID(i + 1)
+		if def.ID != want {
+			return nil, fmt.Errorf("index: definition %d has ID %d, want %d", i, def.ID, want)
+		}
+		got := r.Intern(def)
+		if got != want {
+			return nil, fmt.Errorf("index: %s re-interned as ID %d, want %d (duplicate definition?)", def.Key(), got, want)
+		}
+	}
+	return r, nil
+}
+
 // CreateCost returns δ+(id).
 func (r *Registry) CreateCost(id ID) float64 { return r.Get(id).CreateCost }
 

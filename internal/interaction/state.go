@@ -1,0 +1,147 @@
+package interaction
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/index"
+)
+
+// Rand is a serializable pseudo-random source (splitmix64) satisfying the
+// Partitioner's rngSource interface. WFIT uses it instead of *rand.Rand so
+// a snapshot can capture the partitioner's exact position in the random
+// stream: a restored tuner then makes the same randomized repartition
+// choices as the uninterrupted one, which the bit-identical recovery
+// guarantee of the service layer depends on. The state is one word.
+type Rand struct {
+	state uint64
+}
+
+// NewRand seeds a Rand. Distinct seeds give unrelated streams.
+func NewRand(seed int64) *Rand {
+	// Pre-mix the seed once so small consecutive seeds (the common
+	// Options.Seed values 1, 2, 3, …) don't start in nearby states.
+	r := &Rand{state: uint64(seed)}
+	r.next()
+	return r
+}
+
+// next advances the splitmix64 state and returns the output word.
+func (r *Rand) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 random bits.
+func (r *Rand) Float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// State exposes the generator state for snapshots.
+func (r *Rand) State() uint64 { return r.state }
+
+// SetState restores a previously captured state.
+func (r *Rand) SetState(s uint64) { r.state = s }
+
+// WindowState is the exportable form of a Window.
+type WindowState struct {
+	Cap     int
+	Dropped int
+	Pos     []int
+	Vals    []float64
+}
+
+// Export captures the window's full state. The returned slices alias the
+// window's internals; callers serialize them before the window changes.
+func (w *Window) Export() WindowState {
+	return WindowState{Cap: w.cap, Dropped: w.dropped, Pos: w.pos, Vals: w.vals}
+}
+
+// RestoreWindow rebuilds a window from an exported state.
+func RestoreWindow(st WindowState) (*Window, error) {
+	if len(st.Pos) != len(st.Vals) {
+		return nil, fmt.Errorf("interaction: window state has %d positions but %d values", len(st.Pos), len(st.Vals))
+	}
+	w := NewWindow(st.Cap)
+	w.pos = append([]int(nil), st.Pos...)
+	w.vals = append([]float64(nil), st.Vals...)
+	w.dropped = st.Dropped
+	return w, nil
+}
+
+// BenefitWindow is one index's history in a BenefitStatsState.
+type BenefitWindow struct {
+	ID     index.ID
+	Window WindowState
+}
+
+// BenefitStatsState is the exportable form of BenefitStats.
+type BenefitStatsState struct {
+	Hist    int
+	Entries []BenefitWindow // ascending by ID
+}
+
+// Export captures the statistics in deterministic (ID) order.
+func (s *BenefitStats) Export() BenefitStatsState {
+	st := BenefitStatsState{Hist: s.hist}
+	ids := make([]index.ID, 0, len(s.m))
+	for id := range s.m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st.Entries = append(st.Entries, BenefitWindow{ID: id, Window: s.m[id].Export()})
+	}
+	return st
+}
+
+// RestoreBenefitStats rebuilds benefit statistics from an exported state.
+func RestoreBenefitStats(st BenefitStatsState) (*BenefitStats, error) {
+	s := NewBenefitStats(st.Hist)
+	for _, e := range st.Entries {
+		w, err := RestoreWindow(e.Window)
+		if err != nil {
+			return nil, err
+		}
+		s.m[e.ID] = w
+	}
+	return s, nil
+}
+
+// PairWindow is one pair's history in an InteractionStatsState.
+type PairWindow struct {
+	A, B   index.ID
+	Window WindowState
+}
+
+// InteractionStatsState is the exportable form of InteractionStats.
+type InteractionStatsState struct {
+	Hist    int
+	Entries []PairWindow // ascending by (A, B)
+}
+
+// Export captures the statistics in deterministic (pair) order.
+func (s *InteractionStats) Export() InteractionStatsState {
+	st := InteractionStatsState{Hist: s.hist}
+	for _, p := range s.Pairs() {
+		st.Entries = append(st.Entries, PairWindow{A: p.A, B: p.B, Window: s.m[p].Export()})
+	}
+	return st
+}
+
+// RestoreInteractionStats rebuilds interaction statistics from an exported
+// state.
+func RestoreInteractionStats(st InteractionStatsState) (*InteractionStats, error) {
+	s := NewInteractionStats(st.Hist)
+	for _, e := range st.Entries {
+		w, err := RestoreWindow(e.Window)
+		if err != nil {
+			return nil, err
+		}
+		s.m[MakePair(e.A, e.B)] = w
+	}
+	return s, nil
+}

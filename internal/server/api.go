@@ -1,0 +1,281 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/state"
+)
+
+// maxBodyBytes bounds request bodies (a batch of SQL text fits easily).
+const maxBodyBytes = 8 << 20
+
+// indexJSON is the wire form of an index definition.
+type indexJSON struct {
+	Table      string   `json:"table"`
+	Columns    []string `json:"columns"`
+	CreateCost float64  `json:"create_cost,omitempty"`
+}
+
+func setJSON(reg *index.Registry, s index.Set) []indexJSON {
+	out := make([]indexJSON, 0, s.Len())
+	s.Each(func(id index.ID) {
+		def := reg.Get(id)
+		out = append(out, indexJSON{
+			Table:      def.Table,
+			Columns:    append([]string(nil), def.Columns...),
+			CreateCost: def.CreateCost,
+		})
+	})
+	return out
+}
+
+func specsOf(in []indexJSON) []state.IndexSpec {
+	out := make([]state.IndexSpec, 0, len(in))
+	for _, ix := range in {
+		out = append(out, state.IndexSpec{Table: ix.Table, Columns: ix.Columns})
+	}
+	return out
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the client is gone if this fails
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly decodes a JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// Handler returns the HTTP API:
+//
+//	POST   /sessions                      create a session
+//	GET    /sessions                      list sessions
+//	POST   /sessions/{id}/sql             ingest a batch of SQL statements
+//	GET    /sessions/{id}/recommendation  current recommendation + diff
+//	POST   /sessions/{id}/votes           cast explicit index votes
+//	POST   /sessions/{id}/accept          materialize the recommendation
+//	GET    /sessions/{id}/status          session statistics
+//	POST   /sessions/{id}/checkpoint      force a snapshot
+//	GET    /healthz                       liveness probe
+func (sv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", sv.handleCreateSession)
+	mux.HandleFunc("GET /sessions", sv.handleListSessions)
+	mux.HandleFunc("POST /sessions/{id}/sql", sv.withSession(sv.handleSQL))
+	mux.HandleFunc("GET /sessions/{id}/recommendation", sv.withSession(sv.handleRecommendation))
+	mux.HandleFunc("POST /sessions/{id}/votes", sv.withSession(sv.handleVotes))
+	mux.HandleFunc("POST /sessions/{id}/accept", sv.withSession(sv.handleAccept))
+	mux.HandleFunc("GET /sessions/{id}/status", sv.withSession(sv.handleStatus))
+	mux.HandleFunc("POST /sessions/{id}/checkpoint", sv.withSession(sv.handleCheckpoint))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (sv *Server) withSession(fn func(http.ResponseWriter, *http.Request, *Session)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("id")
+		sess, ok := sv.Session(name)
+		if !ok {
+			writeErr(w, http.StatusNotFound, "unknown session %q", name)
+			return
+		}
+		fn(w, r, sess)
+	}
+}
+
+type createSessionRequest struct {
+	Name            string `json:"name"`
+	IdxCnt          int    `json:"idx_cnt,omitempty"`
+	StateCnt        int    `json:"state_cnt,omitempty"`
+	HistSize        int    `json:"hist_size,omitempty"`
+	Seed            int64  `json:"seed,omitempty"`
+	QueueDepth      int    `json:"queue_depth,omitempty"`
+	CheckpointEvery int    `json:"checkpoint_every,omitempty"`
+}
+
+func (sv *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req createSessionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, http.StatusBadRequest, "session name is required")
+		return
+	}
+	if !nameRE.MatchString(req.Name) {
+		writeErr(w, http.StatusBadRequest, "invalid session name %q (want [A-Za-z0-9][A-Za-z0-9_-]{0,63})", req.Name)
+		return
+	}
+	cfg := SessionConfig{
+		Name: req.Name,
+		Options: core.Options{
+			IdxCnt:   req.IdxCnt,
+			StateCnt: req.StateCnt,
+			HistSize: req.HistSize,
+			Seed:     req.Seed,
+		},
+		QueueDepth:      req.QueueDepth,
+		CheckpointEvery: req.CheckpointEvery,
+	}
+	sess, err := sv.CreateSession(cfg)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if _, exists := sv.Session(req.Name); exists {
+			code = http.StatusConflict
+		}
+		writeErr(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.Status())
+}
+
+func (sv *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	sessions := sv.Sessions()
+	statuses := make([]SessionStatus, 0, len(sessions))
+	for _, s := range sessions {
+		statuses = append(statuses, s.Status())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": statuses})
+}
+
+type sqlRequest struct {
+	SQL []string `json:"sql"`
+}
+
+type sqlResponse struct {
+	Results        []StatementResult `json:"results"`
+	Recommendation []indexJSON       `json:"recommendation"`
+}
+
+func (sv *Server) handleSQL(w http.ResponseWriter, r *http.Request, sess *Session) {
+	var req sqlRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.SQL) == 0 {
+		writeErr(w, http.StatusBadRequest, "sql batch is empty")
+		return
+	}
+	results, rec, err := sess.Ingest(r.Context(), req.SQL)
+	if err != nil {
+		var pe *ParseError
+		switch {
+		case errors.As(err, &pe):
+			writeErr(w, http.StatusBadRequest, "%v", err)
+		default:
+			writeApplyErr(w, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, sqlResponse{
+		Results:        results,
+		Recommendation: setJSON(sess.Registry(), rec),
+	})
+}
+
+// writeApplyErr maps apply-path failures: a closed session (shutdown
+// race) and a cancelled request are unavailability, not server bugs.
+func writeApplyErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrSessionClosed) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeErr(w, http.StatusInternalServerError, "%v", err)
+}
+
+func (sv *Server) handleRecommendation(w http.ResponseWriter, r *http.Request, sess *Session) {
+	rec, create, drop := sess.Recommendation()
+	reg := sess.Registry()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"recommendation": setJSON(reg, rec),
+		"would_create":   setJSON(reg, create),
+		"would_drop":     setJSON(reg, drop),
+	})
+}
+
+type votesRequest struct {
+	Plus  []indexJSON `json:"plus,omitempty"`
+	Minus []indexJSON `json:"minus,omitempty"`
+}
+
+func (sv *Server) handleVotes(w http.ResponseWriter, r *http.Request, sess *Session) {
+	var req votesRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Plus) == 0 && len(req.Minus) == 0 {
+		writeErr(w, http.StatusBadRequest, "vote with no plus or minus indices")
+		return
+	}
+	plus, minus := specsOf(req.Plus), specsOf(req.Minus)
+	// Validate before enqueueing so malformed votes 400 without consuming
+	// queue capacity; the apply loop re-resolves (and interns) in order.
+	for _, spec := range append(append([]state.IndexSpec{}, plus...), minus...) {
+		if err := ValidateSpec(sv.cat, spec); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	rec, err := sess.Vote(r.Context(), plus, minus)
+	if err != nil {
+		writeApplyErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"recommendation": setJSON(sess.Registry(), rec),
+	})
+}
+
+func (sv *Server) handleAccept(w http.ResponseWriter, r *http.Request, sess *Session) {
+	res, err := sess.Accept(r.Context())
+	if err != nil {
+		writeApplyErr(w, err)
+		return
+	}
+	reg := sess.Registry()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"materialized":    setJSON(reg, res.Materialized),
+		"created":         setJSON(reg, res.Created),
+		"dropped":         setJSON(reg, res.Dropped),
+		"transition_cost": res.TransitionCost,
+	})
+}
+
+func (sv *Server) handleStatus(w http.ResponseWriter, r *http.Request, sess *Session) {
+	writeJSON(w, http.StatusOK, sess.Status())
+}
+
+func (sv *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request, sess *Session) {
+	seq, err := sess.Checkpoint()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"wal_seq": seq})
+}

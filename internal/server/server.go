@@ -1,0 +1,179 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// Config configures a Server.
+type Config struct {
+	// DataDir is the root of the persisted state; sessions live under
+	// DataDir/sessions/<name>/.
+	DataDir string
+	// DefaultOptions seeds new sessions' tuner knobs (zero fields fall
+	// back to core.DefaultOptions).
+	DefaultOptions core.Options
+	// QueueDepth and CheckpointEvery default new sessions' service knobs
+	// (zero: 256 and 500).
+	QueueDepth      int
+	CheckpointEvery int
+	// Fsync syncs WALs to stable storage per append.
+	Fsync bool
+}
+
+// nameRE restricts session names to path- and URL-safe tokens.
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_-]{0,63}$`)
+
+// Server manages N named tuning sessions over one shared catalog and
+// persists them under a data directory. It is safe for concurrent use;
+// per-session ordering is the session's single-writer loop.
+type Server struct {
+	cfg Config
+	cat *catalog.Catalog
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	closed   bool
+}
+
+// New builds a server over the benchmark catalog and recovers every
+// session already present in the data directory.
+func New(cfg Config) (*Server, error) {
+	cat, _ := datagen.Build()
+	return NewWithCatalog(cfg, cat)
+}
+
+// NewWithCatalog is New with an explicit catalog (shared, read-only).
+func NewWithCatalog(cfg Config, cat *catalog.Catalog) (*Server, error) {
+	sv := &Server{cfg: cfg, cat: cat, sessions: make(map[string]*Session)}
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("server: DataDir is required")
+	}
+	if err := os.MkdirAll(sv.sessionsRoot(), 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(sv.sessionsRoot())
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(sv.sessionsRoot(), e.Name())
+		if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
+			continue // not a session directory
+		}
+		sess, err := OpenSession(dir, cat, cfg.Fsync)
+		if err != nil {
+			sv.Close()
+			return nil, fmt.Errorf("server: recovering session %s: %w", e.Name(), err)
+		}
+		sv.sessions[sess.Name()] = sess
+	}
+	return sv, nil
+}
+
+func (sv *Server) sessionsRoot() string {
+	return filepath.Join(sv.cfg.DataDir, "sessions")
+}
+
+// Catalog exposes the shared catalog (read-only).
+func (sv *Server) Catalog() *catalog.Catalog { return sv.cat }
+
+// CreateSession creates and registers a new named session.
+func (sv *Server) CreateSession(cfg SessionConfig) (*Session, error) {
+	if !nameRE.MatchString(cfg.Name) {
+		return nil, fmt.Errorf("server: invalid session name %q", cfg.Name)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = sv.cfg.QueueDepth
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = sv.cfg.CheckpointEvery
+	}
+	if cfg.Options.IdxCnt == 0 {
+		cfg.Options.IdxCnt = sv.cfg.DefaultOptions.IdxCnt
+	}
+	if cfg.Options.StateCnt == 0 {
+		cfg.Options.StateCnt = sv.cfg.DefaultOptions.StateCnt
+	}
+	if cfg.Options.HistSize == 0 {
+		cfg.Options.HistSize = sv.cfg.DefaultOptions.HistSize
+	}
+	if cfg.Options.Seed == 0 {
+		cfg.Options.Seed = sv.cfg.DefaultOptions.Seed
+	}
+	cfg.Fsync = sv.cfg.Fsync
+
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.closed {
+		return nil, ErrSessionClosed
+	}
+	if _, ok := sv.sessions[cfg.Name]; ok {
+		return nil, fmt.Errorf("server: session %q already exists", cfg.Name)
+	}
+	sess, err := CreateSession(filepath.Join(sv.sessionsRoot(), cfg.Name), sv.cat, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sv.sessions[cfg.Name] = sess
+	return sess, nil
+}
+
+// Session looks a session up by name.
+func (sv *Server) Session(name string) (*Session, bool) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	s, ok := sv.sessions[name]
+	return s, ok
+}
+
+// Sessions returns every session in name order.
+func (sv *Server) Sessions() []*Session {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	names := make([]string, 0, len(sv.sessions))
+	for name := range sv.sessions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*Session, 0, len(names))
+	for _, name := range names {
+		out = append(out, sv.sessions[name])
+	}
+	return out
+}
+
+// Close gracefully shuts every session down, checkpointing each so a
+// subsequent start recovers instantly (empty WALs). The first error is
+// returned; all sessions are closed regardless.
+func (sv *Server) Close() error {
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		return nil
+	}
+	sv.closed = true
+	sessions := make([]*Session, 0, len(sv.sessions))
+	for _, s := range sv.sessions {
+		sessions = append(sessions, s)
+	}
+	sv.mu.Unlock()
+	var first error
+	for _, s := range sessions {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,688 @@
+// Package server turns the WFIT library into a deployable, multi-session
+// tuning service: named sessions that each own a tuner behind a
+// single-writer ingest loop, an HTTP/JSON API for statement ingestion and
+// DBA feedback, and snapshot/WAL persistence so tuner state survives
+// restarts (recovery = load snapshot + replay WAL, bit-identical to an
+// uninterrupted run).
+//
+// Sessions are isolated tuning universes: each owns its index registry,
+// cost model, and what-if optimizer, sharing only the immutable catalog.
+// This is a deliberate deviation from a single shared optimizer — registry
+// ID assignment must be deterministic per session for recovery to be
+// bit-identical (IDs order work-function bits and break score ties), and
+// the optimizer's cache keys configurations by those IDs. The
+// concurrency-safe optimizer still earns its keep inside a session, where
+// the analysis pipeline fans IBG construction across workers.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/index"
+	"repro/internal/sqlmini"
+	"repro/internal/state"
+	"repro/internal/stmt"
+	"repro/internal/whatif"
+)
+
+// snapshotFile and walFile are the two files of a session directory.
+const (
+	snapshotFile = "state.snap"
+	walFile      = "wal.log"
+)
+
+// ErrSessionClosed is returned for operations on a closed session.
+var ErrSessionClosed = errors.New("server: session closed")
+
+// ParseError marks a client-side SQL error (the batch was rejected before
+// anything was applied), so the HTTP layer can distinguish 4xx from
+// server-side apply failures.
+type ParseError struct {
+	Err error
+}
+
+func (e *ParseError) Error() string { return e.Err.Error() }
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// SessionConfig carries the per-session knobs. Zero values select the
+// defaults noted on each field.
+type SessionConfig struct {
+	// Name identifies the session (and its directory under the data dir).
+	Name string
+	// Options are the tuner knobs (zero: core.DefaultOptions with Seed
+	// derived from the name so distinct sessions explore independently).
+	Options core.Options
+	// QueueDepth bounds the ingest queue; enqueueing past it blocks the
+	// client — the service's backpressure (default 256).
+	QueueDepth int
+	// CheckpointEvery snapshots automatically after this many statements
+	// (default 500; negative disables automatic checkpoints).
+	CheckpointEvery int
+	// Fsync syncs the WAL to stable storage on every append. Off by
+	// default: acknowledged records already survive kill -9 (they are
+	// flushed to the OS), fsync additionally covers power loss.
+	Fsync bool
+}
+
+func (c *SessionConfig) applyDefaults() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 500
+	}
+	def := core.DefaultOptions()
+	o := &c.Options
+	if o.IdxCnt == 0 {
+		o.IdxCnt = def.IdxCnt
+	}
+	if o.StateCnt == 0 {
+		o.StateCnt = def.StateCnt
+	}
+	if o.HistSize == 0 {
+		o.HistSize = def.HistSize
+	}
+	if o.RandCnt == 0 {
+		o.RandCnt = def.RandCnt
+	}
+	if o.MaxPartSize == 0 {
+		o.MaxPartSize = def.MaxPartSize
+	}
+	if o.DoiThreshold == 0 {
+		o.DoiThreshold = def.DoiThreshold
+	}
+	if o.Seed == 0 {
+		o.Seed = def.Seed
+	}
+}
+
+// StatementResult reports one ingested statement.
+type StatementResult struct {
+	ID   int     `json:"id"`
+	Kind string  `json:"kind"`
+	Cost float64 `json:"cost"`
+}
+
+// AcceptResult reports a materialization.
+type AcceptResult struct {
+	Materialized   index.Set
+	Created        index.Set
+	Dropped        index.Set
+	TransitionCost float64
+}
+
+// SessionStatus is a point-in-time summary of a session.
+type SessionStatus struct {
+	Name           string  `json:"name"`
+	Statements     int     `json:"statements"`
+	UniverseSize   int     `json:"universe_size"`
+	Repartitions   int     `json:"repartitions"`
+	Parts          int     `json:"parts"`
+	States         int     `json:"states"`
+	TotalWork      float64 `json:"total_work"`
+	TransitionCost float64 `json:"transition_cost"`
+	Changes        int     `json:"changes"`
+	Materialized   int     `json:"materialized"`
+	WALSeq         uint64  `json:"wal_seq"`
+	QueueLen       int     `json:"queue_len"`
+	QueueDepth     int     `json:"queue_depth"`
+}
+
+// Session is one independent tuning loop with durable state. All
+// mutations (statements, votes, accepts) flow through a bounded queue
+// into a single-writer loop that appends each event to the WAL before
+// applying it to the tuner; reads synchronize on the state mutex and see
+// the latest applied event.
+type Session struct {
+	cfg SessionConfig
+	dir string
+
+	cat    *catalog.Catalog
+	reg    *index.Registry
+	model  *cost.Model
+	opt    *whatif.Optimizer
+	parser *sqlmini.Parser
+
+	jobs chan *job
+	wg   sync.WaitGroup
+
+	// encMu guards the closed flag; submitters hold it shared for the
+	// duration of their enqueue so Close cannot close the queue under a
+	// blocked sender.
+	encMu  sync.RWMutex
+	closed bool
+
+	// mu guards the tuner and every counter below. The ingest loop holds
+	// it per event; read endpoints hold it briefly.
+	mu             sync.Mutex
+	tuner          *core.WFIT
+	wal            *state.WAL
+	statements     int
+	totalWork      float64
+	transitionCost float64
+	changes        int
+	materialized   index.Set
+	sinceCkpt      int
+	broken         error // a failed WAL write or checkpoint poisons the session
+}
+
+type jobKind int
+
+const (
+	jobStmt jobKind = iota
+	jobVote
+	jobAccept
+)
+
+type job struct {
+	kind        jobKind
+	sql         string
+	st          *stmt.Statement
+	plus, minus []state.IndexSpec
+	reply       chan jobReply
+}
+
+type jobReply struct {
+	err    error
+	result StatementResult
+	rec    index.Set
+	accept AcceptResult
+}
+
+// newSessionBase builds the per-session world (registry, model, optimizer,
+// parser) without a tuner.
+func newSessionBase(dir string, cat *catalog.Catalog, cfg SessionConfig) *Session {
+	reg := index.NewRegistry()
+	model := cost.NewModel(cat, reg, cost.DefaultParams())
+	return &Session{
+		cfg:          cfg,
+		dir:          dir,
+		cat:          cat,
+		reg:          reg,
+		model:        model,
+		opt:          whatif.New(model),
+		parser:       sqlmini.NewParser(cat),
+		materialized: index.EmptySet,
+		jobs:         make(chan *job, cfg.QueueDepth),
+	}
+}
+
+// CreateSession initializes a fresh session in dir. The directory gains an
+// initial snapshot immediately, so a restart can always recover the
+// session (including its configuration) even if it never checkpointed.
+func CreateSession(dir string, cat *catalog.Catalog, cfg SessionConfig) (*Session, error) {
+	cfg.applyDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err == nil {
+		return nil, fmt.Errorf("server: session directory %s already initialized", dir)
+	}
+	s := newSessionBase(dir, cat, cfg)
+	s.tuner = core.NewWFIT(s.opt, cfg.Options)
+	wal, err := state.OpenWAL(filepath.Join(dir, walFile), nil)
+	if err != nil {
+		return nil, err
+	}
+	wal.Fsync = cfg.Fsync
+	s.wal = wal
+	if err := s.writeSnapshot(); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	// Make the session directory itself durable: a crash right after the
+	// 201 response must not lose the directory entry (recovery skips
+	// directories without a snapshot).
+	if err := state.SyncDir(filepath.Dir(dir)); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	s.start()
+	return s, nil
+}
+
+// OpenSession recovers a session from dir: load the snapshot, restore the
+// registry and tuner, then replay every WAL record the snapshot does not
+// already cover. The recovered session is bit-identical to one that never
+// stopped. fsync selects WAL fsync-per-append for the reopened log (the
+// durability knob is a server setting, not part of the persisted state).
+func OpenSession(dir string, cat *catalog.Catalog, fsync bool) (*Session, error) {
+	snap, err := state.ReadFile(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		return nil, fmt.Errorf("server: reading session snapshot: %w", err)
+	}
+	cfg := SessionConfig{
+		Name:            snap.Session.Name,
+		Options:         snap.Tuner.Options,
+		QueueDepth:      snap.Session.QueueDepth,
+		CheckpointEvery: snap.Session.CheckpointEvery,
+		Fsync:           fsync,
+	}
+	cfg.applyDefaults()
+	s := newSessionBase(dir, cat, cfg)
+	reg, err := index.RestoreRegistry(snap.Defs)
+	if err != nil {
+		return nil, err
+	}
+	s.reg = reg
+	s.model = cost.NewModel(cat, reg, cost.DefaultParams())
+	s.opt = whatif.New(s.model)
+	s.tuner, err = core.RestoreWFIT(s.opt, snap.Tuner)
+	if err != nil {
+		return nil, err
+	}
+	s.statements = snap.Session.Statements
+	s.totalWork = snap.Session.TotalWork
+	s.transitionCost = snap.Session.TransitionCost
+	s.changes = snap.Session.Changes
+	s.materialized = snap.Tuner.Materialized
+
+	covered := snap.Session.LastSeq
+	replayed := 0
+	wal, err := state.OpenWAL(filepath.Join(dir, walFile), func(rec state.Record) error {
+		if rec.Seq <= covered {
+			return nil // the snapshot already folded this record in
+		}
+		replayed++
+		return s.replay(rec)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: replaying WAL: %w", err)
+	}
+	wal.Fsync = s.cfg.Fsync
+	s.wal = wal
+	s.sinceCkpt = replayed
+	s.start()
+	return s, nil
+}
+
+// replay applies one WAL record during recovery, through the same code
+// paths the live ingest loop uses.
+func (s *Session) replay(rec state.Record) error {
+	switch rec.Type {
+	case state.RecStatement:
+		st, err := s.parser.Parse(rec.SQL)
+		if err != nil {
+			return fmt.Errorf("replaying statement (seq %d): %w", rec.Seq, err)
+		}
+		s.applyStatement(st)
+	case state.RecVote:
+		plus, minus, err := s.resolveSpecs(rec.Plus, rec.Minus)
+		if err != nil {
+			return fmt.Errorf("replaying vote (seq %d): %w", rec.Seq, err)
+		}
+		s.tuner.Feedback(plus, minus)
+	case state.RecAccept:
+		s.applyAccept()
+	default:
+		return fmt.Errorf("unknown WAL record type %d (seq %d)", rec.Type, rec.Seq)
+	}
+	return nil
+}
+
+func (s *Session) start() {
+	s.wg.Add(1)
+	go s.loop()
+}
+
+func (s *Session) loop() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		s.applyJob(j)
+	}
+}
+
+// applyJob is the single-writer apply path: WAL first, then the tuner.
+func (s *Session) applyJob(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep jobReply
+	if s.broken != nil {
+		rep.err = s.broken
+		j.reply <- rep
+		return
+	}
+	switch j.kind {
+	case jobStmt:
+		if _, err := s.wal.Append(state.Record{Type: state.RecStatement, SQL: j.sql}); err != nil {
+			s.broken = fmt.Errorf("server: WAL append: %w", err)
+			rep.err = s.broken
+			break
+		}
+		rep.result = s.applyStatement(j.st)
+		rep.rec = s.tuner.Recommend()
+	case jobVote:
+		plus, minus, err := s.resolveSpecs(j.plus, j.minus)
+		if err != nil {
+			rep.err = err
+			break
+		}
+		if _, err := s.wal.Append(state.Record{Type: state.RecVote, Plus: j.plus, Minus: j.minus}); err != nil {
+			s.broken = fmt.Errorf("server: WAL append: %w", err)
+			rep.err = s.broken
+			break
+		}
+		s.tuner.Feedback(plus, minus)
+		rep.rec = s.tuner.Recommend()
+	case jobAccept:
+		if _, err := s.wal.Append(state.Record{Type: state.RecAccept}); err != nil {
+			s.broken = fmt.Errorf("server: WAL append: %w", err)
+			rep.err = s.broken
+			break
+		}
+		rep.accept = s.applyAccept()
+	}
+	if rep.err == nil && s.cfg.CheckpointEvery > 0 && s.sinceCkpt >= s.cfg.CheckpointEvery {
+		if err := s.checkpointLocked(); err != nil {
+			s.broken = err
+			rep.err = err
+		}
+	}
+	j.reply <- rep
+}
+
+// applyStatement analyzes one statement and charges the total-work
+// account: the statement's cost under the currently materialized
+// configuration, as the evaluation harness prices runs.
+func (s *Session) applyStatement(st *stmt.Statement) StatementResult {
+	s.statements++
+	st.ID = s.statements
+	s.tuner.AnalyzeQuery(st)
+	c := s.opt.Cost(st, s.materialized)
+	s.totalWork += c
+	s.sinceCkpt++
+	return StatementResult{ID: st.ID, Kind: st.Kind.String(), Cost: c}
+}
+
+// applyAccept materializes the current recommendation with implicit
+// feedback (creations are positive votes, drops negative — §3.1).
+func (s *Session) applyAccept() AcceptResult {
+	rec := s.tuner.Recommend()
+	created := rec.Minus(s.materialized)
+	dropped := s.materialized.Minus(rec)
+	var delta float64
+	if !rec.Equal(s.materialized) {
+		delta = s.reg.Delta(s.materialized, rec)
+		s.totalWork += delta
+		s.transitionCost += delta
+		s.changes++
+	}
+	s.materialized = rec
+	s.tuner.SetMaterialized(rec)
+	s.tuner.Feedback(created, dropped)
+	return AcceptResult{Materialized: rec, Created: created, Dropped: dropped, TransitionCost: delta}
+}
+
+// resolveSpecs turns vote specs into interned index sets. Interning
+// happens here, inside the single-writer apply path, so registry ID
+// assignment depends only on the event order the WAL records.
+func (s *Session) resolveSpecs(plus, minus []state.IndexSpec) (index.Set, index.Set, error) {
+	resolve := func(specs []state.IndexSpec) (index.Set, error) {
+		var ids []index.ID
+		for _, spec := range specs {
+			id, err := s.resolveSpec(spec)
+			if err != nil {
+				return index.EmptySet, err
+			}
+			ids = append(ids, id)
+		}
+		return index.NewSet(ids...), nil
+	}
+	p, err := resolve(plus)
+	if err != nil {
+		return index.EmptySet, index.EmptySet, err
+	}
+	m, err := resolve(minus)
+	if err != nil {
+		return index.EmptySet, index.EmptySet, err
+	}
+	return p, m, nil
+}
+
+func (s *Session) resolveSpec(spec state.IndexSpec) (index.ID, error) {
+	if err := ValidateSpec(s.cat, spec); err != nil {
+		return index.Invalid, err
+	}
+	if id, ok := s.reg.Lookup(spec.Table, spec.Columns); ok {
+		return id, nil
+	}
+	return s.reg.Intern(cost.BuildIndexProto(s.cat, s.model.Params(), spec.Table, spec.Columns)), nil
+}
+
+// ValidateSpec checks an index spec against the catalog without touching
+// any registry — the read-only validation HTTP handlers run before
+// enqueueing a vote.
+func ValidateSpec(cat *catalog.Catalog, spec state.IndexSpec) error {
+	if len(spec.Columns) == 0 {
+		return fmt.Errorf("index spec %s has no columns", spec.Table)
+	}
+	t, ok := cat.Table(spec.Table)
+	if !ok {
+		return fmt.Errorf("unknown table %q", spec.Table)
+	}
+	seen := make(map[string]bool, len(spec.Columns))
+	for _, c := range spec.Columns {
+		if !t.HasColumn(c) {
+			return fmt.Errorf("table %s has no column %q", spec.Table, c)
+		}
+		if seen[c] {
+			return fmt.Errorf("index spec %s repeats column %q", spec.Table, c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// submit enqueues a job (blocking on a full queue — the backpressure the
+// bounded channel provides) and waits for the apply loop's reply.
+func (s *Session) submit(ctx context.Context, j *job) (jobReply, error) {
+	j.reply = make(chan jobReply, 1)
+	s.encMu.RLock()
+	if s.closed {
+		s.encMu.RUnlock()
+		return jobReply{}, ErrSessionClosed
+	}
+	select {
+	case s.jobs <- j:
+		s.encMu.RUnlock()
+	case <-ctx.Done():
+		s.encMu.RUnlock()
+		return jobReply{}, ctx.Err()
+	}
+	rep := <-j.reply
+	return rep, rep.err
+}
+
+// Ingest parses and analyzes a batch of SQL statements in order. Parse
+// errors fail the whole batch up front (nothing is applied); apply errors
+// abort mid-batch with the statements already applied reported.
+func (s *Session) Ingest(ctx context.Context, sqls []string) ([]StatementResult, index.Set, error) {
+	parsed := make([]*stmt.Statement, len(sqls))
+	for i, sql := range sqls {
+		st, err := s.parser.Parse(sql)
+		if err != nil {
+			return nil, index.EmptySet, &ParseError{Err: fmt.Errorf("statement %d: %w", i+1, err)}
+		}
+		parsed[i] = st
+	}
+	results := make([]StatementResult, 0, len(parsed))
+	rec := index.EmptySet
+	for i, st := range parsed {
+		rep, err := s.submit(ctx, &job{kind: jobStmt, sql: sqls[i], st: st})
+		if err != nil {
+			return results, rec, err
+		}
+		results = append(results, rep.result)
+		rec = rep.rec
+	}
+	return results, rec, nil
+}
+
+// Vote casts explicit DBA feedback and returns the new recommendation.
+func (s *Session) Vote(ctx context.Context, plus, minus []state.IndexSpec) (index.Set, error) {
+	rep, err := s.submit(ctx, &job{kind: jobVote, plus: plus, minus: minus})
+	return rep.rec, err
+}
+
+// Accept materializes the current recommendation.
+func (s *Session) Accept(ctx context.Context) (AcceptResult, error) {
+	rep, err := s.submit(ctx, &job{kind: jobAccept})
+	return rep.accept, err
+}
+
+// Recommendation returns the current recommendation and its diff against
+// the materialized configuration.
+func (s *Session) Recommendation() (rec, create, drop index.Set) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec = s.tuner.Recommend()
+	return rec, rec.Minus(s.materialized), s.materialized.Minus(rec)
+}
+
+// Materialized returns the session's current physical configuration.
+func (s *Session) Materialized() index.Set {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.materialized
+}
+
+// TotalWork returns the cumulative total work (statement costs under the
+// adopted configurations plus transition costs).
+func (s *Session) TotalWork() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalWork
+}
+
+// Registry exposes the session's index registry (for formatting sets).
+func (s *Session) Registry() *index.Registry { return s.reg }
+
+// Name returns the session name.
+func (s *Session) Name() string { return s.cfg.Name }
+
+// Status summarizes the session.
+func (s *Session) Status() SessionStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.tuner.Partition()
+	return SessionStatus{
+		Name:           s.cfg.Name,
+		Statements:     s.statements,
+		UniverseSize:   s.tuner.UniverseSize(),
+		Repartitions:   s.tuner.Repartitions(),
+		Parts:          len(p),
+		States:         p.States(),
+		TotalWork:      s.totalWork,
+		TransitionCost: s.transitionCost,
+		Changes:        s.changes,
+		Materialized:   s.materialized.Len(),
+		WALSeq:         s.wal.LastSeq(),
+		QueueLen:       len(s.jobs),
+		QueueDepth:     s.cfg.QueueDepth,
+	}
+}
+
+// Checkpoint forces a snapshot now. It synchronizes with the apply loop,
+// so it captures a consistent state between events.
+func (s *Session) Checkpoint() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken != nil {
+		return 0, s.broken
+	}
+	if err := s.checkpointLocked(); err != nil {
+		s.broken = err
+		return 0, err
+	}
+	return s.wal.LastSeq(), nil
+}
+
+// checkpointLocked snapshots the session and truncates the WAL. The
+// snapshot lands via write-to-temp + rename, so a crash at any point
+// leaves either the old snapshot + full WAL or the new snapshot (+ a WAL
+// whose records the snapshot's LastSeq marks as covered).
+func (s *Session) checkpointLocked() error {
+	snap := &state.Snapshot{
+		Defs:  state.CaptureRegistry(s.reg),
+		Tuner: s.tuner.ExportState(),
+		Session: state.SessionState{
+			Name:            s.cfg.Name,
+			Statements:      s.statements,
+			TotalWork:       s.totalWork,
+			TransitionCost:  s.transitionCost,
+			Changes:         s.changes,
+			LastSeq:         s.wal.LastSeq(),
+			QueueDepth:      s.cfg.QueueDepth,
+			CheckpointEvery: s.cfg.CheckpointEvery,
+		},
+	}
+	if err := state.WriteFile(filepath.Join(s.dir, snapshotFile), snap); err != nil {
+		return fmt.Errorf("server: writing snapshot: %w", err)
+	}
+	if err := s.wal.Reset(); err != nil {
+		return fmt.Errorf("server: resetting WAL: %w", err)
+	}
+	s.sinceCkpt = 0
+	return nil
+}
+
+// writeSnapshot writes the initial (empty-history) snapshot at creation.
+func (s *Session) writeSnapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+// Close drains the queue, checkpoints, and releases the WAL. Safe to call
+// twice.
+func (s *Session) Close() error {
+	if !s.seal() {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.broken == nil {
+		err = s.checkpointLocked()
+	}
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Kill terminates the session without checkpointing or flushing —
+// modeling a crashed process for recovery tests. Acknowledged WAL records
+// are already on disk (Append flushes), so recovery sees exactly the
+// state a kill -9 would leave behind.
+func (s *Session) Kill() {
+	if !s.seal() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wal.Abort()
+}
+
+// seal marks the session closed and stops the apply loop after the queue
+// drains. It reports whether this call performed the transition.
+func (s *Session) seal() bool {
+	s.encMu.Lock()
+	if s.closed {
+		s.encMu.Unlock()
+		return false
+	}
+	s.closed = true
+	s.encMu.Unlock()
+	close(s.jobs)
+	s.wg.Wait()
+	return true
+}

@@ -1,0 +1,241 @@
+// Package state persists tuner state: a versioned binary snapshot codec
+// for the full WFIT state (index registry, candidate universe, stable
+// partition, per-part work functions, benefit/interaction statistics) and
+// an append-only write-ahead log of the statements and feedback events
+// ingested since the last snapshot. Recovery = load snapshot + replay WAL,
+// and is bit-identical to an uninterrupted tuner: every float64 round-trips
+// through its exact bit pattern, collections serialize in deterministic
+// order, and the partitioner's random stream position is part of the
+// snapshot.
+package state
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/index"
+)
+
+// maxSliceLen bounds decoded collection sizes so a corrupt or adversarial
+// length prefix cannot drive a multi-gigabyte allocation before the CRC
+// check would have rejected the stream anyway.
+const maxSliceLen = 1 << 28
+
+// writer serializes primitives little-endian while folding every byte into
+// a running CRC32C. The first error sticks; later writes are no-ops.
+type writer struct {
+	w   io.Writer
+	crc uint32
+	err error
+	buf [8]byte
+}
+
+func newWriter(w io.Writer) *writer {
+	return &writer{w: w}
+}
+
+func (e *writer) write(b []byte) {
+	if e.err != nil {
+		return
+	}
+	e.crc = crc32.Update(e.crc, crcTable, b)
+	_, e.err = e.w.Write(b)
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func (e *writer) u8(v uint8) {
+	e.buf[0] = v
+	e.write(e.buf[:1])
+}
+
+func (e *writer) u32(v uint32) {
+	binary.LittleEndian.PutUint32(e.buf[:4], v)
+	e.write(e.buf[:4])
+}
+
+func (e *writer) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.buf[:8], v)
+	e.write(e.buf[:8])
+}
+
+func (e *writer) i64(v int64)   { e.u64(uint64(v)) }
+func (e *writer) intv(v int)    { e.i64(int64(v)) }
+func (e *writer) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *writer) boolv(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (e *writer) lenPrefix(n int) { e.u32(uint32(n)) }
+
+func (e *writer) str(s string) {
+	e.lenPrefix(len(s))
+	e.write([]byte(s))
+}
+
+func (e *writer) strs(ss []string) {
+	e.lenPrefix(len(ss))
+	for _, s := range ss {
+		e.str(s)
+	}
+}
+
+func (e *writer) f64s(vs []float64) {
+	e.lenPrefix(len(vs))
+	for _, v := range vs {
+		e.f64(v)
+	}
+}
+
+func (e *writer) ints(vs []int) {
+	e.lenPrefix(len(vs))
+	for _, v := range vs {
+		e.intv(v)
+	}
+}
+
+func (e *writer) ids(vs []index.ID) {
+	e.lenPrefix(len(vs))
+	for _, v := range vs {
+		e.u32(uint32(v))
+	}
+}
+
+func (e *writer) set(s index.Set) { e.ids(s.IDs()) }
+
+// sum returns the CRC of everything written so far.
+func (e *writer) sum() uint32 { return e.crc }
+
+// reader mirrors writer. The first error (including io errors and length
+// bound violations) sticks and zero values flow from then on; callers
+// check err once at the end.
+type reader struct {
+	r   io.Reader
+	crc uint32
+	err error
+	buf [8]byte
+}
+
+func newReader(r io.Reader) *reader {
+	return &reader{r: r}
+}
+
+func (d *reader) read(b []byte) {
+	if d.err != nil {
+		for i := range b {
+			b[i] = 0
+		}
+		return
+	}
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.err = err
+		return
+	}
+	d.crc = crc32.Update(d.crc, crcTable, b)
+}
+
+func (d *reader) u8() uint8 {
+	d.read(d.buf[:1])
+	return d.buf[0]
+}
+
+func (d *reader) u32() uint32 {
+	d.read(d.buf[:4])
+	return binary.LittleEndian.Uint32(d.buf[:4])
+}
+
+func (d *reader) u64() uint64 {
+	d.read(d.buf[:8])
+	return binary.LittleEndian.Uint64(d.buf[:8])
+}
+
+func (d *reader) i64() int64   { return int64(d.u64()) }
+func (d *reader) intv() int    { return int(d.i64()) }
+func (d *reader) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *reader) boolv() bool  { return d.u8() != 0 }
+
+func (d *reader) lenPrefix() int {
+	n := int(d.u32())
+	if n > maxSliceLen {
+		d.fail(fmt.Errorf("state: length prefix %d exceeds bound", n))
+		return 0
+	}
+	return n
+}
+
+func (d *reader) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *reader) str() string {
+	n := d.lenPrefix()
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	d.read(b)
+	return string(b)
+}
+
+func (d *reader) strs() []string {
+	n := d.lenPrefix()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = d.str()
+	}
+	return out
+}
+
+func (d *reader) f64s() []float64 {
+	n := d.lenPrefix()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+func (d *reader) ints() []int {
+	n := d.lenPrefix()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.intv()
+	}
+	return out
+}
+
+func (d *reader) idSlice() []index.ID {
+	n := d.lenPrefix()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]index.ID, n)
+	for i := range out {
+		out[i] = index.ID(d.u32())
+	}
+	return out
+}
+
+func (d *reader) set() index.Set { return index.NewSet(d.idSlice()...) }
+
+// sum returns the CRC of everything read so far.
+func (d *reader) sum() uint32 { return d.crc }

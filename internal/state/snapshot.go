@@ -1,0 +1,337 @@
+package state
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/interaction"
+)
+
+// snapMagic identifies a snapshot stream; the trailing version digit is
+// the format version and bumps on any layout change.
+const snapMagic = "WFITSNP1"
+
+// SessionState is the service-level state that travels with a tuner
+// snapshot: ingestion counters, the total-work account, and the WAL
+// position the snapshot covers (records with Seq <= LastSeq are already
+// folded in and replay skips them).
+type SessionState struct {
+	Name            string
+	Statements      int
+	TotalWork       float64
+	TransitionCost  float64
+	Changes         int
+	LastSeq         uint64
+	QueueDepth      int
+	CheckpointEvery int
+}
+
+// Snapshot is a complete persisted tuner: the index registry in ID order,
+// the full WFIT state, and the owning session's counters.
+type Snapshot struct {
+	Defs    []index.Index
+	Tuner   *core.TunerState
+	Session SessionState
+}
+
+// CaptureRegistry exports reg's definitions in ID order as value copies,
+// the form RestoreRegistry and the snapshot codec consume.
+func CaptureRegistry(reg *index.Registry) []index.Index {
+	all := reg.All()
+	defs := make([]index.Index, len(all))
+	for i, d := range all {
+		defs[i] = *d
+	}
+	return defs
+}
+
+// Write serializes the snapshot: magic, sections, and a trailing CRC32C of
+// everything after the magic.
+func Write(w io.Writer, s *Snapshot) error {
+	if _, err := io.WriteString(w, snapMagic); err != nil {
+		return err
+	}
+	e := newWriter(w)
+	writeDefs(e, s.Defs)
+	writeTuner(e, s.Tuner)
+	writeSession(e, &s.Session)
+	crc := e.sum()
+	e.u32(crc)
+	return e.err
+}
+
+// Read deserializes a snapshot, verifying magic, version, and CRC.
+func Read(r io.Reader) (*Snapshot, error) {
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("state: reading snapshot magic: %w", err)
+	}
+	if string(magic) != snapMagic {
+		return nil, fmt.Errorf("state: bad snapshot magic %q (want %q)", magic, snapMagic)
+	}
+	d := newReader(r)
+	s := &Snapshot{}
+	s.Defs = readDefs(d)
+	s.Tuner = readTuner(d)
+	readSession(d, &s.Session)
+	want := d.sum()
+	got := d.u32()
+	if d.err != nil {
+		return nil, fmt.Errorf("state: snapshot decode: %w", d.err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("state: snapshot CRC mismatch (stored %08x, computed %08x)", got, want)
+	}
+	return s, nil
+}
+
+// WriteFile persists the snapshot durably: write to a temporary file in
+// the same directory, fsync, and rename over path — so path always holds
+// either the previous complete snapshot or the new one, never a torn mix.
+func WriteFile(path string, s *Snapshot) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	if err := Write(bw, s); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Sync the directory so the rename's entry survives power loss —
+	// without it a checkpoint could persist its WAL truncation but lose
+	// the new snapshot, dropping acknowledged events.
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making recent renames and file creations
+// in it durable against power failure.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// ReadFile loads a snapshot from disk.
+func ReadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(bufio.NewReader(f))
+}
+
+func writeDefs(e *writer, defs []index.Index) {
+	e.lenPrefix(len(defs))
+	for _, d := range defs {
+		e.u32(uint32(d.ID))
+		e.str(d.Table)
+		e.strs(d.Columns)
+		e.f64(d.LeafPages)
+		e.f64(d.Height)
+		e.f64(d.CreateCost)
+		e.f64(d.DropCost)
+	}
+}
+
+func readDefs(d *reader) []index.Index {
+	n := d.lenPrefix()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]index.Index, n)
+	for i := range out {
+		out[i] = index.Index{
+			ID:         index.ID(d.u32()),
+			Table:      d.str(),
+			Columns:    d.strs(),
+			LeafPages:  d.f64(),
+			Height:     d.f64(),
+			CreateCost: d.f64(),
+			DropCost:   d.f64(),
+		}
+	}
+	return out
+}
+
+func writeTuner(e *writer, t *core.TunerState) {
+	o := t.Options
+	e.intv(o.IdxCnt)
+	e.intv(o.StateCnt)
+	e.intv(o.HistSize)
+	e.intv(o.RandCnt)
+	e.intv(o.MaxPartSize)
+	e.f64(o.DoiThreshold)
+	e.boolv(o.AssumeIndependent)
+	e.intv(o.Workers)
+	e.i64(o.Seed)
+
+	e.intv(t.N)
+	e.intv(t.Repartitions)
+	e.boolv(t.StatsDisabled)
+	e.set(t.S0)
+	e.set(t.Materialized)
+	e.set(t.Universe)
+
+	e.lenPrefix(len(t.Partition))
+	for _, part := range t.Partition {
+		e.set(part)
+	}
+	e.lenPrefix(len(t.Parts))
+	for _, p := range t.Parts {
+		e.ids(p.Cand)
+		e.f64s(p.W)
+		e.f64(p.Base)
+		e.u32(p.CurrRec)
+	}
+
+	writeBenefitStats(e, t.IdxStats)
+	writeInteractionStats(e, t.IntStats)
+	e.u64(t.RandState)
+}
+
+func readTuner(d *reader) *core.TunerState {
+	t := &core.TunerState{}
+	t.Options.IdxCnt = d.intv()
+	t.Options.StateCnt = d.intv()
+	t.Options.HistSize = d.intv()
+	t.Options.RandCnt = d.intv()
+	t.Options.MaxPartSize = d.intv()
+	t.Options.DoiThreshold = d.f64()
+	t.Options.AssumeIndependent = d.boolv()
+	t.Options.Workers = d.intv()
+	t.Options.Seed = d.i64()
+
+	t.N = d.intv()
+	t.Repartitions = d.intv()
+	t.StatsDisabled = d.boolv()
+	t.S0 = d.set()
+	t.Materialized = d.set()
+	t.Universe = d.set()
+
+	nParts := d.lenPrefix()
+	for i := 0; i < nParts && d.err == nil; i++ {
+		t.Partition = append(t.Partition, d.set())
+	}
+	nWFA := d.lenPrefix()
+	for i := 0; i < nWFA && d.err == nil; i++ {
+		t.Parts = append(t.Parts, core.WFAState{
+			Cand:    d.idSlice(),
+			W:       d.f64s(),
+			Base:    d.f64(),
+			CurrRec: d.u32(),
+		})
+	}
+
+	t.IdxStats = readBenefitStats(d)
+	t.IntStats = readInteractionStats(d)
+	t.RandState = d.u64()
+	return t
+}
+
+func writeWindow(e *writer, w interaction.WindowState) {
+	e.intv(w.Cap)
+	e.intv(w.Dropped)
+	e.ints(w.Pos)
+	e.f64s(w.Vals)
+}
+
+func readWindow(d *reader) interaction.WindowState {
+	return interaction.WindowState{
+		Cap:     d.intv(),
+		Dropped: d.intv(),
+		Pos:     d.ints(),
+		Vals:    d.f64s(),
+	}
+}
+
+func writeBenefitStats(e *writer, s interaction.BenefitStatsState) {
+	e.intv(s.Hist)
+	e.lenPrefix(len(s.Entries))
+	for _, entry := range s.Entries {
+		e.u32(uint32(entry.ID))
+		writeWindow(e, entry.Window)
+	}
+}
+
+func readBenefitStats(d *reader) interaction.BenefitStatsState {
+	s := interaction.BenefitStatsState{Hist: d.intv()}
+	n := d.lenPrefix()
+	for i := 0; i < n && d.err == nil; i++ {
+		s.Entries = append(s.Entries, interaction.BenefitWindow{
+			ID:     index.ID(d.u32()),
+			Window: readWindow(d),
+		})
+	}
+	return s
+}
+
+func writeInteractionStats(e *writer, s interaction.InteractionStatsState) {
+	e.intv(s.Hist)
+	e.lenPrefix(len(s.Entries))
+	for _, entry := range s.Entries {
+		e.u32(uint32(entry.A))
+		e.u32(uint32(entry.B))
+		writeWindow(e, entry.Window)
+	}
+}
+
+func readInteractionStats(d *reader) interaction.InteractionStatsState {
+	s := interaction.InteractionStatsState{Hist: d.intv()}
+	n := d.lenPrefix()
+	for i := 0; i < n && d.err == nil; i++ {
+		s.Entries = append(s.Entries, interaction.PairWindow{
+			A:      index.ID(d.u32()),
+			B:      index.ID(d.u32()),
+			Window: readWindow(d),
+		})
+	}
+	return s
+}
+
+func writeSession(e *writer, s *SessionState) {
+	e.str(s.Name)
+	e.intv(s.Statements)
+	e.f64(s.TotalWork)
+	e.f64(s.TransitionCost)
+	e.intv(s.Changes)
+	e.u64(s.LastSeq)
+	e.intv(s.QueueDepth)
+	e.intv(s.CheckpointEvery)
+}
+
+func readSession(d *reader, s *SessionState) {
+	s.Name = d.str()
+	s.Statements = d.intv()
+	s.TotalWork = d.f64()
+	s.TransitionCost = d.f64()
+	s.Changes = d.intv()
+	s.LastSeq = d.u64()
+	s.QueueDepth = d.intv()
+	s.CheckpointEvery = d.intv()
+}

@@ -1,0 +1,266 @@
+package state
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// walMagic identifies a WAL file; the trailing digit versions the record
+// layout.
+const walMagic = "WFITWAL1"
+
+// RecType distinguishes WAL record kinds.
+type RecType uint8
+
+const (
+	// RecStatement is one ingested SQL statement (replay re-parses and
+	// re-analyzes it; the parser and tuner are deterministic).
+	RecStatement RecType = 1
+	// RecVote is an explicit DBA feedback event. Indices travel as
+	// (table, columns) specs, not IDs: replay resolves them through the
+	// same lookup-or-intern path the live vote took, so registry growth
+	// is reproduced exactly.
+	RecVote RecType = 2
+	// RecAccept materializes the recommendation current at that point.
+	// It carries no payload — the replayed tuner recomputes the same
+	// recommendation, which is what makes recovery self-checking: any
+	// divergence earlier in replay surfaces as a different config here.
+	RecAccept RecType = 3
+)
+
+// IndexSpec names an index by definition rather than registry ID.
+type IndexSpec struct {
+	Table   string
+	Columns []string
+}
+
+// Record is one WAL entry. Seq is assigned by Append and strictly
+// increases across the session's lifetime, surviving checkpoints (which
+// truncate the log but not the counter).
+type Record struct {
+	Seq  uint64
+	Type RecType
+
+	SQL         string      // RecStatement
+	Plus, Minus []IndexSpec // RecVote
+}
+
+// WAL is a single-writer append-only log. Append frames each record with
+// a length prefix and CRC32C and flushes it to the OS before returning,
+// so a killed process (kill -9) loses at most the record being written —
+// never an acknowledged one. Fsync additionally syncs to stable storage
+// per append, trading throughput for power-failure durability.
+type WAL struct {
+	f     *os.File
+	w     *bufio.Writer
+	seq   uint64
+	Fsync bool
+}
+
+// OpenWAL opens (creating if needed) the log at path for appending. Every
+// intact existing record is passed to replay in order; a torn tail —
+// truncated frame or CRC mismatch, the signature of a crash mid-write —
+// ends the scan and is truncated away so appends restart from the last
+// intact record. A nil replay skips delivery but still scans and repairs.
+func OpenWAL(path string, replay func(Record) error) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &WAL{f: f}
+	end, err := w.scan(replay)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.w = bufio.NewWriter(f)
+	return w, nil
+}
+
+// scan reads the header and records, returning the offset just past the
+// last intact record (writing the header first if the file is empty).
+func (w *WAL) scan(replay func(Record) error) (int64, error) {
+	info, err := w.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if info.Size() == 0 {
+		if _, err := w.f.WriteString(walMagic); err != nil {
+			return 0, err
+		}
+		return int64(len(walMagic)), nil
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	r := bufio.NewReader(w.f)
+	magic := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != walMagic {
+		return 0, fmt.Errorf("state: %s is not a WAL (bad magic)", w.f.Name())
+	}
+	end := int64(len(walMagic))
+	var frame [8]byte
+	for {
+		if _, err := io.ReadFull(r, frame[:]); err != nil {
+			break // clean EOF or torn frame header: end of intact log
+		}
+		n := binary.LittleEndian.Uint32(frame[:4])
+		want := binary.LittleEndian.Uint32(frame[4:])
+		if n > maxSliceLen {
+			break // corrupt length: treat as torn tail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			break
+		}
+		if crc32.Checksum(payload, crcTable) != want {
+			break
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			break
+		}
+		if rec.Seq <= w.seq {
+			return 0, fmt.Errorf("state: WAL sequence regressed (%d after %d)", rec.Seq, w.seq)
+		}
+		w.seq = rec.Seq
+		if replay != nil {
+			if err := replay(rec); err != nil {
+				return 0, err
+			}
+		}
+		end += int64(8 + n)
+	}
+	return end, nil
+}
+
+// LastSeq returns the sequence number of the most recent record (0 for an
+// empty log).
+func (w *WAL) LastSeq() uint64 { return w.seq }
+
+// Append assigns the next sequence number, writes the record, and flushes
+// it to the OS (plus fsync when Fsync is set). The record is recoverable
+// once Append returns.
+func (w *WAL) Append(rec Record) (uint64, error) {
+	w.seq++
+	rec.Seq = w.seq
+	payload := encodeRecord(rec)
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+	if _, err := w.w.Write(frame[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return 0, err
+	}
+	if err := w.w.Flush(); err != nil {
+		return 0, err
+	}
+	if w.Fsync {
+		if err := w.f.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	return rec.Seq, nil
+}
+
+// Reset truncates the log back to its header after a checkpoint. The
+// sequence counter is NOT reset — snapshot LastSeq plus monotonic record
+// seqs are what let recovery skip records a snapshot already covers, even
+// if a crash lands between snapshot rename and log truncation.
+func (w *WAL) Reset() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(int64(len(walMagic))); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(int64(len(walMagic)), io.SeekStart); err != nil {
+		return err
+	}
+	w.w.Reset(w.f)
+	return nil
+}
+
+// Close flushes and closes the log file.
+func (w *WAL) Close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Abort closes the log file without flushing buffered data. Appends are
+// flushed eagerly, so this is equivalent to Close for acknowledged
+// records; tests use it to model a process killed mid-run.
+func (w *WAL) Abort() error { return w.f.Close() }
+
+func encodeRecord(rec Record) []byte {
+	var buf bytes.Buffer
+	e := newWriter(&buf)
+	e.u64(rec.Seq)
+	e.u8(uint8(rec.Type))
+	switch rec.Type {
+	case RecStatement:
+		e.str(rec.SQL)
+	case RecVote:
+		writeSpecs(e, rec.Plus)
+		writeSpecs(e, rec.Minus)
+	case RecAccept:
+	}
+	return buf.Bytes()
+}
+
+func decodeRecord(payload []byte) (Record, error) {
+	d := newReader(bytes.NewReader(payload))
+	rec := Record{Seq: d.u64(), Type: RecType(d.u8())}
+	switch rec.Type {
+	case RecStatement:
+		rec.SQL = d.str()
+	case RecVote:
+		rec.Plus = readSpecs(d)
+		rec.Minus = readSpecs(d)
+	case RecAccept:
+	default:
+		return rec, fmt.Errorf("state: unknown WAL record type %d", rec.Type)
+	}
+	if d.err != nil {
+		return rec, d.err
+	}
+	return rec, nil
+}
+
+func writeSpecs(e *writer, specs []IndexSpec) {
+	e.lenPrefix(len(specs))
+	for _, s := range specs {
+		e.str(s.Table)
+		e.strs(s.Columns)
+	}
+}
+
+func readSpecs(d *reader) []IndexSpec {
+	n := d.lenPrefix()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]IndexSpec, n)
+	for i := range out {
+		out[i] = IndexSpec{Table: d.str(), Columns: d.strs()}
+	}
+	return out
+}
