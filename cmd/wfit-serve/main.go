@@ -7,7 +7,8 @@
 // Usage:
 //
 //	wfit-serve -addr :7781 -data ./wfit-data [-checkpoint-every N]
-//	           [-queue N] [-idxcnt N] [-statecnt N] [-histsize N] [-fsync]
+//	           [-checkpoint-bytes N] [-queue N] [-idxcnt N] [-statecnt N]
+//	           [-histsize N] [-retire-after N] [-fsync]
 //
 // The HTTP/JSON API (see the README's "Running as a service" section):
 //
@@ -48,10 +49,12 @@ func realMain() int {
 	addr := flag.String("addr", ":7781", "listen address")
 	dataDir := flag.String("data", "wfit-data", "state directory (snapshots + WALs)")
 	checkpointEvery := flag.Int("checkpoint-every", 500, "statements between automatic snapshots (negative disables)")
+	checkpointBytes := flag.Int64("checkpoint-bytes", 0, "snapshot automatically when the WAL exceeds this many bytes, bounding recovery replay time (0 disables)")
 	queueDepth := flag.Int("queue", 256, "per-session ingest queue depth (backpressure bound)")
 	idxCnt := flag.Int("idxcnt", 40, "default idxCnt knob for new sessions")
 	stateCnt := flag.Int("statecnt", 500, "default stateCnt knob for new sessions")
 	histSize := flag.Int("histsize", 100, "default histSize knob for new sessions")
+	retireAfter := flag.Int("retire-after", 0, "retire candidates with no recorded benefit in this many statements, bounding memory on long-horizon sessions (0 disables)")
 	fsync := flag.Bool("fsync", false, "fsync the WAL on every append (power-loss durability)")
 	flag.Parse()
 
@@ -59,12 +62,22 @@ func realMain() int {
 	options.IdxCnt = *idxCnt
 	options.StateCnt = *stateCnt
 	options.HistSize = *histSize
+	options.RetireAfter = *retireAfter
+
+	// Fail fast on knob values that would silently create unbounded
+	// tuner state (the same rule the API applies to per-session knobs).
+	defaults := server.SessionConfig{Name: "defaults", Options: options, QueueDepth: *queueDepth, CheckpointBytes: *checkpointBytes}
+	if err := defaults.Check(); err != nil {
+		fmt.Fprintf(os.Stderr, "wfit-serve: invalid flags: %v\n", err)
+		return 2
+	}
 
 	sv, err := server.New(server.Config{
 		DataDir:         *dataDir,
 		DefaultOptions:  options,
 		QueueDepth:      *queueDepth,
 		CheckpointEvery: *checkpointEvery,
+		CheckpointBytes: *checkpointBytes,
 		Fsync:           *fsync,
 	})
 	if err != nil {

@@ -47,6 +47,8 @@ func realMain() int {
 	workers := flag.Int("workers", 0, "worker bound for construction and runs (0 = one per CPU)")
 	benchout := flag.String("benchout", "BENCH_wfit.json", "perf trajectory output file (empty disables)")
 	service := flag.Bool("service", true, "include the wfit-serve loadgen (K concurrent sessions over HTTP) in the perf run")
+	soak := flag.Bool("soak", false, "run the long-horizon bounded-memory soak (rotating schemas, candidate retirement, registry compaction); alone it writes just the soak section, with -perf it rides along")
+	soakStatements := flag.Int("soak-statements", 0, "soak stream length (0 = the 10k default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured runs to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -83,6 +85,19 @@ func realMain() int {
 		}()
 	}
 
+	var soakReport *bench.SoakReport
+	if *soak {
+		r, code := runSoak(*soakStatements)
+		if code != 0 {
+			return code
+		}
+		soakReport = r
+		if !*perf && *fig == 0 && !*overhead {
+			// Soak-only invocation: no experiment environment needed.
+			return writeReport(&bench.PerfReport{Schema: "wfit-perf/v4", Soak: soakReport}, *benchout)
+		}
+	}
+
 	opts := bench.DefaultOptions()
 	if *small {
 		opts = bench.SmallOptions()
@@ -103,12 +118,20 @@ func realMain() int {
 		env.Opt.PrefixTotal[n], env.OptReplay[n],
 		100*(env.OptReplay[n]-env.Opt.PrefixTotal[n])/env.Opt.PrefixTotal[n])
 
+	// The figure/overhead paths don't write the perf report themselves;
+	// when a soak rode along, persist it so the run is never discarded.
+	writeSoakOnly := func(code int) int {
+		if code == 0 && soakReport != nil {
+			return writeReport(&bench.PerfReport{Schema: "wfit-perf/v4", Soak: soakReport}, *benchout)
+		}
+		return code
+	}
 	if *overhead {
 		printOverhead(env)
-		return 0
+		return writeSoakOnly(0)
 	}
 	if *perf {
-		return runPerf(env, *benchout, *service)
+		return runPerf(env, *benchout, *service, soakReport)
 	}
 
 	run := func(n int) int {
@@ -141,7 +164,7 @@ func realMain() int {
 	}
 
 	if *fig != 0 {
-		return run(*fig)
+		return writeSoakOnly(run(*fig))
 	}
 	for _, n := range []int{8, 9, 10, 11, 12} {
 		if code := run(n); code != 0 {
@@ -149,16 +172,58 @@ func realMain() int {
 		}
 	}
 	printOverhead(env)
-	return runPerf(env, *benchout, *service)
+	return runPerf(env, *benchout, *service, soakReport)
+}
+
+// runSoak drives the bounded-memory soak and prints its summary.
+func runSoak(statements int) (*bench.SoakReport, int) {
+	o := bench.DefaultSoakOptions()
+	if statements > 0 {
+		o.Statements = statements
+	}
+	fmt.Printf("soak: %d statements over rotating schemas (retire-after %d, compact every %d) ...\n",
+		o.Statements, o.RetireAfter, o.CompactEvery)
+	r, err := bench.RunSoak(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+		return nil, 1
+	}
+	fmt.Printf("  mined %d candidates over the run; retained universe peak/final %d/%d, registry peak/final %d/%d\n",
+		r.MinedTotal, r.PeakUniverse, r.FinalUniverse, r.PeakRegistry, r.FinalRegistry)
+	fmt.Printf("  stats entries peak/final %d/%d, snapshot bytes peak/final %d/%d, heap peak %.1f MB\n",
+		r.PeakStatsEntries, r.FinalStatsEntries, r.PeakSnapshotBytes, r.FinalSnapshotBytes,
+		float64(r.PeakHeapBytes)/(1<<20))
+	fmt.Printf("  retired %d, compacted %d, wall %.1fs\n",
+		r.RetiredTotal, r.CompactedTotal, r.WallMS/1e3)
+	return r, 0
+}
+
+// writeReport marshals a perf report to outPath (empty disables).
+func writeReport(r *bench.PerfReport, outPath string) int {
+	if outPath == "" {
+		return 0
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marshal perf report: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", outPath, err)
+		return 1
+	}
+	fmt.Printf("  trajectory written to %s\n", outPath)
+	return 0
 }
 
 // runPerf measures the per-statement analysis loop serially and with the
 // worker pool, optionally drives the service-mode loadgen, prints the
 // comparison, and writes the JSON trajectory. It returns a process exit
 // code instead of exiting so deferred profile writers still run.
-func runPerf(env *bench.Env, outPath string, service bool) int {
+func runPerf(env *bench.Env, outPath string, service bool, soak *bench.SoakReport) int {
 	fmt.Println("\nAnalysis-loop perf: full WFIT, serial (workers=1) vs parallel (one worker per core)")
 	r := env.RunPerfComparison()
+	r.Soak = soak
 	show := func(label string, s *bench.PerfSide) {
 		fmt.Printf("  %-8s %8.1f µs/stmt (p50 %.1f, p90 %.1f, p99 %.1f, max %.1f), %d what-if calls, cache hit rate %.1f%%\n",
 			label, s.USPerStmtMean, s.USPerStmtP50, s.USPerStmtP90, s.USPerStmtP99, s.USPerStmtMax,
@@ -191,20 +256,7 @@ func runPerf(env *bench.Env, outPath string, service bool) int {
 			sp.IngestUSMean, sp.IngestUSP50, sp.IngestUSP90, sp.IngestUSP99, sp.IngestUSMax)
 	}
 
-	if outPath == "" {
-		return 0
-	}
-	data, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "marshal perf report: %v\n", err)
-		return 1
-	}
-	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "write %s: %v\n", outPath, err)
-		return 1
-	}
-	fmt.Printf("  trajectory written to %s\n", outPath)
-	return 0
+	return writeReport(r, outPath)
 }
 
 // printRuns charts the OPT-normalized ratio curves of a set of runs.

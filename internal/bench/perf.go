@@ -58,7 +58,8 @@ type PerfSide struct {
 
 // PerfReport compares the serial and parallel per-statement analysis
 // paths; it is the payload of cmd/wfitbench's BENCH_wfit.json. Schema
-// wfit-perf/v3 added the Service section (the wfit-serve loadgen).
+// wfit-perf/v3 added the Service section (the wfit-serve loadgen); v4
+// added the Soak section (the long-horizon bounded-memory run).
 type PerfReport struct {
 	Schema     string `json:"schema"`
 	GoVersion  string `json:"go_version"`
@@ -76,6 +77,9 @@ type PerfReport struct {
 	// Service is the service-mode loadgen measurement (K concurrent
 	// sessions driving wfit-serve over HTTP); nil when it was skipped.
 	Service *ServicePerf `json:"service,omitempty"`
+	// Soak is the long-horizon bounded-memory run (rotating schemas with
+	// candidate retirement and registry compaction); nil when skipped.
+	Soak *SoakReport `json:"soak,omitempty"`
 }
 
 // RunPerf evaluates the full WFIT once with the given worker bound and
@@ -156,7 +160,7 @@ func (e *Env) RunPerfComparison() *PerfReport {
 	serial := e.RunPerf(1)
 	parallel := e.RunPerf(0)
 	r := &PerfReport{
-		Schema:      "wfit-perf/v3",
+		Schema:      "wfit-perf/v4",
 		GoVersion:   runtime.Version(),
 		Cores:       runtime.NumCPU(),
 		Statements:  len(e.Workload.Statements),

@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/datagen"
+	"repro/internal/index"
+	"repro/internal/state"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// SoakOptions configures the long-horizon soak scenario: a rotating-
+// schema statement stream far longer than the paper's 1600-statement
+// study, driven through the full WFIT with candidate retirement and
+// periodic registry compaction, to demonstrate that the tuner's entire
+// footprint — universe, statistics, registry, snapshot — is bounded by
+// the monitored state rather than the workload history.
+type SoakOptions struct {
+	// Statements is the total stream length (default 10000).
+	Statements int
+	// PerPhase is the phase length of the rotating workload (default
+	// 200, the benchmark's phase size). Every phase rotates the dataset
+	// focus and refreshes most query templates, so new candidate indices
+	// keep being mined for the whole run.
+	PerPhase int
+	// Seed drives workload generation and the tuner's partitioner.
+	Seed int64
+	// RetireAfter is the tuner's retirement horizon (default 400).
+	RetireAfter int
+	// CompactEvery triggers a registry compaction after this many
+	// statements, modeling the service's checkpoint-time GC (default
+	// 500, the default checkpoint cadence).
+	CompactEvery int
+	// SampleEvery is the metric sampling stride (default 250).
+	SampleEvery int
+	// IdxCnt, StateCnt, HistSize override the tuner knobs (zero: the
+	// paper defaults).
+	IdxCnt, StateCnt, HistSize int
+}
+
+// DefaultSoakOptions returns the long-horizon defaults (10k statements,
+// 50 rotating phases).
+func DefaultSoakOptions() SoakOptions {
+	return SoakOptions{
+		Statements:   10000,
+		PerPhase:     200,
+		Seed:         99,
+		RetireAfter:  400,
+		CompactEvery: 500,
+		SampleEvery:  250,
+	}
+}
+
+func (o *SoakOptions) applyDefaults() {
+	def := DefaultSoakOptions()
+	if o.Statements <= 0 {
+		o.Statements = def.Statements
+	}
+	if o.PerPhase <= 0 {
+		o.PerPhase = def.PerPhase
+	}
+	if o.Seed == 0 {
+		o.Seed = def.Seed
+	}
+	if o.RetireAfter == 0 {
+		o.RetireAfter = def.RetireAfter
+	}
+	if o.CompactEvery == 0 {
+		o.CompactEvery = def.CompactEvery
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = def.SampleEvery
+	}
+}
+
+// SoakSample is one point of the soak trajectory.
+type SoakSample struct {
+	// Statement is the position the sample was taken at.
+	Statement int `json:"statement"`
+	// Universe is |U|, the retained candidate universe.
+	Universe int `json:"universe"`
+	// BenefitWindows and PairWindows count retained statistic histories.
+	BenefitWindows int `json:"benefit_windows"`
+	PairWindows    int `json:"pair_windows"`
+	// Registry is the number of live interned index definitions.
+	Registry int `json:"registry"`
+	// Retired is the cumulative count of retired candidates.
+	Retired int `json:"retired"`
+	// SnapshotBytes is the encoded size of a full state snapshot taken
+	// at this point (registry + tuner state, v2 codec).
+	SnapshotBytes int `json:"snapshot_bytes"`
+	// HeapBytes is runtime.MemStats.HeapAlloc after a forced GC.
+	HeapBytes uint64 `json:"heap_bytes"`
+}
+
+// SoakReport is the payload of the soak run, carried in BENCH_wfit.json
+// under "soak". The summary fields split the trajectory at the warm-up
+// boundary (one retirement horizon plus one compaction period): a
+// bounded tuner shows PeakUniverse/PeakRegistry/PeakSnapshotBytes after
+// warm-up in the same band as the final values, while MinedTotal keeps
+// growing with the workload.
+type SoakReport struct {
+	Statements   int   `json:"statements"`
+	RetireAfter  int   `json:"retire_after"`
+	CompactEvery int   `json:"compact_every"`
+	IdxCnt       int   `json:"idx_cnt"`
+	HistSize     int   `json:"hist_size"`
+	Seed         int64 `json:"seed"`
+
+	// MinedTotal counts every definition ever interned (live registry
+	// plus definitions dropped by compaction) — the footprint an
+	// unbounded tuner would retain.
+	MinedTotal     int `json:"mined_total"`
+	RetiredTotal   int `json:"retired_total"`
+	CompactedTotal int `json:"compacted_total"`
+
+	// Peak* are maxima over post-warm-up samples; Final* are the last
+	// sample. WarmupStatements marks the boundary.
+	WarmupStatements   int    `json:"warmup_statements"`
+	PeakUniverse       int    `json:"peak_universe"`
+	FinalUniverse      int    `json:"final_universe"`
+	PeakStatsEntries   int    `json:"peak_stats_entries"`
+	FinalStatsEntries  int    `json:"final_stats_entries"`
+	PeakRegistry       int    `json:"peak_registry"`
+	FinalRegistry      int    `json:"final_registry"`
+	PeakSnapshotBytes  int    `json:"peak_snapshot_bytes"`
+	FinalSnapshotBytes int    `json:"final_snapshot_bytes"`
+	PeakHeapBytes      uint64 `json:"peak_heap_bytes"`
+
+	WallMS  float64      `json:"wall_ms"`
+	Samples []SoakSample `json:"samples"`
+}
+
+// countingWriter measures encoded size without retaining bytes.
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// RunSoak drives the soak scenario. It builds a private world (registry,
+// cost model, optimizer) because compaction renumbers the registry ID
+// space, which must never happen to the shared read-only environment.
+func RunSoak(o SoakOptions) (*SoakReport, error) {
+	o.applyDefaults()
+	cat, joins := datagen.Build()
+	phases := (o.Statements + o.PerPhase - 1) / o.PerPhase
+	wl := workload.Generate(cat, joins, workload.Options{
+		Phases:   phases,
+		PerPhase: o.PerPhase,
+		Seed:     o.Seed,
+	})
+	if wl.Len() < o.Statements {
+		return nil, fmt.Errorf("bench: soak workload too short: %d < %d", wl.Len(), o.Statements)
+	}
+
+	reg := index.NewRegistry()
+	model := cost.NewModel(cat, reg, cost.DefaultParams())
+	opt := whatif.New(model)
+	options := core.DefaultOptions()
+	options.Seed = o.Seed
+	options.RetireAfter = o.RetireAfter
+	if o.IdxCnt > 0 {
+		options.IdxCnt = o.IdxCnt
+	}
+	if o.StateCnt > 0 {
+		options.StateCnt = o.StateCnt
+	}
+	if o.HistSize > 0 {
+		options.HistSize = o.HistSize
+	}
+	tuner := core.NewWFIT(opt, options)
+
+	r := &SoakReport{
+		Statements:       o.Statements,
+		RetireAfter:      o.RetireAfter,
+		CompactEvery:     o.CompactEvery,
+		IdxCnt:           options.IdxCnt,
+		HistSize:         options.HistSize,
+		Seed:             o.Seed,
+		WarmupStatements: o.RetireAfter + o.CompactEvery,
+	}
+
+	sample := func(pos int) {
+		benefit, pairs := tuner.StatsEntries()
+		var cw countingWriter
+		snap := &state.Snapshot{
+			Defs:  state.CaptureRegistry(reg),
+			Tuner: tuner.ExportState(),
+		}
+		if err := state.Write(&cw, snap); err != nil {
+			// Counting writer never fails; an encode error is a bug.
+			panic(fmt.Sprintf("bench: soak snapshot encode: %v", err))
+		}
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		s := SoakSample{
+			Statement:      pos,
+			Universe:       tuner.UniverseSize(),
+			BenefitWindows: benefit,
+			PairWindows:    pairs,
+			Registry:       reg.Len(),
+			Retired:        tuner.Retired(),
+			SnapshotBytes:  cw.n,
+			HeapBytes:      ms.HeapAlloc,
+		}
+		r.Samples = append(r.Samples, s)
+		if pos >= r.WarmupStatements {
+			if s.Universe > r.PeakUniverse {
+				r.PeakUniverse = s.Universe
+			}
+			if e := s.BenefitWindows + s.PairWindows; e > r.PeakStatsEntries {
+				r.PeakStatsEntries = e
+			}
+			if s.Registry > r.PeakRegistry {
+				r.PeakRegistry = s.Registry
+			}
+			if s.SnapshotBytes > r.PeakSnapshotBytes {
+				r.PeakSnapshotBytes = s.SnapshotBytes
+			}
+			if s.HeapBytes > r.PeakHeapBytes {
+				r.PeakHeapBytes = s.HeapBytes
+			}
+		}
+	}
+
+	start := time.Now()
+	for i := 0; i < o.Statements; i++ {
+		s := wl.Statements[i]
+		tuner.AnalyzeQuery(s)
+		// The modeled DBA grants full autonomy: every recommendation is
+		// adopted immediately, so the materialized set keeps rotating
+		// with the schema focus like a live deployment's would.
+		tuner.SetMaterialized(tuner.Recommend())
+		pos := i + 1
+		if pos%o.CompactEvery == 0 {
+			r.CompactedTotal += tuner.CompactRegistry()
+		}
+		if pos%o.SampleEvery == 0 || pos == o.Statements {
+			sample(pos)
+		}
+	}
+	r.WallMS = float64(time.Since(start).Microseconds()) / 1e3
+
+	last := r.Samples[len(r.Samples)-1]
+	r.FinalUniverse = last.Universe
+	r.FinalStatsEntries = last.BenefitWindows + last.PairWindows
+	r.FinalRegistry = last.Registry
+	r.FinalSnapshotBytes = last.SnapshotBytes
+	r.RetiredTotal = tuner.Retired()
+	r.MinedTotal = reg.Len() + r.CompactedTotal
+	return r, nil
+}

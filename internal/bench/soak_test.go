@@ -1,0 +1,94 @@
+package bench
+
+import "testing"
+
+// TestSoakBoundedFootprint is the in-tree version of the long-horizon
+// soak: a rotating-schema stream several retirement horizons long, with
+// periodic compaction, must keep the retained footprint (universe,
+// statistics, registry, snapshot bytes) plateaued at O(monitored state)
+// while the cumulative mined total keeps growing with the workload.
+func TestSoakBoundedFootprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak run takes a few seconds")
+	}
+	o := DefaultSoakOptions()
+	o.Statements = 1600
+	o.RetireAfter = 300
+	o.CompactEvery = 200
+	o.SampleEvery = 100
+	r, err := RunSoak(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if r.RetiredTotal == 0 || r.CompactedTotal == 0 {
+		t.Fatalf("soak exercised nothing: retired %d, compacted %d", r.RetiredTotal, r.CompactedTotal)
+	}
+	// The bound: everything retained stays within a small multiple of the
+	// monitored set, no matter how much was mined. The margins are
+	// generous — the point is the asymptote (constant vs linear), and an
+	// unbounded tuner blows through them within one extra phase.
+	if forgotten := r.MinedTotal - r.PeakRegistry; forgotten < 80 {
+		t.Errorf("history not forgotten: mined %d, peak registry %d (only %d reclaimed)",
+			r.MinedTotal, r.PeakRegistry, forgotten)
+	}
+	if bound := 6 * r.IdxCnt; r.PeakUniverse > bound {
+		t.Errorf("universe peak %d exceeds %d (= 6×idxCnt)", r.PeakUniverse, bound)
+	}
+	if bound := r.IdxCnt * r.IdxCnt; r.PeakStatsEntries > bound {
+		t.Errorf("stats entries peak %d exceeds %d (= idxCnt²)", r.PeakStatsEntries, bound)
+	}
+	// Plateau: the second half of the run must not grow past the first
+	// post-warm-up half by more than 50% on any gauge.
+	var firstHalfSnap, secondHalfSnap int
+	for _, s := range r.Samples {
+		if s.Statement < r.WarmupStatements {
+			continue
+		}
+		if s.Statement <= r.Statements/2+r.WarmupStatements/2 {
+			if s.SnapshotBytes > firstHalfSnap {
+				firstHalfSnap = s.SnapshotBytes
+			}
+		} else if s.SnapshotBytes > secondHalfSnap {
+			secondHalfSnap = s.SnapshotBytes
+		}
+	}
+	if firstHalfSnap > 0 && float64(secondHalfSnap) > 1.5*float64(firstHalfSnap) {
+		t.Errorf("snapshot bytes still growing: first-half peak %d, second-half peak %d", firstHalfSnap, secondHalfSnap)
+	}
+}
+
+// TestSoakControlGrowsWithoutRetirement pins the contrast the tentpole
+// exists for: the identical stream with retirement disabled retains
+// strictly more of everything — the footprint tracks workload history.
+func TestSoakControlGrowsWithoutRetirement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak run takes a few seconds")
+	}
+	o := DefaultSoakOptions()
+	o.Statements = 1200
+	o.RetireAfter = 300
+	o.CompactEvery = 200
+	o.SampleEvery = 400
+	bounded, err := RunSoak(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.RetireAfter = -1 // disabled: the grow-only control
+	control, err := RunSoak(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if control.RetiredTotal != 0 || control.CompactedTotal != 0 {
+		t.Fatalf("control run retired/compacted: %d/%d", control.RetiredTotal, control.CompactedTotal)
+	}
+	if control.FinalUniverse <= bounded.FinalUniverse {
+		t.Errorf("control universe %d not larger than bounded %d", control.FinalUniverse, bounded.FinalUniverse)
+	}
+	if control.FinalStatsEntries <= bounded.FinalStatsEntries {
+		t.Errorf("control stats %d not larger than bounded %d", control.FinalStatsEntries, bounded.FinalStatsEntries)
+	}
+	if control.FinalSnapshotBytes <= bounded.FinalSnapshotBytes {
+		t.Errorf("control snapshot %d not larger than bounded %d", control.FinalSnapshotBytes, bounded.FinalSnapshotBytes)
+	}
+}

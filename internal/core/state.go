@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/index"
 	"repro/internal/interaction"
@@ -20,6 +21,13 @@ type WFAState struct {
 	CurrRec uint32
 }
 
+// PinnedVote records one active F+ pin: the index and the statement
+// position of the vote that created it (see WFIT.pinned).
+type PinnedVote struct {
+	ID  index.ID
+	Pos int
+}
+
 // TunerState is the full exportable state of a WFIT instance. Together
 // with the index registry (serialized separately — see internal/state) it
 // determines the tuner's future behavior exactly: a restored instance fed
@@ -30,7 +38,11 @@ type TunerState struct {
 
 	N             int
 	Repartitions  int
+	Retired       int
 	StatsDisabled bool
+
+	// Pinned carries the active F+ vote pins in ascending ID order.
+	Pinned []PinnedVote
 
 	S0           index.Set
 	Materialized index.Set
@@ -59,6 +71,7 @@ func (t *WFIT) ExportState() *TunerState {
 		Options:       t.options,
 		N:             t.n,
 		Repartitions:  t.repartitions,
+		Retired:       t.retired,
 		StatsDisabled: t.statsDisabled,
 		S0:            t.s0,
 		Materialized:  t.materialized,
@@ -68,6 +81,10 @@ func (t *WFIT) ExportState() *TunerState {
 		IntStats:      t.intStats.Export(),
 		RandState:     t.rng.State(),
 	}
+	for id, pos := range t.pinned {
+		st.Pinned = append(st.Pinned, PinnedVote{ID: id, Pos: pos})
+	}
+	sort.Slice(st.Pinned, func(i, j int) bool { return st.Pinned[i].ID < st.Pinned[j].ID })
 	for _, a := range t.parts {
 		st.Parts = append(st.Parts, WFAState{
 			Cand:    a.cand,
@@ -89,7 +106,11 @@ func RestoreWFIT(opt *whatif.Optimizer, st *TunerState) (*WFIT, error) {
 	t := newWFITBase(opt, options)
 	t.n = st.N
 	t.repartitions = st.Repartitions
+	t.retired = st.Retired
 	t.statsDisabled = st.StatsDisabled
+	for _, p := range st.Pinned {
+		t.pinned[p.ID] = p.Pos
+	}
 	t.materialized = st.Materialized
 	t.universe = st.Universe
 	t.partition = st.Partition
@@ -109,6 +130,11 @@ func RestoreWFIT(opt *whatif.Optimizer, st *TunerState) (*WFIT, error) {
 	}
 	if err := check(t.partsetC); err != nil {
 		return nil, err
+	}
+	for _, p := range st.Pinned {
+		if int(p.ID) > regLen {
+			return nil, fmt.Errorf("core: tuner state pins index ID %d beyond registry size %d", p.ID, regLen)
+		}
 	}
 
 	for i, ps := range st.Parts {

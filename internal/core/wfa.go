@@ -124,6 +124,26 @@ func NewWFAWithWork(reg *index.Registry, part index.Set, rec index.Set, work fun
 // Candidates returns the part this instance is responsible for.
 func (a *WFA) Candidates() index.Set { return a.candSet }
 
+// remapIDs renames the part's members through a registry compaction
+// remap. The remap is monotone, so relative bit positions — and with
+// them the work-function table, the recommendation mask, and the
+// create/drop vectors — are all unchanged; only the member names and the
+// id→bit map need rewriting.
+func (a *WFA) remapIDs(remap []index.ID) {
+	for i, id := range a.cand {
+		nid := remap[id]
+		if nid == index.Invalid {
+			panic("core: WFA part member dropped by compaction")
+		}
+		a.cand[i] = nid
+	}
+	a.pos = make(map[index.ID]int, len(a.cand))
+	for i, id := range a.cand {
+		a.pos[id] = i
+	}
+	a.candSet = index.NewSet(a.cand...)
+}
+
 // Size returns the number of tracked configurations (2^|part|).
 func (a *WFA) Size() int { return len(a.w) }
 

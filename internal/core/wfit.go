@@ -39,6 +39,16 @@ type Options struct {
 	Workers int
 	// Seed drives the deterministic randomness of choosePartition.
 	Seed int64
+	// RetireAfter bounds the tuner's memory of the mined universe: a
+	// candidate outside C ∪ M (and not pinned by a DBA vote) whose
+	// benefit history holds no observation within the last RetireAfter
+	// statements is retired — dropped from U together with its benefit
+	// and interaction histories. Retirement is what keeps a long-horizon
+	// tuner O(monitored state) instead of O(workload history); a retired
+	// index that becomes relevant again is simply re-mined with fresh
+	// statistics. 0 (the default) disables retirement, preserving the
+	// paper's grow-only U exactly.
+	RetireAfter int
 	// InitialMaterialized is S0, the materialized set at startup.
 	InitialMaterialized index.Set
 }
@@ -96,8 +106,19 @@ type WFIT struct {
 	parts     []*WFA
 	active    []*WFA // scratch reused across statements
 
+	// pinned maps a positively-voted index to the statement position of
+	// the vote. A fresh F+ index enters the candidate set with an empty
+	// benefit window, so without protection the very next chooseTop would
+	// score it 0 and evict it — the vote would last one statement. Pinned
+	// indices are force-kept in C for a grace window of HistSize
+	// statements (the statistics horizon of §5.2.2), long enough for the
+	// workload to supply the evidence the vote predicted; a later F−
+	// vote unpins immediately.
+	pinned map[index.ID]int
+
 	n             int // statements analyzed
 	repartitions  int
+	retired       int // candidates retired from the universe so far
 	lastIBGNodes  int
 	statsDisabled bool // fixed-partition mode (candidate maintenance off)
 }
@@ -143,6 +164,7 @@ func newWFITBase(opt *whatif.Optimizer, options Options) *WFIT {
 		materialized: options.InitialMaterialized,
 		idxStats:     interaction.NewBenefitStats(options.HistSize),
 		intStats:     interaction.NewInteractionStats(options.HistSize),
+		pinned:       make(map[index.ID]int),
 		rng:          rng,
 		partn: &interaction.Partitioner{
 			StateCnt:    options.StateCnt,
@@ -159,8 +181,20 @@ func (t *WFIT) StatementsSeen() int { return t.n }
 // Repartitions returns how often the stable partition changed.
 func (t *WFIT) Repartitions() int { return t.repartitions }
 
-// UniverseSize returns |U|, the number of candidate indices mined so far.
+// UniverseSize returns |U|, the number of candidate indices currently
+// retained (mined and not retired).
 func (t *WFIT) UniverseSize() int { return t.universe.Len() }
+
+// Retired returns the number of candidates retirement has dropped from
+// the universe so far.
+func (t *WFIT) Retired() int { return t.retired }
+
+// StatsEntries reports the retained history counts: per-index benefit
+// windows and pairwise interaction windows. With RetireAfter set, both
+// plateau at O(monitored state) no matter how long the workload runs.
+func (t *WFIT) StatsEntries() (benefit, pairs int) {
+	return t.idxStats.Len(), t.intStats.Len()
+}
 
 // Partition returns the current stable partition.
 func (t *WFIT) Partition() interaction.Partition { return t.partition }
@@ -172,6 +206,12 @@ func (t *WFIT) LastIBGNodes() int { return t.lastIBGNodes }
 // SetMaterialized records the DBA's actual physical configuration, which
 // candidate selection must keep covered (the M set of Figure 6).
 func (t *WFIT) SetMaterialized(m index.Set) { t.materialized = m }
+
+// Materialized returns the tuner's view of the physical configuration.
+// After CompactRegistry, this — not any set captured before the
+// compaction — is the valid form of M: callers that keep their own copy
+// must refresh it here, because compaction renumbered every ID.
+func (t *WFIT) Materialized() index.Set { return t.materialized }
 
 // Recommend returns the current recommendation ⋃_k currRec_k.
 func (t *WFIT) Recommend() index.Set {
@@ -204,6 +244,66 @@ func (t *WFIT) AnalyzeQuery(s *stmt.Statement) {
 	}
 	analyzeParts(t.options.Workers, t.active, g)
 	g.Release()
+	t.retire()
+}
+
+// retire implements the RetireAfter bound (one sweep per statement): a
+// universe member outside C ∪ M ∪ S0 whose benefit history holds no
+// observation newer than the cutoff is dropped from U along with its
+// histories, and pair histories the workload has stopped exhibiting are
+// swept regardless of endpoints. Everything here is a deterministic
+// function of the tuner state, so retirement preserves the bit-identical
+// recovery guarantee. The sweep touches only retained state — O(|U| +
+// pair histories), both of which retirement itself keeps bounded.
+func (t *WFIT) retire() {
+	ra := t.options.RetireAfter
+	if ra <= 0 || t.statsDisabled {
+		return
+	}
+	cutoff := t.n - ra
+	if cutoff < 0 {
+		return
+	}
+	keep := t.partsetC.Union(t.materialized).Union(t.s0).Union(t.activePins())
+	var dead []index.ID
+	t.universe.Each(func(id index.ID) {
+		if keep.Contains(id) {
+			return
+		}
+		// LastPos is 0 for an empty history, so an index mined but never
+		// observed beneficial ages out on the same schedule.
+		if t.idxStats.LastPos(id) <= cutoff {
+			dead = append(dead, id)
+		}
+	})
+	for _, id := range dead {
+		t.idxStats.Evict(id)
+		t.intStats.Evict(id)
+	}
+	if len(dead) > 0 {
+		t.universe = t.universe.Minus(index.NewSet(dead...))
+		t.retired += len(dead)
+	}
+	t.intStats.SweepAged(cutoff)
+}
+
+// activePins expires pins older than the grace window and returns the
+// indices still pinned by positive votes. A non-positive HistSize means
+// unbounded histories, and consistently, unbounded pins.
+func (t *WFIT) activePins() index.Set {
+	if len(t.pinned) == 0 {
+		return index.EmptySet
+	}
+	grace := t.options.HistSize
+	ids := make([]index.ID, 0, len(t.pinned))
+	for id, pos := range t.pinned {
+		if grace > 0 && t.n-pos >= grace {
+			delete(t.pinned, id)
+			continue
+		}
+		ids = append(ids, id)
+	}
+	return index.NewSet(ids...)
 }
 
 // chooseCandsAndRepartition implements chooseCands (Figure 6) and applies
@@ -327,15 +427,18 @@ type scoredCandidate struct {
 	score float64
 }
 
-// chooseTop implements topIndices: keep the materialized set M, then fill
-// up to idxCnt with the highest-scoring candidates. Currently-monitored
-// indices score benefit*; others are additionally charged their creation
-// cost against the accumulated benefit in the statistics window, so a
-// newcomer must gather enough recent evidence to pay for its own
-// materialization before it can evict a monitored index — which keeps C
-// stable (Section 5.2.2).
+// chooseTop implements topIndices: keep the materialized set M and the
+// vote-pinned indices, then fill up to idxCnt with the highest-scoring
+// candidates. Currently-monitored indices score benefit*; others are
+// additionally charged their creation cost against the accumulated
+// benefit in the statistics window, so a newcomer must gather enough
+// recent evidence to pay for its own materialization before it can evict
+// a monitored index — which keeps C stable (Section 5.2.2). Pinning
+// closes the gap that stability rule leaves for fresh F+ votes: a
+// just-voted index has an empty window, scores 0, and would otherwise be
+// evicted by the very next statement.
 func (t *WFIT) chooseTop() index.Set {
-	m := t.materialized.Intersect(t.universe)
+	m := t.materialized.Intersect(t.universe).Union(t.activePins())
 	budget := t.options.IdxCnt - m.Len()
 	if budget < 0 {
 		budget = 0
@@ -466,11 +569,71 @@ func (t *WFIT) repartition(newPartition interaction.Partition) {
 	t.parts = parts
 }
 
+// CompactRegistry rebuilds the registry's ID space over the indices the
+// tuner still references and threads the resulting remap through every
+// retained structure: candidate sets, the stable partition, the per-part
+// WFA bit assignments (relative bit positions survive because the remap
+// is monotone, so work-function tables and recommendation masks are
+// untouched), the benefit/interaction histories, the vote pins, and the
+// what-if cache (invalidated — its keys embed the old IDs). It returns
+// the number of definitions dropped.
+//
+// Compaction is the second half of the memory bound: retirement shrinks
+// the universe, compaction reclaims the interned definitions and keeps
+// the ID space — and with it every ID-indexed table and snapshot — dense.
+// It must run between statements (the service runs it on checkpoint,
+// logged in the WAL so recovery compacts at the identical stream
+// position). The tuner's observable behavior is unchanged: IDs are
+// renumbered monotonically, so every ID-order tie-break ranks candidates
+// exactly as before.
+func (t *WFIT) CompactRegistry() int {
+	live := t.universe.Union(t.materialized).Union(t.s0).Union(t.partsetC)
+	for id := range t.pinned {
+		live = live.Add(id)
+	}
+	dropped := t.reg.Len() - live.Len()
+	if dropped <= 0 {
+		return 0
+	}
+	remap := t.reg.Compact(live)
+	t.s0 = t.s0.Remap(remap)
+	t.materialized = t.materialized.Remap(remap)
+	t.universe = t.universe.Remap(remap)
+	t.partsetC = t.partsetC.Remap(remap)
+	for i, part := range t.partition {
+		t.partition[i] = part.Remap(remap)
+	}
+	for _, a := range t.parts {
+		a.remapIDs(remap)
+	}
+	t.idxStats.Remap(remap)
+	t.intStats.Remap(remap)
+	if len(t.pinned) > 0 {
+		pinned := make(map[index.ID]int, len(t.pinned))
+		for id, pos := range t.pinned {
+			pinned[remap[id]] = pos
+		}
+		t.pinned = pinned
+	}
+	// The doi position scratch is keyed by now-stale IDs; wipe the stamps
+	// so the next statement rebuilds it.
+	clear(t.doiPosStamp)
+	t.doiPosEpoch = 0
+	t.opt.Invalidate()
+	return dropped
+}
+
 // Feedback implements WFIT.feedback (Figure 4). Positive votes for indices
 // outside the current candidate set extend the partition with singleton
 // parts first (through repartition), so the consistency constraint
 // F+ ⊆ S can always be honored.
 func (t *WFIT) Feedback(plus, minus index.Set) {
+	if !t.statsDisabled {
+		// Pin F+ votes for the grace window (see the pinned field); an F−
+		// vote withdraws any earlier pin immediately.
+		plus.Each(func(id index.ID) { t.pinned[id] = t.n })
+		minus.Each(func(id index.ID) { delete(t.pinned, id) })
+	}
 	if unknown := plus.Minus(t.partsetC); !unknown.Empty() {
 		t.universe = t.universe.Union(unknown)
 		extended := append(interaction.Partition{}, t.partition...)

@@ -207,6 +207,44 @@ func RestoreRegistry(defs []Index) (*Registry, error) {
 	return r, nil
 }
 
+// Compact rebuilds the ID space over the live indices: definitions
+// outside live are dropped, survivors are renumbered densely in ascending
+// old-ID order, and the returned remap table translates old IDs to new
+// ones (remap[old] == Invalid marks a dropped definition). Renumbering in
+// ascending order keeps the remap monotone on live IDs, which is what
+// lets callers translate sorted sets and WFA bit assignments without
+// re-sorting.
+//
+// Compact must not run concurrently with readers that hold IDs: every ID
+// minted before the call is reinterpreted (or invalidated) by it. The
+// tuner runs it between statements, behind the session's single-writer
+// loop, and follows it by remapping all retained state and invalidating
+// the what-if cache.
+func (r *Registry) Compact(live Set) []ID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	remap := make([]ID, len(r.defs)+1)
+	defs := make([]*Index, 0, live.Len())
+	byKey := make(map[string]ID, live.Len())
+	for i, def := range r.defs {
+		old := ID(i + 1)
+		if !live.Contains(old) {
+			continue
+		}
+		id := ID(len(defs) + 1)
+		nd := *def // definitions are shared immutable; renumber a copy
+		nd.ID = id
+		defs = append(defs, &nd)
+		byKey[nd.Key()] = id
+		remap[old] = id
+	}
+	r.defs = defs
+	r.byKey = byKey
+	snap := defs
+	r.snapshot.Store(&snap)
+	return remap
+}
+
 // CreateCost returns δ+(id).
 func (r *Registry) CreateCost(id ID) float64 { return r.Get(id).CreateCost }
 
@@ -422,6 +460,26 @@ func (s Set) Remove(id ID) Set {
 		return s
 	}
 	return s.Minus(NewSet(id))
+}
+
+// Remap translates every member through remap (old ID → new ID, the
+// table Registry.Compact returns). The remap must be monotone on the
+// members — Compact's renumbering is — so the result is built sorted
+// without re-sorting. A member mapping to Invalid panics: live sets must
+// be remapped only after retirement has removed every dropped index.
+func (s Set) Remap(remap []ID) Set {
+	if s.Empty() {
+		return s
+	}
+	out := make([]ID, len(s.ids))
+	for i, id := range s.ids {
+		nid := remap[id]
+		if nid == Invalid {
+			panic("index: Remap of a set containing a dropped ID")
+		}
+		out[i] = nid
+	}
+	return Set{ids: out}
 }
 
 // Intersects reports whether s and t share at least one member. Unlike

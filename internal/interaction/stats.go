@@ -96,6 +96,16 @@ func (w *Window) CurrentPenalized(n int, penalty float64) float64 {
 	return best
 }
 
+// LastPos returns the workload position of the most recent entry, or 0
+// for an empty window. Retirement sweeps use it to decide whether a
+// history has fully aged out of the benefit horizon.
+func (w *Window) LastPos() int {
+	if len(w.pos) == 0 {
+		return 0
+	}
+	return w.pos[len(w.pos)-1]
+}
+
 // Total returns the sum of retained values (used by the offline variant
 // of chooseCands that averages over the whole workload).
 func (w *Window) Total() float64 {
@@ -155,6 +165,40 @@ func (s *BenefitStats) Total(a index.ID) float64 {
 	return 0
 }
 
+// Len reports the number of retained per-index histories.
+func (s *BenefitStats) Len() int { return len(s.m) }
+
+// LastPos returns the position of a's most recent benefit observation,
+// or 0 when no history is retained.
+func (s *BenefitStats) LastPos(a index.ID) int {
+	if w, ok := s.m[a]; ok {
+		return w.LastPos()
+	}
+	return 0
+}
+
+// Evict drops a's history entirely. Candidate retirement calls it when a
+// leaves the monitored universe; re-observing the index later starts a
+// fresh window.
+func (s *BenefitStats) Evict(a index.ID) {
+	delete(s.m, a)
+}
+
+// Remap rebuilds the statistics under a new ID space: every retained
+// history keyed by old ID moves to remap[old]. Registry compaction is the
+// only caller; it guarantees every retained key maps to a valid new ID.
+func (s *BenefitStats) Remap(remap []index.ID) {
+	m := make(map[index.ID]*Window, len(s.m))
+	for id, w := range s.m {
+		nid := remap[id]
+		if nid == index.Invalid {
+			panic("interaction: BenefitStats.Remap dropping a live history")
+		}
+		m[nid] = w
+	}
+	s.m = m
+}
+
 // Pair is an unordered index pair with A < B.
 type Pair struct {
 	A, B index.ID
@@ -208,6 +252,51 @@ func (s *InteractionStats) Total(a, b index.ID) float64 {
 		return w.Total()
 	}
 	return 0
+}
+
+// Len reports the number of retained pair histories.
+func (s *InteractionStats) Len() int { return len(s.m) }
+
+// Evict drops every pair history touching a. Candidate retirement calls
+// it when a leaves the monitored universe: an interaction with a retired
+// index can never influence a partition again.
+func (s *InteractionStats) Evict(a index.ID) {
+	for p := range s.m {
+		if p.A == a || p.B == a {
+			delete(s.m, p)
+		}
+	}
+}
+
+// SweepAged drops pair histories whose most recent observation is at or
+// before cutoff — interactions the workload has stopped exhibiting. It
+// returns the number of histories removed. Deleting a window only ever
+// lowers the pair's doi estimate to zero, which is where the estimate was
+// converging anyway as the window aged.
+func (s *InteractionStats) SweepAged(cutoff int) int {
+	removed := 0
+	for p, w := range s.m {
+		if w.LastPos() <= cutoff {
+			delete(s.m, p)
+			removed++
+		}
+	}
+	return removed
+}
+
+// Remap rebuilds the statistics under a new ID space (see
+// BenefitStats.Remap). Compaction's remap is monotone, so the A < B
+// normalization of every retained pair is preserved.
+func (s *InteractionStats) Remap(remap []index.ID) {
+	m := make(map[Pair]*Window, len(s.m))
+	for p, w := range s.m {
+		a, b := remap[p.A], remap[p.B]
+		if a == index.Invalid || b == index.Invalid {
+			panic("interaction: InteractionStats.Remap dropping a live history")
+		}
+		m[MakePair(a, b)] = w
+	}
+	s.m = m
 }
 
 // Pairs returns the recorded pairs in deterministic order.

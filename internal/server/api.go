@@ -115,8 +115,10 @@ type createSessionRequest struct {
 	StateCnt        int    `json:"state_cnt,omitempty"`
 	HistSize        int    `json:"hist_size,omitempty"`
 	Seed            int64  `json:"seed,omitempty"`
+	RetireAfter     int    `json:"retire_after,omitempty"`
 	QueueDepth      int    `json:"queue_depth,omitempty"`
 	CheckpointEvery int    `json:"checkpoint_every,omitempty"`
+	CheckpointBytes int64  `json:"checkpoint_bytes,omitempty"`
 }
 
 func (sv *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -135,19 +137,27 @@ func (sv *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	cfg := SessionConfig{
 		Name: req.Name,
 		Options: core.Options{
-			IdxCnt:   req.IdxCnt,
-			StateCnt: req.StateCnt,
-			HistSize: req.HistSize,
-			Seed:     req.Seed,
+			IdxCnt:      req.IdxCnt,
+			StateCnt:    req.StateCnt,
+			HistSize:    req.HistSize,
+			Seed:        req.Seed,
+			RetireAfter: req.RetireAfter,
 		},
 		QueueDepth:      req.QueueDepth,
 		CheckpointEvery: req.CheckpointEvery,
+		CheckpointBytes: req.CheckpointBytes,
 	}
 	sess, err := sv.CreateSession(cfg)
 	if err != nil {
+		var ce *ConfigError
 		code := http.StatusInternalServerError
-		if _, exists := sv.Session(req.Name); exists {
-			code = http.StatusConflict
+		switch {
+		case errors.As(err, &ce):
+			code = http.StatusBadRequest
+		default:
+			if _, exists := sv.Session(req.Name); exists {
+				code = http.StatusConflict
+			}
 		}
 		writeErr(w, code, "%v", err)
 		return

@@ -25,6 +25,9 @@ type Config struct {
 	// (zero: 256 and 500).
 	QueueDepth      int
 	CheckpointEvery int
+	// CheckpointBytes defaults new sessions' WAL-growth checkpoint
+	// trigger (0 disables).
+	CheckpointBytes int64
 	// Fsync syncs WALs to stable storage per append.
 	Fsync bool
 }
@@ -100,6 +103,9 @@ func (sv *Server) CreateSession(cfg SessionConfig) (*Session, error) {
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = sv.cfg.CheckpointEvery
 	}
+	if cfg.CheckpointBytes == 0 {
+		cfg.CheckpointBytes = sv.cfg.CheckpointBytes
+	}
 	if cfg.Options.IdxCnt == 0 {
 		cfg.Options.IdxCnt = sv.cfg.DefaultOptions.IdxCnt
 	}
@@ -111,6 +117,9 @@ func (sv *Server) CreateSession(cfg SessionConfig) (*Session, error) {
 	}
 	if cfg.Options.Seed == 0 {
 		cfg.Options.Seed = sv.cfg.DefaultOptions.Seed
+	}
+	if cfg.Options.RetireAfter == 0 {
+		cfg.Options.RetireAfter = sv.cfg.DefaultOptions.RetireAfter
 	}
 	cfg.Fsync = sv.cfg.Fsync
 

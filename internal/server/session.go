@@ -52,6 +52,16 @@ type ParseError struct {
 func (e *ParseError) Error() string { return e.Err.Error() }
 func (e *ParseError) Unwrap() error { return e.Err }
 
+// ConfigError marks an invalid session configuration (rejected before
+// anything was created or started), so the HTTP layer can 4xx and the
+// daemon can fail startup with a clear message.
+type ConfigError struct {
+	Err error
+}
+
+func (e *ConfigError) Error() string { return e.Err.Error() }
+func (e *ConfigError) Unwrap() error { return e.Err }
+
 // SessionConfig carries the per-session knobs. Zero values select the
 // defaults noted on each field.
 type SessionConfig struct {
@@ -66,6 +76,10 @@ type SessionConfig struct {
 	// CheckpointEvery snapshots automatically after this many statements
 	// (default 500; negative disables automatic checkpoints).
 	CheckpointEvery int
+	// CheckpointBytes snapshots automatically whenever the WAL grows past
+	// this many bytes, bounding recovery replay time even when statements
+	// are huge or CheckpointEvery is disabled (0 disables).
+	CheckpointBytes int64
 	// Fsync syncs the WAL to stable storage on every append. Off by
 	// default: acknowledged records already survive kill -9 (they are
 	// flushed to the OS), fsync additionally covers power loss.
@@ -104,6 +118,40 @@ func (c *SessionConfig) applyDefaults() {
 	}
 }
 
+// Check applies defaults and validates the configuration without
+// creating anything — the daemon uses it to fail startup fast on flag
+// values that every session would inherit and reject.
+func (c SessionConfig) Check() error {
+	c.applyDefaults()
+	return c.validate()
+}
+
+// validate rejects knob values that would silently create unbounded
+// tuner state — a non-positive IdxCnt/StateCnt/HistSize flows into
+// NewWindow(cap <= 0), an infinite history, turning the durable service
+// into a memory leak — or that are nonsensical for the service. It runs
+// after applyDefaults, so zeros have already become defaults and anything
+// non-positive here was an explicit request.
+func (c *SessionConfig) validate() error {
+	bad := func(format string, args ...any) error {
+		return &ConfigError{Err: fmt.Errorf(format, args...)}
+	}
+	o := &c.Options
+	switch {
+	case o.IdxCnt <= 0:
+		return bad("idx_cnt must be positive, got %d", o.IdxCnt)
+	case o.StateCnt <= 0:
+		return bad("state_cnt must be positive, got %d", o.StateCnt)
+	case o.HistSize <= 0:
+		return bad("hist_size must be positive, got %d (unbounded histories are not allowed in the service)", o.HistSize)
+	case o.RetireAfter < 0:
+		return bad("retire_after must be non-negative, got %d", o.RetireAfter)
+	case c.CheckpointBytes < 0:
+		return bad("checkpoint_bytes must be non-negative, got %d", c.CheckpointBytes)
+	}
+	return nil
+}
+
 // StatementResult reports one ingested statement.
 type StatementResult struct {
 	ID   int     `json:"id"`
@@ -132,8 +180,17 @@ type SessionStatus struct {
 	Changes        int     `json:"changes"`
 	Materialized   int     `json:"materialized"`
 	WALSeq         uint64  `json:"wal_seq"`
+	WALBytes       int64   `json:"wal_bytes"`
 	QueueLen       int     `json:"queue_len"`
 	QueueDepth     int     `json:"queue_depth"`
+	// Memory-model gauges (see README "Memory model"): live registry
+	// definitions, retained statistics histories, and the lifetime count
+	// of retired candidates. With retire_after set, all of the first
+	// three plateau at O(monitored state).
+	RegistrySize   int `json:"registry_size"`
+	BenefitWindows int `json:"benefit_windows"`
+	PairWindows    int `json:"pair_windows"`
+	Retired        int `json:"retired"`
 }
 
 // Session is one independent tuning loop with durable state. All
@@ -220,6 +277,9 @@ func newSessionBase(dir string, cat *catalog.Catalog, cfg SessionConfig) *Sessio
 // session (including its configuration) even if it never checkpointed.
 func CreateSession(dir string, cat *catalog.Catalog, cfg SessionConfig) (*Session, error) {
 	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -264,8 +324,15 @@ func OpenSession(dir string, cat *catalog.Catalog, fsync bool) (*Session, error)
 		Options:         snap.Tuner.Options,
 		QueueDepth:      snap.Session.QueueDepth,
 		CheckpointEvery: snap.Session.CheckpointEvery,
+		CheckpointBytes: snap.Session.CheckpointBytes,
 		Fsync:           fsync,
 	}
+	// applyDefaults only; deliberately no validate(): a pre-validation
+	// session may have persisted knobs the rules now reject (e.g. a
+	// negative HistSize meaning unbounded windows), and refusing to open
+	// it would brick every session in the data dir at daemon startup.
+	// The session recovers with the exact semantics it ran with;
+	// validation guards the creation path only.
 	cfg.applyDefaults()
 	s := newSessionBase(dir, cat, cfg)
 	reg, err := index.RestoreRegistry(snap.Defs)
@@ -322,6 +389,11 @@ func (s *Session) replay(rec state.Record) error {
 		s.tuner.Feedback(plus, minus)
 	case state.RecAccept:
 		s.applyAccept()
+	case state.RecCompact:
+		s.tuner.CompactRegistry()
+		// Compaction renumbered the ID space; the session's copy of the
+		// materialized set must be re-read from the remapped tuner.
+		s.materialized = s.tuner.Materialized()
 	default:
 		return fmt.Errorf("unknown WAL record type %d (seq %d)", rec.Type, rec.Seq)
 	}
@@ -380,7 +452,9 @@ func (s *Session) applyJob(j *job) {
 		}
 		rep.accept = s.applyAccept()
 	}
-	if rep.err == nil && s.cfg.CheckpointEvery > 0 && s.sinceCkpt >= s.cfg.CheckpointEvery {
+	due := (s.cfg.CheckpointEvery > 0 && s.sinceCkpt >= s.cfg.CheckpointEvery) ||
+		(s.cfg.CheckpointBytes > 0 && s.wal.Size() >= s.cfg.CheckpointBytes)
+	if rep.err == nil && due {
 		if err := s.checkpointLocked(); err != nil {
 			s.broken = err
 			rep.err = err
@@ -573,6 +647,7 @@ func (s *Session) Status() SessionStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p := s.tuner.Partition()
+	benefit, pairs := s.tuner.StatsEntries()
 	return SessionStatus{
 		Name:           s.cfg.Name,
 		Statements:     s.statements,
@@ -585,8 +660,13 @@ func (s *Session) Status() SessionStatus {
 		Changes:        s.changes,
 		Materialized:   s.materialized.Len(),
 		WALSeq:         s.wal.LastSeq(),
+		WALBytes:       s.wal.Size(),
 		QueueLen:       len(s.jobs),
 		QueueDepth:     s.cfg.QueueDepth,
+		RegistrySize:   s.reg.Len(),
+		BenefitWindows: benefit,
+		PairWindows:    pairs,
+		Retired:        s.tuner.Retired(),
 	}
 }
 
@@ -609,7 +689,23 @@ func (s *Session) Checkpoint() (uint64, error) {
 // snapshot lands via write-to-temp + rename, so a crash at any point
 // leaves either the old snapshot + full WAL or the new snapshot (+ a WAL
 // whose records the snapshot's LastSeq marks as covered).
+//
+// Retire-enabled sessions garbage-collect here first: a RecCompact
+// record is appended and the registry compacted, so the snapshot about
+// to be written is dense — snapshot size tracks live state, not workload
+// history. Logging the compaction before performing it is what keeps a
+// crash between the two recoverable bit-identically: replay reaches the
+// record and compacts at the same stream position the live session did.
 func (s *Session) checkpointLocked() error {
+	if s.cfg.Options.RetireAfter > 0 {
+		if _, err := s.wal.Append(state.Record{Type: state.RecCompact}); err != nil {
+			return fmt.Errorf("server: WAL append (compact): %w", err)
+		}
+		s.tuner.CompactRegistry()
+		// The session's copy of the materialized set holds pre-compaction
+		// IDs; re-read the remapped form from the tuner.
+		s.materialized = s.tuner.Materialized()
+	}
 	snap := &state.Snapshot{
 		Defs:  state.CaptureRegistry(s.reg),
 		Tuner: s.tuner.ExportState(),
@@ -622,6 +718,7 @@ func (s *Session) checkpointLocked() error {
 			LastSeq:         s.wal.LastSeq(),
 			QueueDepth:      s.cfg.QueueDepth,
 			CheckpointEvery: s.cfg.CheckpointEvery,
+			CheckpointBytes: s.cfg.CheckpointBytes,
 		},
 	}
 	if err := state.WriteFile(filepath.Join(s.dir, snapshotFile), snap); err != nil {

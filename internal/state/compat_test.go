@@ -1,0 +1,152 @@
+package state
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/interaction"
+)
+
+// compatSnapshot is a small but fully-populated snapshot for codec tests.
+func compatSnapshot() *Snapshot {
+	return &Snapshot{
+		Defs: []index.Index{
+			{ID: 1, Table: "tpch.lineitem", Columns: []string{"l_shipdate"}, LeafPages: 120, Height: 2, CreateCost: 900, DropCost: 1},
+			{ID: 2, Table: "tpce.trade", Columns: []string{"t_dts", "t_bid_price"}, LeafPages: 80, Height: 2, CreateCost: 700, DropCost: 1},
+		},
+		Tuner: &core.TunerState{
+			Options:      core.Options{IdxCnt: 8, StateCnt: 100, HistSize: 10, RandCnt: 4, MaxPartSize: 10, DoiThreshold: 1e-6, Seed: 3},
+			N:            17,
+			Repartitions: 2,
+			S0:           index.EmptySet,
+			Materialized: index.NewSet(1),
+			Universe:     index.NewSet(1, 2),
+			Partition:    interaction.Partition{index.NewSet(1), index.NewSet(2)},
+			Parts: []core.WFAState{
+				{Cand: []index.ID{1}, W: []float64{0, 12.5}, Base: 3.25, CurrRec: 1},
+				{Cand: []index.ID{2}, W: []float64{0.5, 0}, Base: 1, CurrRec: 0},
+			},
+			IdxStats: interaction.BenefitStatsState{Hist: 10, Entries: []interaction.BenefitWindow{
+				{ID: 1, Window: interaction.WindowState{Cap: 10, Dropped: 1, Pos: []int{3, 9}, Vals: []float64{4.5, 6}}},
+			}},
+			IntStats: interaction.InteractionStatsState{Hist: 10, Entries: []interaction.PairWindow{
+				{A: 1, B: 2, Window: interaction.WindowState{Cap: 10, Pos: []int{9}, Vals: []float64{2.5}}},
+			}},
+			RandState: 0xdeadbeefcafef00d,
+		},
+		Session: SessionState{
+			Name: "compat", Statements: 17, TotalWork: 123.5, TransitionCost: 7,
+			Changes: 2, LastSeq: 21, QueueDepth: 64, CheckpointEvery: 500,
+		},
+	}
+}
+
+// writeV1 encodes the snapshot in the exact v1 layout (the PR 3 codec):
+// no RetireAfter, no retirement counter, no pins, no CheckpointBytes.
+// Kept as a byte-level reference so the v1 read path stays covered after
+// the writer moved to v2.
+func writeV1(s *Snapshot) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(snapMagicPrefix + "1")
+	e := newWriter(&buf)
+	writeDefs(e, s.Defs)
+
+	t, o := s.Tuner, s.Tuner.Options
+	e.intv(o.IdxCnt)
+	e.intv(o.StateCnt)
+	e.intv(o.HistSize)
+	e.intv(o.RandCnt)
+	e.intv(o.MaxPartSize)
+	e.f64(o.DoiThreshold)
+	e.boolv(o.AssumeIndependent)
+	e.intv(o.Workers)
+	e.i64(o.Seed)
+	e.intv(t.N)
+	e.intv(t.Repartitions)
+	e.boolv(t.StatsDisabled)
+	e.set(t.S0)
+	e.set(t.Materialized)
+	e.set(t.Universe)
+	e.lenPrefix(len(t.Partition))
+	for _, part := range t.Partition {
+		e.set(part)
+	}
+	e.lenPrefix(len(t.Parts))
+	for _, p := range t.Parts {
+		e.ids(p.Cand)
+		e.f64s(p.W)
+		e.f64(p.Base)
+		e.u32(p.CurrRec)
+	}
+	writeBenefitStats(e, t.IdxStats)
+	writeInteractionStats(e, t.IntStats)
+	e.u64(t.RandState)
+
+	se := s.Session
+	e.str(se.Name)
+	e.intv(se.Statements)
+	e.f64(se.TotalWork)
+	e.f64(se.TransitionCost)
+	e.intv(se.Changes)
+	e.u64(se.LastSeq)
+	e.intv(se.QueueDepth)
+	e.intv(se.CheckpointEvery)
+	e.u32(e.sum())
+	return buf.Bytes()
+}
+
+// TestSnapshotV1BackwardCompat reads a byte-exact v1 stream with the v2
+// codec: every v1 field must round-trip and every v2-only field must
+// decode to its zero value — the semantics v1 sessions actually ran with
+// (no retirement, no pins, no byte-triggered checkpoints).
+func TestSnapshotV1BackwardCompat(t *testing.T) {
+	want := compatSnapshot()
+	got, err := Read(bytes.NewReader(writeV1(want)))
+	if err != nil {
+		t.Fatalf("reading v1 snapshot: %v", err)
+	}
+	if got.Tuner.Options.RetireAfter != 0 || got.Tuner.Retired != 0 || got.Tuner.Pinned != nil {
+		t.Fatalf("v2-only tuner fields not zero: %+v", got.Tuner)
+	}
+	if got.Session.CheckpointBytes != 0 {
+		t.Fatalf("v2-only session field not zero: %+v", got.Session)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v1 snapshot did not round-trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSnapshotV2RoundTripNewFields round-trips a snapshot carrying every
+// v2 addition through the current writer.
+func TestSnapshotV2RoundTripNewFields(t *testing.T) {
+	want := compatSnapshot()
+	want.Tuner.Options.RetireAfter = 400
+	want.Tuner.Retired = 31
+	want.Tuner.Pinned = []core.PinnedVote{{ID: 2, Pos: 15}}
+	want.Session.CheckpointBytes = 1 << 20
+
+	var buf bytes.Buffer
+	if err := Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v2 snapshot did not round-trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSnapshotUnknownVersionRejected guards the forward edge: a version
+// digit newer than the writer's must fail loudly, not misparse.
+func TestSnapshotUnknownVersionRejected(t *testing.T) {
+	data := writeV1(compatSnapshot())
+	data[len(snapMagicPrefix)] = '9'
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatalf("version-9 snapshot accepted")
+	}
+}

@@ -12,9 +12,20 @@ import (
 	"repro/internal/interaction"
 )
 
-// snapMagic identifies a snapshot stream; the trailing version digit is
-// the format version and bumps on any layout change.
-const snapMagic = "WFITSNP1"
+// snapMagicPrefix identifies a snapshot stream; the trailing version
+// digit is the format version and bumps on any layout change. Writers
+// always emit the current version; readers accept every version listed
+// here:
+//
+//	v1 — the original layout (PR 3).
+//	v2 — adds Options.RetireAfter, the retirement counter and F+ vote
+//	     pins to the tuner section, and CheckpointBytes to the session
+//	     section. A v1 stream decodes with all of them zero — exactly
+//	     the semantics those sessions ran with.
+const (
+	snapMagicPrefix = "WFITSNP"
+	snapVersion     = 2
+)
 
 // SessionState is the service-level state that travels with a tuner
 // snapshot: ingestion counters, the total-work account, and the WAL
@@ -29,6 +40,10 @@ type SessionState struct {
 	LastSeq         uint64
 	QueueDepth      int
 	CheckpointEvery int
+	// CheckpointBytes triggers an automatic snapshot whenever the WAL
+	// grows past this size, bounding replay time regardless of statement
+	// cadence (0 disables; v2 snapshots only).
+	CheckpointBytes int64
 }
 
 // Snapshot is a complete persisted tuner: the index registry in ID order,
@@ -53,7 +68,7 @@ func CaptureRegistry(reg *index.Registry) []index.Index {
 // Write serializes the snapshot: magic, sections, and a trailing CRC32C of
 // everything after the magic.
 func Write(w io.Writer, s *Snapshot) error {
-	if _, err := io.WriteString(w, snapMagic); err != nil {
+	if _, err := fmt.Fprintf(w, "%s%d", snapMagicPrefix, snapVersion); err != nil {
 		return err
 	}
 	e := newWriter(w)
@@ -65,20 +80,25 @@ func Write(w io.Writer, s *Snapshot) error {
 	return e.err
 }
 
-// Read deserializes a snapshot, verifying magic, version, and CRC.
+// Read deserializes a snapshot, verifying magic, version, and CRC. Every
+// version snapMagicPrefix documents is accepted.
 func Read(r io.Reader) (*Snapshot, error) {
-	magic := make([]byte, len(snapMagic))
+	magic := make([]byte, len(snapMagicPrefix)+1)
 	if _, err := io.ReadFull(r, magic); err != nil {
 		return nil, fmt.Errorf("state: reading snapshot magic: %w", err)
 	}
-	if string(magic) != snapMagic {
-		return nil, fmt.Errorf("state: bad snapshot magic %q (want %q)", magic, snapMagic)
+	if string(magic[:len(snapMagicPrefix)]) != snapMagicPrefix {
+		return nil, fmt.Errorf("state: bad snapshot magic %q (want %q)", magic, snapMagicPrefix)
+	}
+	version := int(magic[len(snapMagicPrefix)] - '0')
+	if version < 1 || version > snapVersion {
+		return nil, fmt.Errorf("state: unsupported snapshot version %c (supported: 1..%d)", magic[len(snapMagicPrefix)], snapVersion)
 	}
 	d := newReader(r)
 	s := &Snapshot{}
 	s.Defs = readDefs(d)
-	s.Tuner = readTuner(d)
-	readSession(d, &s.Session)
+	s.Tuner = readTuner(d, version)
+	readSession(d, &s.Session, version)
 	want := d.sum()
 	got := d.u32()
 	if d.err != nil {
@@ -190,9 +210,16 @@ func writeTuner(e *writer, t *core.TunerState) {
 	e.boolv(o.AssumeIndependent)
 	e.intv(o.Workers)
 	e.i64(o.Seed)
+	e.intv(o.RetireAfter)
 
 	e.intv(t.N)
 	e.intv(t.Repartitions)
+	e.intv(t.Retired)
+	e.lenPrefix(len(t.Pinned))
+	for _, p := range t.Pinned {
+		e.u32(uint32(p.ID))
+		e.intv(p.Pos)
+	}
 	e.boolv(t.StatsDisabled)
 	e.set(t.S0)
 	e.set(t.Materialized)
@@ -215,7 +242,7 @@ func writeTuner(e *writer, t *core.TunerState) {
 	e.u64(t.RandState)
 }
 
-func readTuner(d *reader) *core.TunerState {
+func readTuner(d *reader, version int) *core.TunerState {
 	t := &core.TunerState{}
 	t.Options.IdxCnt = d.intv()
 	t.Options.StateCnt = d.intv()
@@ -226,9 +253,22 @@ func readTuner(d *reader) *core.TunerState {
 	t.Options.AssumeIndependent = d.boolv()
 	t.Options.Workers = d.intv()
 	t.Options.Seed = d.i64()
+	if version >= 2 {
+		t.Options.RetireAfter = d.intv()
+	}
 
 	t.N = d.intv()
 	t.Repartitions = d.intv()
+	if version >= 2 {
+		t.Retired = d.intv()
+		nPins := d.lenPrefix()
+		for i := 0; i < nPins && d.err == nil; i++ {
+			t.Pinned = append(t.Pinned, core.PinnedVote{
+				ID:  index.ID(d.u32()),
+				Pos: d.intv(),
+			})
+		}
+	}
 	t.StatsDisabled = d.boolv()
 	t.S0 = d.set()
 	t.Materialized = d.set()
@@ -323,9 +363,10 @@ func writeSession(e *writer, s *SessionState) {
 	e.u64(s.LastSeq)
 	e.intv(s.QueueDepth)
 	e.intv(s.CheckpointEvery)
+	e.i64(s.CheckpointBytes)
 }
 
-func readSession(d *reader, s *SessionState) {
+func readSession(d *reader, s *SessionState, version int) {
 	s.Name = d.str()
 	s.Statements = d.intv()
 	s.TotalWork = d.f64()
@@ -334,4 +375,7 @@ func readSession(d *reader, s *SessionState) {
 	s.LastSeq = d.u64()
 	s.QueueDepth = d.intv()
 	s.CheckpointEvery = d.intv()
+	if version >= 2 {
+		s.CheckpointBytes = d.i64()
+	}
 }

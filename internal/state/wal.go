@@ -31,6 +31,14 @@ const (
 	// recommendation, which is what makes recovery self-checking: any
 	// divergence earlier in replay surfaces as a different config here.
 	RecAccept RecType = 3
+	// RecCompact marks a registry compaction (retire-enabled sessions log
+	// one on every checkpoint, just before snapshotting). Compaction
+	// renumbers the index ID space, so it must happen at the identical
+	// stream position during replay — logging it is what keeps recovery
+	// bit-identical even when a crash lands between the compaction and
+	// the snapshot that would have covered it. No payload: compaction is
+	// a deterministic function of the tuner state.
+	RecCompact RecType = 4
 )
 
 // IndexSpec names an index by definition rather than registry ID.
@@ -59,6 +67,7 @@ type WAL struct {
 	f     *os.File
 	w     *bufio.Writer
 	seq   uint64
+	size  int64 // current log size in bytes (header + intact records)
 	Fsync bool
 }
 
@@ -86,6 +95,7 @@ func OpenWAL(path string, replay func(Record) error) (*WAL, error) {
 		f.Close()
 		return nil, err
 	}
+	w.size = end
 	w.w = bufio.NewWriter(f)
 	return w, nil
 }
@@ -151,6 +161,11 @@ func (w *WAL) scan(replay func(Record) error) (int64, error) {
 // empty log).
 func (w *WAL) LastSeq() uint64 { return w.seq }
 
+// Size returns the log's current size in bytes (header plus every intact
+// record). Sessions use it to trigger snapshots by WAL growth, bounding
+// recovery replay time independently of statement cadence.
+func (w *WAL) Size() int64 { return w.size }
+
 // Append assigns the next sequence number, writes the record, and flushes
 // it to the OS (plus fsync when Fsync is set). The record is recoverable
 // once Append returns.
@@ -175,6 +190,7 @@ func (w *WAL) Append(rec Record) (uint64, error) {
 			return 0, err
 		}
 	}
+	w.size += int64(8 + len(payload))
 	return rec.Seq, nil
 }
 
@@ -192,6 +208,7 @@ func (w *WAL) Reset() error {
 	if _, err := w.f.Seek(int64(len(walMagic)), io.SeekStart); err != nil {
 		return err
 	}
+	w.size = int64(len(walMagic))
 	w.w.Reset(w.f)
 	return nil
 }
@@ -221,7 +238,7 @@ func encodeRecord(rec Record) []byte {
 	case RecVote:
 		writeSpecs(e, rec.Plus)
 		writeSpecs(e, rec.Minus)
-	case RecAccept:
+	case RecAccept, RecCompact:
 	}
 	return buf.Bytes()
 }
@@ -235,7 +252,7 @@ func decodeRecord(payload []byte) (Record, error) {
 	case RecVote:
 		rec.Plus = readSpecs(d)
 		rec.Minus = readSpecs(d)
-	case RecAccept:
+	case RecAccept, RecCompact:
 	default:
 		return rec, fmt.Errorf("state: unknown WAL record type %d", rec.Type)
 	}

@@ -152,6 +152,21 @@ func (o *Optimizer) ResetStats() {
 	o.hits.Store(0)
 }
 
+// Invalidate starts a new cache epoch: every resident entry is dropped
+// while the call/hit counters keep counting. It exists for registry
+// compaction — cache keys embed index IDs, so once the registry
+// renumbers its ID space every key minted before the compaction is
+// meaningless and must never serve another probe.
+func (o *Optimizer) Invalidate() {
+	for i := range o.shard {
+		sh := &o.shard[i]
+		sh.mu.Lock()
+		sh.m = make(map[*stmt.Statement]map[string]*entry)
+		sh.head, sh.tail, sh.n = nil, nil, 0
+		sh.mu.Unlock()
+	}
+}
+
 // CacheLen reports the number of resident entries across all shards.
 func (o *Optimizer) CacheLen() int {
 	total := 0
