@@ -47,6 +47,8 @@ func realMain() int {
 	workers := flag.Int("workers", 0, "worker bound for construction and runs (0 = one per CPU)")
 	benchout := flag.String("benchout", "BENCH_wfit.json", "perf trajectory output file (empty disables)")
 	service := flag.Bool("service", true, "include the wfit-serve loadgen (K concurrent sessions over HTTP) in the perf run")
+	pipeline := flag.Bool("pipeline", true, "include the ingest-throughput bench (WAL group commit + speculative analysis vs per-record commits, with and without fsync) in the perf run")
+	throughput := flag.Bool("throughput", false, "run only the ingest-throughput bench and write its \"pipeline\" section (the CI throughput-smoke entry point)")
 	soak := flag.Bool("soak", false, "run the long-horizon bounded-memory soak (rotating schemas, candidate retirement, registry compaction); alone it writes just the soak section, with -perf it rides along")
 	soakStatements := flag.Int("soak-statements", 0, "soak stream length (0 = the 10k default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured runs to this file")
@@ -85,6 +87,14 @@ func realMain() int {
 		}()
 	}
 
+	if *throughput {
+		p, code := runThroughput()
+		if code != 0 {
+			return code
+		}
+		return writeReport(&bench.PerfReport{Schema: "wfit-perf/v5", Pipeline: p}, *benchout)
+	}
+
 	var soakReport *bench.SoakReport
 	if *soak {
 		r, code := runSoak(*soakStatements)
@@ -94,7 +104,7 @@ func realMain() int {
 		soakReport = r
 		if !*perf && *fig == 0 && !*overhead {
 			// Soak-only invocation: no experiment environment needed.
-			return writeReport(&bench.PerfReport{Schema: "wfit-perf/v4", Soak: soakReport}, *benchout)
+			return writeReport(&bench.PerfReport{Schema: "wfit-perf/v5", Soak: soakReport}, *benchout)
 		}
 	}
 
@@ -122,7 +132,7 @@ func realMain() int {
 	// when a soak rode along, persist it so the run is never discarded.
 	writeSoakOnly := func(code int) int {
 		if code == 0 && soakReport != nil {
-			return writeReport(&bench.PerfReport{Schema: "wfit-perf/v4", Soak: soakReport}, *benchout)
+			return writeReport(&bench.PerfReport{Schema: "wfit-perf/v5", Soak: soakReport}, *benchout)
 		}
 		return code
 	}
@@ -131,7 +141,7 @@ func realMain() int {
 		return writeSoakOnly(0)
 	}
 	if *perf {
-		return runPerf(env, *benchout, *service, soakReport)
+		return runPerf(env, *benchout, *service, *pipeline, soakReport)
 	}
 
 	run := func(n int) int {
@@ -172,7 +182,37 @@ func realMain() int {
 		}
 	}
 	printOverhead(env)
-	return runPerf(env, *benchout, *service, soakReport)
+	return runPerf(env, *benchout, *service, *pipeline, soakReport)
+}
+
+// runThroughput drives the ingest-throughput bench against a temp data
+// dir and prints the mode comparison.
+func runThroughput() (*bench.PipelinePerf, int) {
+	dataDir, err := os.MkdirTemp("", "wfit-pipeline-bench-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipeline bench temp dir: %v\n", err)
+		return nil, 1
+	}
+	defer os.RemoveAll(dataDir)
+	fmt.Println("Ingest throughput: per-record commits vs WAL group commit + speculative analysis")
+	p, err := bench.RunPipeline(bench.PipelineOptions{DataDir: dataDir})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipeline bench: %v\n", err)
+		return nil, 1
+	}
+	printPipeline(p)
+	return p, 0
+}
+
+// printPipeline renders the pipeline bench's mode table and speedups.
+func printPipeline(p *bench.PipelinePerf) {
+	for _, m := range p.Modes {
+		fmt.Printf("  %-14s %8.0f stmts/s, ack mean %7.0f µs (p50 %.0f, p99 %.0f), %d group commits / %d records, speculation %d/%d hit\n",
+			m.Name, m.StmtsPerSec, m.AckUSMean, m.AckUSP50, m.AckUSP99,
+			m.GroupCommits, m.GroupCommitRecords, m.SpecHits, m.SpecHits+m.SpecMisses)
+	}
+	fmt.Printf("  group-commit speedup: %.2fx under fsync, %.2fx without; trajectories identical: %v\n",
+		p.SpeedupFsync, p.SpeedupNoFsync, p.TotalWorkIdentical)
 }
 
 // runSoak drives the bounded-memory soak and prints its summary.
@@ -220,7 +260,7 @@ func writeReport(r *bench.PerfReport, outPath string) int {
 // worker pool, optionally drives the service-mode loadgen, prints the
 // comparison, and writes the JSON trajectory. It returns a process exit
 // code instead of exiting so deferred profile writers still run.
-func runPerf(env *bench.Env, outPath string, service bool, soak *bench.SoakReport) int {
+func runPerf(env *bench.Env, outPath string, service, pipeline bool, soak *bench.SoakReport) int {
 	fmt.Println("\nAnalysis-loop perf: full WFIT, serial (workers=1) vs parallel (one worker per core)")
 	r := env.RunPerfComparison()
 	r.Soak = soak
@@ -254,6 +294,23 @@ func runPerf(env *bench.Env, outPath string, service bool, soak *bench.SoakRepor
 		fmt.Printf("  %d sessions × %d statements: %.0f stmts/s, ingest latency mean %.0f µs (p50 %.0f, p90 %.0f, p99 %.0f, max %.0f)\n",
 			sp.Sessions, sp.PerSession, sp.IngestPerSec,
 			sp.IngestUSMean, sp.IngestUSP50, sp.IngestUSP90, sp.IngestUSP99, sp.IngestUSMax)
+	}
+
+	if pipeline {
+		fmt.Println("\nIngest throughput: per-record commits vs WAL group commit + speculative analysis")
+		dataDir, err := os.MkdirTemp("", "wfit-pipeline-bench-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipeline bench temp dir: %v\n", err)
+			return 1
+		}
+		defer os.RemoveAll(dataDir)
+		pp, err := bench.RunPipeline(bench.PipelineOptions{DataDir: dataDir})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipeline bench: %v\n", err)
+			return 1
+		}
+		r.Pipeline = pp
+		printPipeline(pp)
 	}
 
 	return writeReport(r, outPath)

@@ -59,7 +59,8 @@ type PerfSide struct {
 // PerfReport compares the serial and parallel per-statement analysis
 // paths; it is the payload of cmd/wfitbench's BENCH_wfit.json. Schema
 // wfit-perf/v3 added the Service section (the wfit-serve loadgen); v4
-// added the Soak section (the long-horizon bounded-memory run).
+// added the Soak section (the long-horizon bounded-memory run); v5 added
+// the Pipeline section (the group-commit ingest-throughput comparison).
 type PerfReport struct {
 	Schema     string `json:"schema"`
 	GoVersion  string `json:"go_version"`
@@ -80,6 +81,10 @@ type PerfReport struct {
 	// Soak is the long-horizon bounded-memory run (rotating schemas with
 	// candidate retirement and registry compaction); nil when skipped.
 	Soak *SoakReport `json:"soak,omitempty"`
+	// Pipeline is the ingest-throughput comparison (per-record commits
+	// vs WAL group commit + speculative analysis, with and without
+	// fsync); nil when skipped.
+	Pipeline *PipelinePerf `json:"pipeline,omitempty"`
 }
 
 // RunPerf evaluates the full WFIT once with the given worker bound and
@@ -160,7 +165,7 @@ func (e *Env) RunPerfComparison() *PerfReport {
 	serial := e.RunPerf(1)
 	parallel := e.RunPerf(0)
 	r := &PerfReport{
-		Schema:      "wfit-perf/v4",
+		Schema:      "wfit-perf/v5",
 		GoVersion:   runtime.Version(),
 		Cores:       runtime.NumCPU(),
 		Statements:  len(e.Workload.Statements),

@@ -4,10 +4,8 @@ import (
 	"sort"
 
 	"repro/internal/cost"
-	"repro/internal/ibg"
 	"repro/internal/index"
 	"repro/internal/interaction"
-	"repro/internal/par"
 	"repro/internal/stmt"
 	"repro/internal/whatif"
 )
@@ -121,6 +119,14 @@ type WFIT struct {
 	retired       int // candidates retired from the universe so far
 	lastIBGNodes  int
 	statsDisabled bool // fixed-partition mode (candidate maintenance off)
+
+	// epoch counts the changes that can invalidate a speculative Analysis:
+	// repartitions (the IBG context C changes), materialization changes
+	// (M changes), and registry compactions (every ID is reinterpreted).
+	// Registry growth is detected separately, by length — see
+	// AnalysisValid. Bumps are deliberately conservative-but-minimal so
+	// pipelined sessions keep a high speculation hit rate.
+	epoch uint64
 }
 
 // NewWFIT builds a full WFIT instance. Per Figure 4's initialization, the
@@ -205,7 +211,12 @@ func (t *WFIT) LastIBGNodes() int { return t.lastIBGNodes }
 
 // SetMaterialized records the DBA's actual physical configuration, which
 // candidate selection must keep covered (the M set of Figure 6).
-func (t *WFIT) SetMaterialized(m index.Set) { t.materialized = m }
+func (t *WFIT) SetMaterialized(m index.Set) {
+	if !m.Equal(t.materialized) {
+		t.epoch++
+	}
+	t.materialized = m
+}
 
 // Materialized returns the tuner's view of the physical configuration.
 // After CompactRegistry, this — not any set captured before the
@@ -227,24 +238,14 @@ func (t *WFIT) Recommend() index.Set {
 // work-function updates against the statement's index benefit graph out
 // across the worker pool. The graph is private to this call, so its
 // pooled probe cache is released at the end for the next statement.
+//
+// AnalyzeQuery is the one-call form of the Analyze/Apply split (see
+// Analysis): the heavy read-only phase runs inline on the interning path,
+// immediately followed by the serialized fold-in.
 func (t *WFIT) AnalyzeQuery(s *stmt.Statement) {
-	t.n++
-	var g *ibg.Graph
-	if t.statsDisabled {
-		g = ibg.BuildWorkers(t.opt, s, t.universe, t.options.Workers)
-	} else {
-		g = t.chooseCandsAndRepartition(s)
-	}
-	t.lastIBGNodes = g.NodeCount()
-	t.active = t.active[:0]
-	for _, part := range t.parts {
-		if g.Influences(part.candSet) {
-			t.active = append(t.active, part)
-		}
-	}
-	analyzeParts(t.options.Workers, t.active, g)
-	g.Release()
-	t.retire()
+	a := t.BeginAnalysis(s, t.options.Workers)
+	a.run(true)
+	t.finishAnalysis(a)
 }
 
 // retire implements the RetireAfter bound (one sweep per statement): a
@@ -304,53 +305,6 @@ func (t *WFIT) activePins() index.Set {
 		ids = append(ids, id)
 	}
 	return index.NewSet(ids...)
-}
-
-// chooseCandsAndRepartition implements chooseCands (Figure 6) and applies
-// repartition when the partition changes. It returns the statement's IBG
-// for reuse by the work-function updates.
-func (t *WFIT) chooseCandsAndRepartition(s *stmt.Statement) *ibg.Graph {
-	// Line 1: grow the universe with indices extracted from q.
-	extracted := t.extractor.Extract(s)
-	t.universe = t.universe.Union(extracted)
-	// Line 2: compute the IBG. The graph spans the indices this
-	// statement brings into play — its own extracted candidates plus the
-	// relevant monitored and materialized ones — not the whole mined
-	// universe: that is what keeps the per-statement what-if budget in
-	// the paper's 5–100 band while the universe grows into the hundreds.
-	// Statistics for universe members untouched by recent statements
-	// simply age out through the history window.
-	ibgSet := extracted.Union(t.partsetC).Union(t.materialized)
-	g := ibg.BuildWorkers(t.opt, s, ibgSet, t.options.Workers)
-	// Line 3: update benefit and interaction statistics. The per-index
-	// benefit maximizations and per-pair doi maximizations are pure
-	// functions of the frozen graph, so they run on the worker pool; the
-	// history insertions stay serial and in deterministic order.
-	used := g.UsedUnion().IDs()
-	benefits := par.Map(t.options.Workers, len(used), func(i int) float64 {
-		return g.MaxBenefit(used[i])
-	})
-	for i, a := range used {
-		t.idxStats.Add(a, t.n, benefits[i])
-	}
-	if !t.options.AssumeIndependent {
-		for _, in := range g.InteractionsWorkers(t.options.DoiThreshold, t.options.Workers) {
-			t.intStats.Add(in.A, in.B, t.n, in.Doi)
-		}
-	}
-	// Lines 4–5: D = M ∪ topIndices(U − M, idxCnt − |M|).
-	d := t.chooseTop()
-	// Line 6: choose the stable partition of D.
-	doi := t.doiFunc(d)
-	// Both sides are normalized — t.partition always is (see repartition
-	// and the constructors) and Choose returns Normalize output — so the
-	// comparison needs none of Equal's re-sorting copies.
-	newPartition := t.partn.Choose(d, t.partition, doi)
-	if !newPartition.EqualNormalized(t.partition) {
-		t.repartition(newPartition)
-		t.repartitions++
-	}
-	return g
 }
 
 // doiFunc returns the current degree-of-interaction estimator over the
@@ -506,6 +460,7 @@ func (t *WFIT) chooseTop() index.Set {
 // expression per configuration, at O(2^|Dm|) per overlapping part instead
 // of O(2^|Dm|) set materializations, intersections, and merge scans.
 func (t *WFIT) repartition(newPartition interaction.Partition) {
+	t.epoch++
 	oldParts := t.parts
 	oldC := t.partsetC
 	currRec := t.Recommend()
@@ -595,6 +550,7 @@ func (t *WFIT) CompactRegistry() int {
 	if dropped <= 0 {
 		return 0
 	}
+	t.epoch++
 	remap := t.reg.Compact(live)
 	t.s0 = t.s0.Remap(remap)
 	t.materialized = t.materialized.Remap(remap)

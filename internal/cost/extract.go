@@ -66,13 +66,33 @@ func NewExtractor(m *Model) *Extractor {
 func (e *Extractor) Extract(s *stmt.Statement) index.Set {
 	var ids []index.ID
 	for _, table := range s.Tables {
-		ids = append(ids, e.extractForTable(s, table)...)
+		ids = append(ids, e.resolve(table, e.candidates(s, table), false)...)
 	}
 	return index.NewSet(ids...)
 }
 
-// extractForTable generates this table's candidates in a deterministic
-// priority order and caps them at MaxPerTable.
+// Peek computes exactly the set Extract would return, but resolves every
+// candidate through Lookup instead of interning — it never mutates the
+// registry, so it is safe to run concurrently with an interning writer
+// (the registry is concurrency-safe). ok is false when any candidate has
+// not been interned yet; the caller must then fall back to Extract on the
+// serialized path. The speculative analysis pipeline uses Peek so that
+// registry ID assignment stays a pure function of the applied event
+// order, which bit-identical recovery depends on.
+func (e *Extractor) Peek(s *stmt.Statement) (index.Set, bool) {
+	var ids []index.ID
+	for _, table := range s.Tables {
+		got := e.resolve(table, e.candidates(s, table), true)
+		if got == nil {
+			return index.EmptySet, false
+		}
+		ids = append(ids, got...)
+	}
+	return index.NewSet(ids...), true
+}
+
+// candidates generates this table's candidate column sets in a
+// deterministic priority order (resolve caps them at MaxPerTable).
 //
 // Construction order is intentionally independent of the predicates'
 // selectivities: recurring query templates jitter their selectivities
@@ -81,8 +101,11 @@ func (e *Extractor) Extract(s *stmt.Statement) index.Set {
 // Redundant near-duplicates carry large mutual interactions, which both
 // bloats the IBG analysis and forces the stable partition to drop
 // interaction mass.
-func (e *Extractor) extractForTable(s *stmt.Statement, table string) []index.ID {
-	preds := s.TablePreds(table)
+func (e *Extractor) candidates(s *stmt.Statement, table string) [][]string {
+	// Sort a COPY of the cached per-table view: candidate generation must
+	// stay read-only on the statement, which a speculative analysis may
+	// share with a concurrent serialized recompute.
+	preds := append([]stmt.Pred(nil), s.TablePreds(table)...)
 	// Equality predicates first (better index prefixes), then by column
 	// name — a deterministic order stable across re-instantiations of
 	// the same query template.
@@ -140,7 +163,7 @@ func (e *Extractor) extractForTable(s *stmt.Statement, table string) []index.ID 
 	// Update candidates need nothing beyond the predicate columns: wider
 	// indices only add maintenance overhead.
 	if s.Kind == stmt.Update {
-		return e.intern(table, colSets)
+		return colSets
 	}
 	// Covering candidate: every needed column, predicates first, the
 	// rest in name order.
@@ -161,16 +184,21 @@ func (e *Extractor) extractForTable(s *stmt.Statement, table string) []index.ID 
 		sort.Strings(rest)
 		add(append(ordered, rest...)...)
 	}
-	return e.intern(table, colSets)
+	return colSets
 }
 
-// intern registers up to MaxPerTable column sets and returns their IDs.
-func (e *Extractor) intern(table string, colSets [][]string) []index.ID {
+// resolve turns up to MaxPerTable column sets into registry IDs, either
+// interning them (the serialized apply path) or looking them up without
+// mutation (peek=true, the speculative path). In peek mode a single
+// missing definition aborts with nil: the cap and dedup are applied in
+// the identical order either way, so a successful peek returns exactly
+// the IDs the interning call would have.
+func (e *Extractor) resolve(table string, colSets [][]string, peek bool) []index.ID {
 	max := e.MaxPerTable
 	if max <= 0 {
 		max = len(colSets)
 	}
-	var ids []index.ID
+	ids := make([]index.ID, 0, max)
 	seen := make(map[string]bool)
 	for _, cols := range colSets {
 		if len(ids) >= max {
@@ -181,6 +209,14 @@ func (e *Extractor) intern(table string, colSets [][]string) []index.ID {
 			continue
 		}
 		seen[key] = true
+		if peek {
+			id, ok := e.reg.Lookup(table, cols)
+			if !ok {
+				return nil
+			}
+			ids = append(ids, id)
+			continue
+		}
 		proto := BuildIndexProto(e.cat, e.p, table, cols)
 		ids = append(ids, e.reg.Intern(proto))
 	}

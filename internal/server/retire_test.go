@@ -53,7 +53,7 @@ func TestCrashRecoveryAcrossCompaction(t *testing.T) {
 	}
 	sess.Kill()
 
-	recovered, err := OpenSession(crashDir, cat, false)
+	recovered, err := OpenSession(crashDir, cat, SessionRuntime{})
 	if err != nil {
 		t.Fatalf("recovering crashed session: %v", err)
 	}
@@ -145,7 +145,7 @@ func TestCheckpointBytesTriggersSnapshot(t *testing.T) {
 		t.Fatalf("WAL grew to %d bytes despite the 64-byte checkpoint budget", got)
 	}
 	sess.Kill()
-	recovered, err := OpenSession(dir, cat, false)
+	recovered, err := OpenSession(dir, cat, SessionRuntime{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,7 +19,11 @@ type Config struct {
 	// DataDir/sessions/<name>/.
 	DataDir string
 	// DefaultOptions seeds new sessions' tuner knobs (zero fields fall
-	// back to core.DefaultOptions).
+	// back to core.DefaultOptions). Seed is deliberately NOT consulted: a
+	// session's default seed derives from its name (see NameSeed), so
+	// distinct sessions explore the randomized partition restarts
+	// independently; a server-wide shared seed would correlate them all.
+	// Sessions that want a specific seed pass it in their own config.
 	DefaultOptions core.Options
 	// QueueDepth and CheckpointEvery default new sessions' service knobs
 	// (zero: 256 and 500).
@@ -30,6 +34,13 @@ type Config struct {
 	CheckpointBytes int64
 	// Fsync syncs WALs to stable storage per append.
 	Fsync bool
+	// Batch and Pipeline default new sessions' group-commit record bound
+	// and speculative-analysis worker count (zero: 1 and 0; see
+	// SessionConfig). Like Fsync they also apply to recovered sessions —
+	// they are properties of the serving process, not of the persisted
+	// state, and never change the tuner trajectory.
+	Batch    int
+	Pipeline int
 }
 
 // nameRE restricts session names to path- and URL-safe tokens.
@@ -75,7 +86,7 @@ func NewWithCatalog(cfg Config, cat *catalog.Catalog) (*Server, error) {
 		if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
 			continue // not a session directory
 		}
-		sess, err := OpenSession(dir, cat, cfg.Fsync)
+		sess, err := OpenSession(dir, cat, SessionRuntime{Fsync: cfg.Fsync, Batch: cfg.Batch, Pipeline: cfg.Pipeline})
 		if err != nil {
 			sv.Close()
 			return nil, fmt.Errorf("server: recovering session %s: %w", e.Name(), err)
@@ -92,11 +103,13 @@ func (sv *Server) sessionsRoot() string {
 // Catalog exposes the shared catalog (read-only).
 func (sv *Server) Catalog() *catalog.Catalog { return sv.cat }
 
-// CreateSession creates and registers a new named session.
-func (sv *Server) CreateSession(cfg SessionConfig) (*Session, error) {
-	if !nameRE.MatchString(cfg.Name) {
-		return nil, fmt.Errorf("server: invalid session name %q", cfg.Name)
-	}
+// applyServerDefaults fills zero-valued session knobs from the server's
+// configured defaults, leaving the rest for SessionConfig.applyDefaults —
+// the session-level rules stay the single source of truth for what a
+// still-zero knob ultimately becomes. Options.Seed is deliberately not
+// filled here (see Config.DefaultOptions): a zero seed falls through to
+// the per-name derivation, never to a shared server-wide value.
+func (sv *Server) applyServerDefaults(cfg *SessionConfig) {
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = sv.cfg.QueueDepth
 	}
@@ -105,6 +118,12 @@ func (sv *Server) CreateSession(cfg SessionConfig) (*Session, error) {
 	}
 	if cfg.CheckpointBytes == 0 {
 		cfg.CheckpointBytes = sv.cfg.CheckpointBytes
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = sv.cfg.Batch
+	}
+	if cfg.Pipeline == 0 {
+		cfg.Pipeline = sv.cfg.Pipeline
 	}
 	if cfg.Options.IdxCnt == 0 {
 		cfg.Options.IdxCnt = sv.cfg.DefaultOptions.IdxCnt
@@ -115,13 +134,18 @@ func (sv *Server) CreateSession(cfg SessionConfig) (*Session, error) {
 	if cfg.Options.HistSize == 0 {
 		cfg.Options.HistSize = sv.cfg.DefaultOptions.HistSize
 	}
-	if cfg.Options.Seed == 0 {
-		cfg.Options.Seed = sv.cfg.DefaultOptions.Seed
-	}
 	if cfg.Options.RetireAfter == 0 {
 		cfg.Options.RetireAfter = sv.cfg.DefaultOptions.RetireAfter
 	}
 	cfg.Fsync = sv.cfg.Fsync
+}
+
+// CreateSession creates and registers a new named session.
+func (sv *Server) CreateSession(cfg SessionConfig) (*Session, error) {
+	if !nameRE.MatchString(cfg.Name) {
+		return nil, fmt.Errorf("server: invalid session name %q", cfg.Name)
+	}
+	sv.applyServerDefaults(&cfg)
 
 	sv.mu.Lock()
 	defer sv.mu.Unlock()

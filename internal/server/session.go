@@ -19,8 +19,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 
 	"repro/internal/catalog"
@@ -84,14 +86,55 @@ type SessionConfig struct {
 	// default: acknowledged records already survive kill -9 (they are
 	// flushed to the OS), fsync additionally covers power loss.
 	Fsync bool
+	// Batch caps how many WAL records one group commit covers. The ingest
+	// loop drains queued work up to this bound and appends the whole
+	// group with a single flush (and, with Fsync, a single fsync) before
+	// applying it in order — amortizing the per-record persistence cost
+	// without changing the event stream: group boundaries are cut exactly
+	// where a checkpoint would fall, so the WAL byte stream and the tuner
+	// trajectory are identical to per-record commits (default 1, the
+	// pre-batching behavior).
+	Batch int
+	// Pipeline is the number of worker goroutines that speculatively run
+	// the read-only analysis phase (candidate peek, IBG construction,
+	// what-if probing) for statements queued behind the apply cursor
+	// within a group. Each speculation is validated against the tuner's
+	// change epoch at apply time and recomputed serially on a miss, so
+	// any setting produces bit-identical trajectories. 0 disables
+	// speculation; negative means one worker per CPU.
+	Pipeline int
 }
 
+// NameSeed derives a session's default partition-randomness seed from its
+// name (FNV-1a), so distinct sessions explore the randomized-restart
+// space independently while a recreated session of the same name explores
+// identically. Never 0 — that is the "derive me" sentinel.
+func NameSeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	seed := int64(h.Sum64())
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
+// applyDefaults is the single source of truth for session-level option
+// defaulting: every zero knob becomes its documented default here, and
+// nowhere else (the server composes its own defaults in first — see
+// Server.CreateSession — but never duplicates these rules).
 func (c *SessionConfig) applyDefaults() {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
 	}
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 500
+	}
+	if c.Batch == 0 {
+		c.Batch = 1
+	}
+	if c.Pipeline < 0 {
+		c.Pipeline = runtime.NumCPU()
 	}
 	def := core.DefaultOptions()
 	o := &c.Options
@@ -114,7 +157,11 @@ func (c *SessionConfig) applyDefaults() {
 		o.DoiThreshold = def.DoiThreshold
 	}
 	if o.Seed == 0 {
-		o.Seed = def.Seed
+		// Derived from the name, NOT the shared core default: a single
+		// fleet-wide seed would make every session explore the randomized
+		// partition restarts identically, defeating the documented
+		// independent exploration.
+		o.Seed = NameSeed(c.Name)
 	}
 }
 
@@ -148,6 +195,8 @@ func (c *SessionConfig) validate() error {
 		return bad("retire_after must be non-negative, got %d", o.RetireAfter)
 	case c.CheckpointBytes < 0:
 		return bad("checkpoint_bytes must be non-negative, got %d", c.CheckpointBytes)
+	case c.Batch < 1:
+		return bad("batch must be positive, got %d", c.Batch)
 	}
 	return nil
 }
@@ -191,6 +240,17 @@ type SessionStatus struct {
 	BenefitWindows int `json:"benefit_windows"`
 	PairWindows    int `json:"pair_windows"`
 	Retired        int `json:"retired"`
+	// Throughput gauges (see README "Throughput & batching"): the
+	// configured knobs, the number of WAL group commits and the records
+	// they covered (records/commits = achieved batch size), and how often
+	// the speculative analysis pipeline's work was consumed at apply time
+	// versus recomputed.
+	Batch              int   `json:"batch"`
+	Pipeline           int   `json:"pipeline"`
+	GroupCommits       int64 `json:"group_commits"`
+	GroupCommitRecords int64 `json:"group_commit_records"`
+	SpecHits           int64 `json:"spec_hits"`
+	SpecMisses         int64 `json:"spec_misses"`
 }
 
 // Session is one independent tuning loop with durable state. All
@@ -218,7 +278,9 @@ type Session struct {
 	closed bool
 
 	// mu guards the tuner and every counter below. The ingest loop holds
-	// it per event; read endpoints hold it briefly.
+	// it per drained batch; read endpoints hold it briefly. Speculative
+	// analysis goroutines run WITHOUT it — they touch only state captured
+	// at launch plus the concurrency-safe registry and what-if optimizer.
 	mu             sync.Mutex
 	tuner          *core.WFIT
 	wal            *state.WAL
@@ -229,6 +291,12 @@ type Session struct {
 	materialized   index.Set
 	sinceCkpt      int
 	broken         error // a failed WAL write or checkpoint poisons the session
+
+	// Throughput gauges (guarded by mu).
+	groupCommits int64
+	groupRecords int64
+	specHits     int64
+	specMisses   int64
 }
 
 type jobKind int
@@ -240,18 +308,26 @@ const (
 )
 
 type job struct {
-	kind        jobKind
-	sql         string
-	st          *stmt.Statement
+	kind jobKind
+	// sqls/sts carry a whole ingest batch (jobStmt): one queued job per
+	// client request, so the single-writer loop sees batches it can group
+	// commit instead of a lock-step stream of single statements.
+	sqls        []string
+	sts         []*stmt.Statement
 	plus, minus []state.IndexSpec
 	reply       chan jobReply
+
+	// results and accept accumulate outcomes as the apply loop works
+	// through the job's events (only the apply loop touches them).
+	results []StatementResult
+	accept  AcceptResult
 }
 
 type jobReply struct {
-	err    error
-	result StatementResult
-	rec    index.Set
-	accept AcceptResult
+	err     error
+	results []StatementResult
+	rec     index.Set
+	accept  AcceptResult
 }
 
 // newSessionBase builds the per-session world (registry, model, optimizer,
@@ -309,12 +385,22 @@ func CreateSession(dir string, cat *catalog.Catalog, cfg SessionConfig) (*Sessio
 	return s, nil
 }
 
+// SessionRuntime carries the per-process knobs a recovered session takes
+// from the daemon's flags rather than from its snapshot: durability
+// (fsync) and throughput (batch, pipeline) are operational choices of the
+// serving process, not persisted tuner state — and none of them changes
+// the tuner trajectory.
+type SessionRuntime struct {
+	Fsync    bool
+	Batch    int
+	Pipeline int
+}
+
 // OpenSession recovers a session from dir: load the snapshot, restore the
 // registry and tuner, then replay every WAL record the snapshot does not
 // already cover. The recovered session is bit-identical to one that never
-// stopped. fsync selects WAL fsync-per-append for the reopened log (the
-// durability knob is a server setting, not part of the persisted state).
-func OpenSession(dir string, cat *catalog.Catalog, fsync bool) (*Session, error) {
+// stopped. rt selects the reopened session's runtime knobs.
+func OpenSession(dir string, cat *catalog.Catalog, rt SessionRuntime) (*Session, error) {
 	snap, err := state.ReadFile(filepath.Join(dir, snapshotFile))
 	if err != nil {
 		return nil, fmt.Errorf("server: reading session snapshot: %w", err)
@@ -325,7 +411,9 @@ func OpenSession(dir string, cat *catalog.Catalog, fsync bool) (*Session, error)
 		QueueDepth:      snap.Session.QueueDepth,
 		CheckpointEvery: snap.Session.CheckpointEvery,
 		CheckpointBytes: snap.Session.CheckpointBytes,
-		Fsync:           fsync,
+		Fsync:           rt.Fsync,
+		Batch:           rt.Batch,
+		Pipeline:        rt.Pipeline,
 	}
 	// applyDefaults only; deliberately no validate(): a pre-validation
 	// session may have persisted knobs the rules now reject (e.g. a
@@ -380,7 +468,8 @@ func (s *Session) replay(rec state.Record) error {
 		if err != nil {
 			return fmt.Errorf("replaying statement (seq %d): %w", rec.Seq, err)
 		}
-		s.applyStatement(st)
+		st.ID = s.statements + 1
+		s.applyStatement(st, nil)
 	case state.RecVote:
 		plus, minus, err := s.resolveSpecs(rec.Plus, rec.Minus)
 		if err != nil {
@@ -405,71 +494,376 @@ func (s *Session) start() {
 	go s.loop()
 }
 
+// loop is the single-writer ingest loop: it drains queued jobs into a
+// batch and hands each batch to the group-commit apply path.
 func (s *Session) loop() {
 	defer s.wg.Done()
 	for j := range s.jobs {
-		s.applyJob(j)
+		s.applyBatch(s.drainBatch(j))
 	}
 }
 
-// applyJob is the single-writer apply path: WAL first, then the tuner.
-func (s *Session) applyJob(j *job) {
+// drainBatch collects jobs that are already queued behind first, without
+// blocking, up to the Batch record bound — the natural group size: under
+// light load every batch is the one job that woke the loop (identical to
+// per-record commits), under pressure the group grows toward the bound.
+func (s *Session) drainBatch(first *job) []*job {
+	batch := []*job{first}
+	records := first.records()
+	for records < s.cfg.Batch {
+		select {
+		case j, ok := <-s.jobs:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, j)
+			records += j.records()
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// records is the number of WAL records the job will log.
+func (j *job) records() int {
+	if j.kind == jobStmt {
+		return len(j.sts)
+	}
+	return 1
+}
+
+// event is one WAL-record-sized unit of a drained batch: a single
+// statement of an ingest job, or a whole vote/accept job.
+type event struct {
+	j    *job
+	st   *stmt.Statement // statement events: the parsed form
+	rec  state.Record
+	last bool // completes its job: reply once it (and any due checkpoint) lands
+}
+
+// applyBatch is the batched single-writer apply path. It flattens the
+// drained jobs into an event stream, then repeatedly: cuts the longest
+// prefix that ends no later than the next checkpoint boundary (and within
+// the Batch bound), group-commits those WAL records with one
+// flush(+fsync), applies them in order — speculatively analyzing queued
+// statements on the pipeline workers — and checkpoints if the cut ended
+// at a boundary. Cutting at checkpoint boundaries is what keeps the WAL
+// byte stream identical to per-record commits: a registry-compaction
+// record still lands exactly where an unbatched session would have logged
+// it, so recovery replays both streams to the same state.
+func (s *Session) applyBatch(jobs []*job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var rep jobReply
 	if s.broken != nil {
-		rep.err = s.broken
-		j.reply <- rep
+		for _, j := range jobs {
+			j.reply <- jobReply{err: s.broken}
+		}
 		return
 	}
-	switch j.kind {
-	case jobStmt:
-		if _, err := s.wal.Append(state.Record{Type: state.RecStatement, SQL: j.sql}); err != nil {
-			s.broken = fmt.Errorf("server: WAL append: %w", err)
-			rep.err = s.broken
-			break
+
+	// Flatten to events. Votes are validated against the catalog up
+	// front — without interning — so a malformed vote is rejected before
+	// anything of it is logged or applied, exactly as the per-record path
+	// rejected it before its append. Statement IDs are pre-assigned here,
+	// while nothing else can touch the statements: the apply path must
+	// not write st.ID later, when a speculative Run may be reading it.
+	events := make([]event, 0, len(jobs))
+	nextID := s.statements
+	for _, j := range jobs {
+		switch j.kind {
+		case jobStmt:
+			if len(j.sts) == 0 {
+				// Defense in depth (Ingest filters these): a job with no
+				// events would otherwise never be replied to.
+				j.reply <- jobReply{rec: s.tuner.Recommend()}
+				continue
+			}
+			j.results = make([]StatementResult, 0, len(j.sts))
+			for i, st := range j.sts {
+				nextID++
+				st.ID = nextID
+				events = append(events, event{
+					j: j, st: st,
+					rec:  state.Record{Type: state.RecStatement, SQL: j.sqls[i]},
+					last: i == len(j.sts)-1,
+				})
+			}
+		case jobVote:
+			if err := s.validateVote(j); err != nil {
+				j.reply <- jobReply{err: err}
+				continue
+			}
+			events = append(events, event{
+				j:    j,
+				rec:  state.Record{Type: state.RecVote, Plus: j.plus, Minus: j.minus},
+				last: true,
+			})
+		case jobAccept:
+			events = append(events, event{j: j, rec: state.Record{Type: state.RecAccept}, last: true})
 		}
-		rep.result = s.applyStatement(j.st)
-		rep.rec = s.tuner.Recommend()
-	case jobVote:
-		plus, minus, err := s.resolveSpecs(j.plus, j.minus)
-		if err != nil {
-			rep.err = err
-			break
-		}
-		if _, err := s.wal.Append(state.Record{Type: state.RecVote, Plus: j.plus, Minus: j.minus}); err != nil {
-			s.broken = fmt.Errorf("server: WAL append: %w", err)
-			rep.err = s.broken
-			break
-		}
-		s.tuner.Feedback(plus, minus)
-		rep.rec = s.tuner.Recommend()
-	case jobAccept:
-		if _, err := s.wal.Append(state.Record{Type: state.RecAccept}); err != nil {
-			s.broken = fmt.Errorf("server: WAL append: %w", err)
-			rep.err = s.broken
-			break
-		}
-		rep.accept = s.applyAccept()
 	}
-	due := (s.cfg.CheckpointEvery > 0 && s.sinceCkpt >= s.cfg.CheckpointEvery) ||
-		(s.cfg.CheckpointBytes > 0 && s.wal.Size() >= s.cfg.CheckpointBytes)
-	if rep.err == nil && due {
-		if err := s.checkpointLocked(); err != nil {
-			s.broken = err
-			rep.err = err
+
+	// fail replies err to every job that still has events at or after
+	// index from (partial statement results included), once each.
+	fail := func(from int, err error) {
+		var prev *job
+		for k := from; k < len(events); k++ {
+			if j := events[k].j; j != prev {
+				j.reply <- jobReply{err: err, results: j.results}
+				prev = j
+			}
 		}
 	}
-	j.reply <- rep
+
+	i := 0
+	for i < len(events) {
+		n, due := s.cutChunk(events[i:])
+		chunk := events[i : i+n]
+		recs := make([]state.Record, n)
+		for k := range chunk {
+			recs[k] = chunk[k].rec
+		}
+		if _, err := s.wal.AppendBatch(recs); err != nil {
+			s.broken = fmt.Errorf("server: WAL append: %w", err)
+			fail(i, s.broken)
+			return
+		}
+		s.groupCommits++
+		s.groupRecords += int64(n)
+
+		cp := s.newChunkPipeline(n)
+		for k := range chunk {
+			cp.advance(s, chunk, k)
+			ev := &chunk[k]
+			switch ev.j.kind {
+			case jobStmt:
+				ev.j.results = append(ev.j.results, s.applyStatement(ev.st, cp.task(k)))
+			case jobVote:
+				// Pre-validated above, so resolution cannot fail; interning
+				// happens here, at the vote's position in the event order.
+				plus, minus, err := s.resolveSpecs(ev.j.plus, ev.j.minus)
+				if err != nil {
+					// Unreachable by construction; poison loudly rather
+					// than diverge from the WAL silently.
+					s.broken = fmt.Errorf("server: vote resolution after validation: %w", err)
+					cp.finish()
+					fail(i+k, s.broken)
+					return
+				}
+				s.tuner.Feedback(plus, minus)
+			case jobAccept:
+				ev.j.accept = s.applyAccept()
+			}
+			if ev.last && !(due && k == n-1) {
+				s.replyDone(ev.j)
+			}
+		}
+		// Reap abandoned speculations before a checkpoint may compact the
+		// registry.
+		cp.finish()
+
+		if due {
+			var err error
+			if err = s.checkpointLocked(); err != nil {
+				s.broken = err
+			}
+			// The event that triggered the checkpoint reports its outcome,
+			// like the per-record path did (its work has applied either
+			// way; the error says the snapshot after it failed).
+			if last := &chunk[n-1]; last.last {
+				if err != nil {
+					last.j.reply <- jobReply{err: err, results: last.j.results}
+				} else {
+					s.replyDone(last.j)
+				}
+			}
+			if err != nil {
+				fail(i+n, s.broken)
+				return
+			}
+		}
+		i += n
+	}
 }
 
-// applyStatement analyzes one statement and charges the total-work
-// account: the statement's cost under the currently materialized
-// configuration, as the evaluation harness prices runs.
-func (s *Session) applyStatement(st *stmt.Statement) StatementResult {
+// replyDone sends a job its success reply: the accept outcome for accept
+// jobs, otherwise the accumulated statement results plus the
+// recommendation as of the job's last applied event.
+func (s *Session) replyDone(j *job) {
+	if j.kind == jobAccept {
+		j.reply <- jobReply{accept: j.accept}
+		return
+	}
+	j.reply <- jobReply{results: j.results, rec: s.tuner.Recommend()}
+}
+
+// cutChunk returns how many of the pending events the next group commit
+// may cover, and whether a checkpoint is due right after that chunk. It
+// simulates exactly the per-record schedule: WAL growth record by record
+// (FrameSize is exact) and the statement counter, cutting at the first
+// event whose post-apply state satisfies the checkpoint condition — so
+// batching never moves a checkpoint (or the registry compaction it logs)
+// relative to an unbatched session.
+func (s *Session) cutChunk(pending []event) (n int, due bool) {
+	simSince := s.sinceCkpt
+	simSize := s.wal.Size()
+	max := s.cfg.Batch
+	if max > len(pending) {
+		max = len(pending)
+	}
+	for k := 0; k < max; k++ {
+		simSize += state.FrameSize(pending[k].rec)
+		if pending[k].j.kind == jobStmt {
+			simSince++
+		}
+		if (s.cfg.CheckpointEvery > 0 && simSince >= s.cfg.CheckpointEvery) ||
+			(s.cfg.CheckpointBytes > 0 && simSize >= s.cfg.CheckpointBytes) {
+			return k + 1, true
+		}
+	}
+	return max, false
+}
+
+// validateVote checks every spec of a vote against the catalog without
+// touching the registry.
+func (s *Session) validateVote(j *job) error {
+	for _, spec := range j.plus {
+		if err := ValidateSpec(s.cat, spec); err != nil {
+			return err
+		}
+	}
+	for _, spec := range j.minus {
+		if err := ValidateSpec(s.cat, spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// specTask is one in-flight speculative analysis. consumed is touched
+// only by the apply loop (under mu), never by the worker.
+type specTask struct {
+	a        *core.Analysis
+	done     chan struct{}
+	consumed bool
+}
+
+// chunkPipeline runs the speculative analyses of one chunk: a worker pool
+// fed by a sliding capture window that stays at most Pipeline statements
+// ahead of the apply cursor. Keeping the window narrow is what keeps the
+// hit rate high — a capture is never more than Pipeline-1 applies old, so
+// an invalidating apply (new interned candidate, repartition, accept)
+// dooms at most the in-flight window, and every statement behind it is
+// re-captured against the post-change state instead of being written off
+// with the rest of the chunk.
+type chunkPipeline struct {
+	tasks []*specTask // index-aligned with the chunk's events (nil for non-stmt)
+	feed  chan *specTask
+	width int
+	next  int // next chunk index the window may capture
+}
+
+// newChunkPipeline starts the worker pool for a chunk of n events, or
+// returns nil when speculation is disabled.
+func (s *Session) newChunkPipeline(n int) *chunkPipeline {
+	width := s.cfg.Pipeline
+	if width <= 0 || n < 2 {
+		return nil
+	}
+	cp := &chunkPipeline{
+		tasks: make([]*specTask, n),
+		feed:  make(chan *specTask, n),
+		width: width,
+	}
+	workers := width
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for t := range cp.feed {
+				t.a.Run()
+				close(t.done)
+			}
+		}()
+	}
+	return cp
+}
+
+// advance tops the capture window up to cursor+width. Must run under mu:
+// BeginAnalysis snapshots the tuner's current epoch and context. The feed
+// channel is buffered to the chunk length, so the send never blocks.
+func (cp *chunkPipeline) advance(s *Session, chunk []event, cursor int) {
+	if cp == nil {
+		return
+	}
+	for cp.next < len(chunk) && cp.next < cursor+cp.width {
+		if chunk[cp.next].j.kind == jobStmt {
+			t := &specTask{a: s.tuner.BeginAnalysis(chunk[cp.next].st, 1), done: make(chan struct{})}
+			cp.tasks[cp.next] = t
+			cp.feed <- t
+		}
+		cp.next++
+	}
+}
+
+// task returns the speculative task for chunk index k, if any.
+func (cp *chunkPipeline) task(k int) *specTask {
+	if cp == nil {
+		return nil
+	}
+	return cp.tasks[k]
+}
+
+// finish stops the pool and reaps every launched-but-unconsumed task.
+// Callers must invoke it before any registry compaction (Analysis.Run
+// must never overlap an ID renumbering) and on every exit path of the
+// chunk apply loop.
+func (cp *chunkPipeline) finish() {
+	if cp == nil {
+		return
+	}
+	close(cp.feed)
+	for _, t := range cp.tasks {
+		if t != nil && !t.consumed {
+			<-t.done
+			t.a.Discard()
+			t.consumed = true
+		}
+	}
+}
+
+// applyStatement analyzes one statement — consuming a valid speculative
+// analysis when one is offered, recomputing serially otherwise — and
+// charges the total-work account: the statement's cost under the
+// currently materialized configuration, as the evaluation harness prices
+// runs.
+func (s *Session) applyStatement(st *stmt.Statement, spec *specTask) StatementResult {
+	// st.ID was assigned when the batch's events were built (or by
+	// replay) — never here: writing it now would race with an in-flight
+	// speculative Run reading the statement.
 	s.statements++
-	st.ID = s.statements
-	s.tuner.AnalyzeQuery(st)
+	switch {
+	case spec == nil:
+		s.tuner.AnalyzeQuery(st)
+	case s.tuner.AnalysisValid(spec.a):
+		// Worth waiting for: the capture is still current, so the Run's
+		// result will be consumed (nothing can invalidate it while we
+		// hold mu).
+		<-spec.done
+		if s.tuner.ApplyAnalysis(spec.a) {
+			s.specHits++
+		} else {
+			s.specMisses++
+		}
+		spec.consumed = true
+	default:
+		// Already stale — recompute immediately instead of waiting for a
+		// doomed Run; the join at the end of the chunk reaps it.
+		s.specMisses++
+		s.tuner.AnalyzeQuery(st)
+	}
 	c := s.opt.Cost(st, s.materialized)
 	s.totalWork += c
 	s.sinceCkpt++
@@ -495,40 +889,37 @@ func (s *Session) applyAccept() AcceptResult {
 	return AcceptResult{Materialized: rec, Created: created, Dropped: dropped, TransitionCost: delta}
 }
 
-// resolveSpecs turns vote specs into interned index sets. Interning
-// happens here, inside the single-writer apply path, so registry ID
-// assignment depends only on the event order the WAL records.
+// resolveSpecs turns vote specs into interned index sets. Every spec is
+// validated BEFORE any is interned: a vote that fails validation must
+// leave the registry untouched, because failed votes are never WAL-logged
+// and any interning they did would make the live ID assignment diverge
+// from what recovery replays. Interning happens here, inside the
+// single-writer apply path, so registry ID assignment depends only on the
+// event order the WAL records.
 func (s *Session) resolveSpecs(plus, minus []state.IndexSpec) (index.Set, index.Set, error) {
-	resolve := func(specs []state.IndexSpec) (index.Set, error) {
+	for _, specs := range [][]state.IndexSpec{plus, minus} {
+		for _, spec := range specs {
+			if err := ValidateSpec(s.cat, spec); err != nil {
+				return index.EmptySet, index.EmptySet, err
+			}
+		}
+	}
+	resolve := func(specs []state.IndexSpec) index.Set {
 		var ids []index.ID
 		for _, spec := range specs {
-			id, err := s.resolveSpec(spec)
-			if err != nil {
-				return index.EmptySet, err
-			}
-			ids = append(ids, id)
+			ids = append(ids, s.resolveSpec(spec))
 		}
-		return index.NewSet(ids...), nil
+		return index.NewSet(ids...)
 	}
-	p, err := resolve(plus)
-	if err != nil {
-		return index.EmptySet, index.EmptySet, err
-	}
-	m, err := resolve(minus)
-	if err != nil {
-		return index.EmptySet, index.EmptySet, err
-	}
-	return p, m, nil
+	return resolve(plus), resolve(minus), nil
 }
 
-func (s *Session) resolveSpec(spec state.IndexSpec) (index.ID, error) {
-	if err := ValidateSpec(s.cat, spec); err != nil {
-		return index.Invalid, err
-	}
+// resolveSpec interns one already-validated spec.
+func (s *Session) resolveSpec(spec state.IndexSpec) index.ID {
 	if id, ok := s.reg.Lookup(spec.Table, spec.Columns); ok {
-		return id, nil
+		return id
 	}
-	return s.reg.Intern(cost.BuildIndexProto(s.cat, s.model.Params(), spec.Table, spec.Columns)), nil
+	return s.reg.Intern(cost.BuildIndexProto(s.cat, s.model.Params(), spec.Table, spec.Columns))
 }
 
 // ValidateSpec checks an index spec against the catalog without touching
@@ -576,9 +967,17 @@ func (s *Session) submit(ctx context.Context, j *job) (jobReply, error) {
 }
 
 // Ingest parses and analyzes a batch of SQL statements in order. Parse
-// errors fail the whole batch up front (nothing is applied); apply errors
-// abort mid-batch with the statements already applied reported.
+// errors fail the whole batch up front — nothing is applied or WAL-logged
+// (the documented ParseError contract); the parsed batch then travels as
+// ONE queued job, so the apply loop can group-commit its records and
+// pipeline its analysis instead of lock-stepping statement by statement.
+// An apply error reports the statements that did land before it.
 func (s *Session) Ingest(ctx context.Context, sqls []string) ([]StatementResult, index.Set, error) {
+	if len(sqls) == 0 {
+		// An empty batch logs and applies nothing; submitting it would
+		// produce a job with no events — and therefore no reply.
+		return nil, index.EmptySet, nil
+	}
 	parsed := make([]*stmt.Statement, len(sqls))
 	for i, sql := range sqls {
 		st, err := s.parser.Parse(sql)
@@ -587,17 +986,8 @@ func (s *Session) Ingest(ctx context.Context, sqls []string) ([]StatementResult,
 		}
 		parsed[i] = st
 	}
-	results := make([]StatementResult, 0, len(parsed))
-	rec := index.EmptySet
-	for i, st := range parsed {
-		rep, err := s.submit(ctx, &job{kind: jobStmt, sql: sqls[i], st: st})
-		if err != nil {
-			return results, rec, err
-		}
-		results = append(results, rep.result)
-		rec = rep.rec
-	}
-	return results, rec, nil
+	rep, err := s.submit(ctx, &job{kind: jobStmt, sqls: sqls, sts: parsed})
+	return rep.results, rep.rec, err
 }
 
 // Vote casts explicit DBA feedback and returns the new recommendation.
@@ -649,24 +1039,30 @@ func (s *Session) Status() SessionStatus {
 	p := s.tuner.Partition()
 	benefit, pairs := s.tuner.StatsEntries()
 	return SessionStatus{
-		Name:           s.cfg.Name,
-		Statements:     s.statements,
-		UniverseSize:   s.tuner.UniverseSize(),
-		Repartitions:   s.tuner.Repartitions(),
-		Parts:          len(p),
-		States:         p.States(),
-		TotalWork:      s.totalWork,
-		TransitionCost: s.transitionCost,
-		Changes:        s.changes,
-		Materialized:   s.materialized.Len(),
-		WALSeq:         s.wal.LastSeq(),
-		WALBytes:       s.wal.Size(),
-		QueueLen:       len(s.jobs),
-		QueueDepth:     s.cfg.QueueDepth,
-		RegistrySize:   s.reg.Len(),
-		BenefitWindows: benefit,
-		PairWindows:    pairs,
-		Retired:        s.tuner.Retired(),
+		Name:               s.cfg.Name,
+		Statements:         s.statements,
+		UniverseSize:       s.tuner.UniverseSize(),
+		Repartitions:       s.tuner.Repartitions(),
+		Parts:              len(p),
+		States:             p.States(),
+		TotalWork:          s.totalWork,
+		TransitionCost:     s.transitionCost,
+		Changes:            s.changes,
+		Materialized:       s.materialized.Len(),
+		WALSeq:             s.wal.LastSeq(),
+		WALBytes:           s.wal.Size(),
+		QueueLen:           len(s.jobs),
+		QueueDepth:         s.cfg.QueueDepth,
+		RegistrySize:       s.reg.Len(),
+		BenefitWindows:     benefit,
+		PairWindows:        pairs,
+		Retired:            s.tuner.Retired(),
+		Batch:              s.cfg.Batch,
+		Pipeline:           s.cfg.Pipeline,
+		GroupCommits:       s.groupCommits,
+		GroupCommitRecords: s.groupRecords,
+		SpecHits:           s.specHits,
+		SpecMisses:         s.specMisses,
 	}
 }
 

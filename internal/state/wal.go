@@ -63,6 +63,9 @@ type Record struct {
 // so a killed process (kill -9) loses at most the record being written —
 // never an acknowledged one. Fsync additionally syncs to stable storage
 // per append, trading throughput for power-failure durability.
+// AppendBatch amortizes the flush (and fsync) over a whole group of
+// records — the group-commit fast path of the tuning service's batched
+// ingest loop.
 type WAL struct {
 	f     *os.File
 	w     *bufio.Writer
@@ -173,25 +176,84 @@ func (w *WAL) Append(rec Record) (uint64, error) {
 	w.seq++
 	rec.Seq = w.seq
 	payload := encodeRecord(rec)
+	if err := w.writeFrame(payload); err != nil {
+		return 0, err
+	}
+	if err := w.commit(); err != nil {
+		return 0, err
+	}
+	w.size += int64(8 + len(payload))
+	return rec.Seq, nil
+}
+
+// AppendBatch is the group-commit form of Append: it assigns consecutive
+// sequence numbers to every record, frames them all into the buffered
+// writer, then performs ONE flush and (when Fsync is set) ONE fsync for
+// the whole batch. It returns the sequence number of the last record.
+//
+// Acknowledgement semantics are the same as Append's, amortized: once
+// AppendBatch returns, every record in the batch survives a process kill
+// (flushed to the OS), and with Fsync additionally survives power loss.
+// Until it returns, nothing in the batch is acknowledged — a crash during
+// the call may persist any prefix of the batch (each record is framed and
+// CRC'd individually), and recovery keeps that intact prefix and
+// truncates the rest as a torn tail. A non-nil error leaves the log in an
+// undefined position; callers must stop appending (the tuning service
+// poisons the session).
+func (w *WAL) AppendBatch(recs []Record) (uint64, error) {
+	if len(recs) == 0 {
+		return w.seq, nil
+	}
+	var batchBytes int64
+	for i := range recs {
+		w.seq++
+		recs[i].Seq = w.seq
+		payload := encodeRecord(recs[i])
+		if err := w.writeFrame(payload); err != nil {
+			return 0, err
+		}
+		batchBytes += int64(8 + len(payload))
+	}
+	if err := w.commit(); err != nil {
+		return 0, err
+	}
+	w.size += batchBytes
+	return w.seq, nil
+}
+
+// writeFrame writes one length+CRC framed payload into the buffered
+// writer without flushing.
+func (w *WAL) writeFrame(payload []byte) error {
 	var frame [8]byte
 	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
 	if _, err := w.w.Write(frame[:]); err != nil {
-		return 0, err
+		return err
 	}
-	if _, err := w.w.Write(payload); err != nil {
-		return 0, err
-	}
+	_, err := w.w.Write(payload)
+	return err
+}
+
+// commit flushes buffered frames to the OS and, when Fsync is set, syncs
+// them to stable storage.
+func (w *WAL) commit() error {
 	if err := w.w.Flush(); err != nil {
-		return 0, err
+		return err
 	}
 	if w.Fsync {
-		if err := w.f.Sync(); err != nil {
-			return 0, err
-		}
+		return w.f.Sync()
 	}
-	w.size += int64(8 + len(payload))
-	return rec.Seq, nil
+	return nil
+}
+
+// FrameSize returns the exact on-disk footprint of rec once appended: the
+// 8-byte frame header plus the encoded payload. The encoding is
+// fixed-width for the sequence number, so the size does not depend on the
+// seq Append will assign — which is what lets the tuning service simulate
+// WAL growth (and cut group commits at checkpoint boundaries) before
+// appending anything.
+func FrameSize(rec Record) int64 {
+	return int64(8 + len(encodeRecord(rec)))
 }
 
 // Reset truncates the log back to its header after a checkpoint. The
