@@ -1,0 +1,107 @@
+// Command wfit-router fronts a fleet of wfit-serve nodes: it hashes each
+// session onto a shard (a primary plus an optional warm standby),
+// health-checks every node, proxies requests to the shard's leader,
+// retries idempotent reads against the standby, and promotes the standby
+// when a primary stays dead past the failure threshold. While a shard has
+// no writable node, writes get 503 + Retry-After — never a silent drop.
+//
+// Usage:
+//
+//	wfit-router -addr :7791 \
+//	    -shard http://primary-a:7781,http://standby-a:7782 \
+//	    -shard http://primary-b:7783
+//
+// Repeat -shard once per replication pair ("primaryURL" or
+// "primaryURL,standbyURL"); sessions hash across the shards in the order
+// given, so the shard list must be identical (and identically ordered)
+// across router restarts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/router"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	addr := flag.String("addr", ":7791", "listen address")
+	healthInterval := flag.Duration("health-interval", 500*time.Millisecond, "node health probe cadence")
+	healthTimeout := flag.Duration("health-timeout", 2*time.Second, "per-probe timeout")
+	failThreshold := flag.Int("fail-threshold", 3, "consecutive probe failures before a node is down (and a dead primary's standby is promoted)")
+	readRetries := flag.Int("read-retries", 2, "extra attempts for idempotent reads, with jittered backoff across the shard's nodes")
+	requestTimeout := flag.Duration("request-timeout", 60*time.Second, "deadline for one proxied request")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "how long a client may take to send request headers (slowloris bound)")
+	readTimeout := flag.Duration("read-timeout", 60*time.Second, "how long a client may take to send a full request")
+	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "how long a response may take to drain to the client")
+	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "how long an idle keep-alive connection is kept open")
+	var shards []router.Shard
+	flag.Func("shard", `one shard as "primaryURL" or "primaryURL,standbyURL" (repeatable)`, func(v string) error {
+		primary, standby, _ := strings.Cut(v, ",")
+		primary, standby = strings.TrimSpace(primary), strings.TrimSpace(standby)
+		if primary == "" {
+			return fmt.Errorf("shard %q has no primary URL", v)
+		}
+		shards = append(shards, router.Shard{Primary: primary, Standby: standby})
+		return nil
+	})
+	flag.Parse()
+
+	rt, err := router.New(router.Config{
+		Shards:         shards,
+		HealthInterval: *healthInterval,
+		HealthTimeout:  *healthTimeout,
+		FailThreshold:  *failThreshold,
+		ReadRetries:    *readRetries,
+		RequestTimeout: *requestTimeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfit-router: %v\n", err)
+		return 2
+	}
+	defer rt.Close()
+
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("wfit-router: listening on %s (%d shard(s))\n", *addr, len(shards))
+		errCh <- httpServer.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("wfit-router: %v, shutting down\n", sig)
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "wfit-router: %v\n", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "wfit-router: http shutdown: %v\n", err)
+		return 1
+	}
+	return 0
+}

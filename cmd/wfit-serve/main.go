@@ -9,7 +9,13 @@
 //	wfit-serve -addr :7781 -data ./wfit-data [-checkpoint-every N]
 //	           [-checkpoint-bytes N] [-queue N] [-idxcnt N] [-statecnt N]
 //	           [-histsize N] [-retire-after N] [-fsync] [-batch N]
-//	           [-pipeline N]
+//	           [-pipeline N] [-standby URL] [-replicate-async] [-follower]
+//
+// Replication (see the README's "Replication & failover" section):
+// -standby URL ships every session's WAL to a warm standby at URL
+// (synchronously unless -replicate-async); -follower starts this node AS
+// a standby — it applies the replication stream, serves reads, and
+// rejects client writes with 503 until POST /replication/promote.
 //
 // The HTTP/JSON API (see the README's "Running as a service" section):
 //
@@ -21,7 +27,14 @@
 //	POST   /sessions/{id}/accept          materialize the recommendation
 //	GET    /sessions/{id}/status          session statistics
 //	POST   /sessions/{id}/checkpoint      force a snapshot
-//	GET    /healthz                       liveness probe
+//	GET    /healthz                       liveness probe (reports role)
+//
+// plus the replication API (active when peers use it):
+//
+//	POST   /replication/sessions/{id}/wal       apply shipped WAL records
+//	POST   /replication/sessions/{id}/snapshot  bootstrap from a snapshot
+//	GET    /replication/status                  role + replication cursors
+//	POST   /replication/promote                 standby becomes primary
 //
 // SIGINT/SIGTERM trigger a graceful shutdown that checkpoints every
 // session, so the next start recovers without WAL replay.
@@ -39,7 +52,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/replica"
 	"repro/internal/server"
+	"repro/internal/state"
 )
 
 func main() {
@@ -59,7 +74,19 @@ func realMain() int {
 	histSize := flag.Int("histsize", 100, "default histSize knob for new sessions")
 	retireAfter := flag.Int("retire-after", 0, "retire candidates with no recorded benefit in this many statements, bounding memory on long-horizon sessions (0 disables)")
 	fsync := flag.Bool("fsync", false, "fsync the WAL on every append (power-loss durability)")
+	standby := flag.String("standby", "", "warm-standby base URL to ship every session's WAL to (empty: unreplicated)")
+	replicateAsync := flag.Bool("replicate-async", false, "ship the WAL in the background instead of before acking writes (lower latency, unshipped tail lost on primary death)")
+	follower := flag.Bool("follower", false, "start as a warm standby: apply the replication stream, serve reads, reject client writes until promoted")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "how long a client may take to send request headers (slowloris bound)")
+	readTimeout := flag.Duration("read-timeout", 60*time.Second, "how long a client may take to send a full request")
+	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "how long a response may take to generate and drain to the client")
+	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "how long an idle keep-alive connection is kept open")
 	flag.Parse()
+
+	if *follower && *standby != "" {
+		fmt.Fprintln(os.Stderr, "wfit-serve: -follower and -standby are mutually exclusive (chained replication is not supported)")
+		return 2
+	}
 
 	options := core.DefaultOptions()
 	options.IdxCnt = *idxCnt
@@ -75,7 +102,7 @@ func realMain() int {
 		return 2
 	}
 
-	sv, err := server.New(server.Config{
+	svCfg := server.Config{
 		DataDir:         *dataDir,
 		DefaultOptions:  options,
 		QueueDepth:      *queueDepth,
@@ -84,7 +111,22 @@ func realMain() int {
 		Fsync:           *fsync,
 		Batch:           *batch,
 		Pipeline:        *pipeline,
-	})
+		Follower:        *follower,
+	}
+	if *standby != "" {
+		standbyURL, sync := *standby, !*replicateAsync
+		svCfg.NewShipper = func(name, dir string, base uint64, tail []state.Record) server.Shipper {
+			return replica.NewShipper(replica.Config{
+				Session: name,
+				Dir:     dir,
+				Standby: standbyURL,
+				Sync:    sync,
+				Base:    base,
+				Backlog: tail,
+			})
+		}
+	}
+	sv, err := server.New(svCfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wfit-serve: %v\n", err)
 		return 1
@@ -93,10 +135,20 @@ func realMain() int {
 		fmt.Printf("wfit-serve: recovered %d session(s) from %s\n", n, *dataDir)
 	}
 
-	httpServer := &http.Server{Addr: *addr, Handler: sv.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/replication/", replica.NewHandler(sv))
+	mux.Handle("/", sv.Handler())
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("wfit-serve: listening on %s (data dir %s)\n", *addr, *dataDir)
+		fmt.Printf("wfit-serve: listening on %s (data dir %s, role %s)\n", *addr, *dataDir, sv.Role())
 		errCh <- httpServer.ListenAndServe()
 	}()
 

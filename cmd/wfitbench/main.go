@@ -49,6 +49,7 @@ func realMain() int {
 	service := flag.Bool("service", true, "include the wfit-serve loadgen (K concurrent sessions over HTTP) in the perf run")
 	pipeline := flag.Bool("pipeline", true, "include the ingest-throughput bench (WAL group commit + speculative analysis vs per-record commits, with and without fsync) in the perf run")
 	throughput := flag.Bool("throughput", false, "run only the ingest-throughput bench and write its \"pipeline\" section (the CI throughput-smoke entry point)")
+	failover := flag.Bool("failover", false, "run only the replicated-pair failover bench (kill the primary mid-stream, promote the standby through the router) and write its \"failover\" section (the CI failover-smoke entry point)")
 	soak := flag.Bool("soak", false, "run the long-horizon bounded-memory soak (rotating schemas, candidate retirement, registry compaction); alone it writes just the soak section, with -perf it rides along")
 	soakStatements := flag.Int("soak-statements", 0, "soak stream length (0 = the 10k default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured runs to this file")
@@ -92,7 +93,15 @@ func realMain() int {
 		if code != 0 {
 			return code
 		}
-		return writeReport(&bench.PerfReport{Schema: "wfit-perf/v5", Pipeline: p}, *benchout)
+		return writeReport(&bench.PerfReport{Schema: "wfit-perf/v6", Pipeline: p}, *benchout)
+	}
+
+	if *failover {
+		p, code := runFailover()
+		if code != 0 {
+			return code
+		}
+		return writeReport(&bench.PerfReport{Schema: "wfit-perf/v6", Failover: p}, *benchout)
 	}
 
 	var soakReport *bench.SoakReport
@@ -104,7 +113,7 @@ func realMain() int {
 		soakReport = r
 		if !*perf && *fig == 0 && !*overhead {
 			// Soak-only invocation: no experiment environment needed.
-			return writeReport(&bench.PerfReport{Schema: "wfit-perf/v5", Soak: soakReport}, *benchout)
+			return writeReport(&bench.PerfReport{Schema: "wfit-perf/v6", Soak: soakReport}, *benchout)
 		}
 	}
 
@@ -132,7 +141,7 @@ func realMain() int {
 	// when a soak rode along, persist it so the run is never discarded.
 	writeSoakOnly := func(code int) int {
 		if code == 0 && soakReport != nil {
-			return writeReport(&bench.PerfReport{Schema: "wfit-perf/v5", Soak: soakReport}, *benchout)
+			return writeReport(&bench.PerfReport{Schema: "wfit-perf/v6", Soak: soakReport}, *benchout)
 		}
 		return code
 	}
@@ -213,6 +222,34 @@ func printPipeline(p *bench.PipelinePerf) {
 	}
 	fmt.Printf("  group-commit speedup: %.2fx under fsync, %.2fx without; trajectories identical: %v\n",
 		p.SpeedupFsync, p.SpeedupNoFsync, p.TotalWorkIdentical)
+}
+
+// runFailover drives the replicated-pair kill test against a temp data
+// dir and prints the outage accounting.
+func runFailover() (*bench.FailoverPerf, int) {
+	dataDir, err := os.MkdirTemp("", "wfit-failover-bench-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "failover bench temp dir: %v\n", err)
+		return nil, 1
+	}
+	defer os.RemoveAll(dataDir)
+	fmt.Println("Failover: sync-replicated pair behind the router, primary killed mid-stream")
+	p, err := bench.RunFailover(bench.FailoverOptions{DataDir: dataDir})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "failover bench: %v\n", err)
+		return nil, 1
+	}
+	fmt.Printf("  steady ingest %7.0f µs mean (p50 %.0f, p90 %.0f, p99 %.0f), replication lag mean %.2f max %d over %d samples\n",
+		p.SteadyUSMean, p.SteadyUSP50, p.SteadyUSP90, p.SteadyUSP99, p.LagMean, p.LagMax, p.LagSamples)
+	fmt.Printf("  kill at statement %d: blip %.0f ms (%d refused attempts), acked %d, on standby at promotion %d, LOST %d\n",
+		p.FailAt, p.BlipMS, p.BlipRetries, p.AckedBeforeKill, p.OnStandbyAtPromotion, p.LostAcked)
+	fmt.Printf("  post-failover ingest %7.0f µs mean (p50 %.0f, p99 %.0f), wall %.1fs\n",
+		p.PostUSMean, p.PostUSP50, p.PostUSP99, p.WallMS/1e3)
+	if p.LostAcked != 0 {
+		fmt.Fprintf(os.Stderr, "failover bench: %d ACKNOWLEDGED STATEMENTS LOST\n", p.LostAcked)
+		return nil, 1
+	}
+	return p, 0
 }
 
 // runSoak drives the bounded-memory soak and prints its summary.

@@ -23,14 +23,18 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/datagen"
 	"repro/internal/server"
@@ -177,19 +181,77 @@ func tpccSlice(n int) []string {
 	return out
 }
 
-// client is a minimal JSON-over-HTTP helper.
+// client is a minimal JSON-over-HTTP helper with the retry discipline a
+// replicated deployment expects of its clients: the service (and the
+// router fronting it) answers 503 + Retry-After during a failover window
+// instead of dropping work, so the client's job is to wait and resend. A
+// 503 is always safe to retry — it means the request was refused before
+// being applied. A transport error (connection reset when a node dies) is
+// retried too, which makes the stream at-least-once; every operation this
+// client sends tolerates that (and the session's WAL dedups re-shipped
+// sequence numbers on the replica path).
 type client struct {
 	base string
 }
 
+// retry bounds: up to 6 attempts with jittered exponential backoff,
+// capped per try, honoring a server-provided Retry-After.
+const (
+	retryAttempts = 6
+	retryBase     = 200 * time.Millisecond
+	retryMax      = 5 * time.Second
+)
+
 func (c *client) do(method, path string, body any) (map[string]any, error) {
-	var rd io.Reader
+	var payload []byte
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
 			return nil, err
 		}
-		rd = bytes.NewReader(b)
+		payload = b
+	}
+	backoff := retryBase
+	var lastErr error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if attempt > 0 {
+			sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2))) //nolint:gosec // backoff spread
+			fmt.Printf("  (retrying %s %s in %v: %v)\n", method, path, sleep.Round(time.Millisecond), lastErr)
+			time.Sleep(sleep)
+			if backoff *= 2; backoff > retryMax {
+				backoff = retryMax
+			}
+		}
+		out, err := c.once(method, path, payload)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		var re *retryableError
+		if !errors.As(err, &re) {
+			return nil, err
+		}
+		if re.after > backoff {
+			backoff = re.after
+		}
+	}
+	return nil, fmt.Errorf("%s %s: giving up after %d attempts: %w", method, path, retryAttempts, lastErr)
+}
+
+// retryableError marks a failure worth resending: a 503 (failover window)
+// or a transport error. after carries the server's Retry-After wish.
+type retryableError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+func (c *client) once(method, path string, payload []byte) (map[string]any, error) {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequest(method, c.base+path, rd)
 	if err != nil {
@@ -198,15 +260,23 @@ func (c *client) do(method, path string, body any) (map[string]any, error) {
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, &retryableError{err: err}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, &retryableError{err: err}
 	}
 	if resp.StatusCode >= 300 {
-		return nil, fmt.Errorf("%s %s: %d: %s", method, path, resp.StatusCode, bytes.TrimSpace(data))
+		httpErr := fmt.Errorf("%s %s: %d: %s", method, path, resp.StatusCode, bytes.TrimSpace(data))
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			var after time.Duration
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				after = time.Duration(secs) * time.Second
+			}
+			return nil, &retryableError{err: httpErr, after: after}
+		}
+		return nil, httpErr
 	}
 	var out map[string]any
 	if err := json.Unmarshal(data, &out); err != nil {

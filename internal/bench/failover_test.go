@@ -1,0 +1,32 @@
+package bench
+
+import "testing"
+
+// TestRunFailoverSmall drives the replicated-pair kill test at test
+// scale: the client must ride out the promotion with zero acknowledged
+// statements lost and finish the stream on the promoted standby.
+func TestRunFailoverSmall(t *testing.T) {
+	p, err := RunFailover(FailoverOptions{
+		DataDir:    t.TempDir(),
+		Statements: 40,
+		FailAt:     20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LostAcked != 0 {
+		t.Fatalf("lost %d acknowledged statements across failover", p.LostAcked)
+	}
+	if p.AckedBeforeKill != 20 || p.OnStandbyAtPromotion < 20 {
+		t.Fatalf("acked accounting wrong: acked %d, on standby %d", p.AckedBeforeKill, p.OnStandbyAtPromotion)
+	}
+	if p.BlipMS <= 0 {
+		t.Fatalf("no failover blip measured (blip %.2f ms)", p.BlipMS)
+	}
+	if p.LagSamples == 0 || p.LagMax != 0 {
+		t.Fatalf("sync replication lag should sample as zero: %d samples, max %d", p.LagSamples, p.LagMax)
+	}
+	if p.SteadyUSP50 <= 0 || p.PostUSP50 <= 0 {
+		t.Fatalf("latency summaries empty: steady p50 %.0f, post p50 %.0f", p.SteadyUSP50, p.PostUSP50)
+	}
+}

@@ -60,7 +60,9 @@ type PerfSide struct {
 // paths; it is the payload of cmd/wfitbench's BENCH_wfit.json. Schema
 // wfit-perf/v3 added the Service section (the wfit-serve loadgen); v4
 // added the Soak section (the long-horizon bounded-memory run); v5 added
-// the Pipeline section (the group-commit ingest-throughput comparison).
+// the Pipeline section (the group-commit ingest-throughput comparison);
+// v6 added the Failover section (the replicated-pair kill test: blip
+// latency across promotion and steady-state replication lag).
 type PerfReport struct {
 	Schema     string `json:"schema"`
 	GoVersion  string `json:"go_version"`
@@ -85,6 +87,10 @@ type PerfReport struct {
 	// vs WAL group commit + speculative analysis, with and without
 	// fsync); nil when skipped.
 	Pipeline *PipelinePerf `json:"pipeline,omitempty"`
+	// Failover is the replicated-pair kill test (client-observed outage
+	// blip across standby promotion, acked-loss accounting, replication
+	// lag); nil when skipped.
+	Failover *FailoverPerf `json:"failover,omitempty"`
 }
 
 // RunPerf evaluates the full WFIT once with the given worker bound and
@@ -165,7 +171,7 @@ func (e *Env) RunPerfComparison() *PerfReport {
 	serial := e.RunPerf(1)
 	parallel := e.RunPerf(0)
 	r := &PerfReport{
-		Schema:      "wfit-perf/v5",
+		Schema:      "wfit-perf/v6",
 		GoVersion:   runtime.Version(),
 		Cores:       runtime.NumCPU(),
 		Statements:  len(e.Workload.Statements),

@@ -1,0 +1,203 @@
+// Package faultinject is the deterministic fault layer the replication
+// and failover tests thread under the service's I/O paths: named fault
+// points with counted plans (fail the next N hits, tear a write after K
+// bytes, delay, hang) evaluated in FIFO order, plus an http.RoundTripper
+// wrapper for client-side network faults (dropped connections, half-open
+// stalls, partitions).
+//
+// Plans are counted rather than probabilistic so tests are reproducible:
+// the Nth WAL write tears, the first three ship attempts fail, and
+// nothing else happens. An Injector with no armed plan is free at every
+// point — production code paths carry a nil Injector and pay one nil
+// check.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Kind classifies what an armed fault does when hit.
+type Kind int
+
+const (
+	// KindFail returns the plan's error without performing the operation.
+	KindFail Kind = iota
+	// KindTorn performs a prefix of the operation (KeepBytes of a write)
+	// and then returns the plan's error — the signature of a crash
+	// mid-write.
+	KindTorn
+	// KindDelay sleeps for Delay, then lets the operation proceed.
+	KindDelay
+	// KindHang blocks until the operation's context is done (or forever
+	// for context-free operations with no Deadline), modeling a half-open
+	// connection or a network partition.
+	KindHang
+)
+
+// ErrInjected is the default error returned by armed faults.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Fault is one armed behavior at a point. Count hits consume it.
+type Fault struct {
+	Kind Kind
+	// Count is how many hits this fault covers (min 1).
+	Count int
+	// Skip passes this many hits through before the fault arms.
+	Skip int
+	// Err is returned by KindFail/KindTorn hits (default ErrInjected).
+	Err error
+	// KeepBytes is how much of a torn write reaches the medium.
+	KeepBytes int
+	// Delay is the KindDelay sleep.
+	Delay time.Duration
+}
+
+// Injector holds the armed plans, keyed by point name. The zero value is
+// unusable; New allocates one. A nil *Injector is valid and never fires.
+type Injector struct {
+	mu    sync.Mutex
+	plans map[string][]*Fault
+	hits  map[string]int
+	fired map[string]int
+}
+
+// New returns an empty injector.
+func New() *Injector {
+	return &Injector{
+		plans: make(map[string][]*Fault),
+		hits:  make(map[string]int),
+		fired: make(map[string]int),
+	}
+}
+
+// Plan arms a fault at a point. Plans at the same point consume hits in
+// FIFO order; each hit first satisfies the head plan's Skip, then its
+// Count, then the plan retires.
+func (in *Injector) Plan(point string, f Fault) {
+	if f.Count < 1 {
+		f.Count = 1
+	}
+	if f.Err == nil {
+		f.Err = fmt.Errorf("%w at %s", ErrInjected, point)
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.plans[point] = append(in.plans[point], &f)
+}
+
+// FailN arms a plain failure for the next n hits of point.
+func (in *Injector) FailN(point string, n int, err error) {
+	in.Plan(point, Fault{Kind: KindFail, Count: n, Err: err})
+}
+
+// Clear disarms every plan at point (hit counters are kept).
+func (in *Injector) Clear(point string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.plans, point)
+}
+
+// Hits returns how many times point was evaluated; Fired how many of
+// those evaluations hit an armed fault.
+func (in *Injector) Hits(point string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[point]
+}
+
+// Fired returns how many evaluations of point hit an armed fault.
+func (in *Injector) Fired(point string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[point]
+}
+
+// Eval consumes one hit of point and returns the fault that fires, or nil
+// when the operation should proceed untouched. Safe on a nil Injector.
+func (in *Injector) Eval(point string) *Fault {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.hits[point]++
+	queue := in.plans[point]
+	if len(queue) == 0 {
+		return nil
+	}
+	head := queue[0]
+	if head.Skip > 0 {
+		head.Skip--
+		return nil
+	}
+	head.Count--
+	if head.Count <= 0 {
+		in.plans[point] = queue[1:]
+	}
+	in.fired[point]++
+	return head
+}
+
+// Sleep performs a fault's delay/hang behavior for operations that carry
+// a context. It returns the fault's error for KindFail/KindTorn (the
+// caller handles KeepBytes itself), ctx.Err() for a hang that was
+// cancelled, and nil when the operation should proceed.
+func (f *Fault) Sleep(ctx context.Context) error {
+	switch f.Kind {
+	case KindDelay:
+		t := time.NewTimer(f.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	case KindHang:
+		<-ctx.Done()
+		return ctx.Err()
+	default:
+		return f.Err
+	}
+}
+
+// Transport is an http.RoundTripper that evaluates Point before every
+// request: KindFail drops the connection (the request never leaves),
+// KindDelay adds latency, KindHang models a half-open connection or a
+// partition (blocks until the request's context gives up). The replica
+// shipper, the router, and the failover tests wrap their clients with it.
+type Transport struct {
+	Base  http.RoundTripper
+	Inj   *Injector
+	Point string
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if f := t.Inj.Eval(t.Point); f != nil {
+		switch f.Kind {
+		case KindFail, KindTorn:
+			return nil, f.Err
+		default:
+			if err := f.Sleep(req.Context()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}

@@ -1,0 +1,93 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestPlansConsumeInFIFOOrder(t *testing.T) {
+	in := New()
+	errA := errors.New("a")
+	errB := errors.New("b")
+	in.Plan("p", Fault{Kind: KindFail, Count: 2, Err: errA})
+	in.Plan("p", Fault{Kind: KindFail, Count: 1, Err: errB})
+
+	for i, want := range []error{errA, errA, errB} {
+		f := in.Eval("p")
+		if f == nil || f.Err != want {
+			t.Fatalf("hit %d: got %v, want %v", i, f, want)
+		}
+	}
+	if f := in.Eval("p"); f != nil {
+		t.Fatalf("exhausted plans still fire: %+v", f)
+	}
+	if got := in.Hits("p"); got != 4 {
+		t.Fatalf("hits = %d, want 4", got)
+	}
+	if got := in.Fired("p"); got != 3 {
+		t.Fatalf("fired = %d, want 3", got)
+	}
+}
+
+func TestSkipArmsLater(t *testing.T) {
+	in := New()
+	in.Plan("wal.write", Fault{Kind: KindTorn, Skip: 2, KeepBytes: 5})
+	if f := in.Eval("wal.write"); f != nil {
+		t.Fatal("fired during skip window")
+	}
+	if f := in.Eval("wal.write"); f != nil {
+		t.Fatal("fired during skip window")
+	}
+	f := in.Eval("wal.write")
+	if f == nil || f.Kind != KindTorn || f.KeepBytes != 5 {
+		t.Fatalf("torn fault not armed after skip: %+v", f)
+	}
+}
+
+func TestNilInjectorIsFree(t *testing.T) {
+	var in *Injector
+	if f := in.Eval("anything"); f != nil {
+		t.Fatal("nil injector fired")
+	}
+	if in.Hits("anything") != 0 || in.Fired("anything") != 0 {
+		t.Fatal("nil injector counted")
+	}
+}
+
+func TestTransportFaults(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer ts.Close()
+
+	in := New()
+	in.FailN("net", 1, nil)
+	client := &http.Client{Transport: &Transport{Inj: in, Point: "net"}}
+
+	if _, err := client.Get(ts.URL); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first request did not fail with the injected error: %v", err)
+	}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("second request should pass through: %v", err)
+	}
+	resp.Body.Close()
+
+	// A hang blocks until the request context gives up — the half-open
+	// connection / partition model.
+	in.Plan("net", Fault{Kind: KindHang})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("hung request returned without error")
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("hang returned before the context deadline")
+	}
+}

@@ -83,18 +83,33 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 //	GET    /healthz                       liveness probe
 func (sv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /sessions", sv.handleCreateSession)
+	mux.HandleFunc("POST /sessions", sv.gateWrites(sv.handleCreateSession))
 	mux.HandleFunc("GET /sessions", sv.handleListSessions)
-	mux.HandleFunc("POST /sessions/{id}/sql", sv.withSession(sv.handleSQL))
+	mux.HandleFunc("POST /sessions/{id}/sql", sv.gateWrites(sv.withSession(sv.handleSQL)))
 	mux.HandleFunc("GET /sessions/{id}/recommendation", sv.withSession(sv.handleRecommendation))
-	mux.HandleFunc("POST /sessions/{id}/votes", sv.withSession(sv.handleVotes))
-	mux.HandleFunc("POST /sessions/{id}/accept", sv.withSession(sv.handleAccept))
+	mux.HandleFunc("POST /sessions/{id}/votes", sv.gateWrites(sv.withSession(sv.handleVotes)))
+	mux.HandleFunc("POST /sessions/{id}/accept", sv.gateWrites(sv.withSession(sv.handleAccept)))
 	mux.HandleFunc("GET /sessions/{id}/status", sv.withSession(sv.handleStatus))
-	mux.HandleFunc("POST /sessions/{id}/checkpoint", sv.withSession(sv.handleCheckpoint))
+	mux.HandleFunc("POST /sessions/{id}/checkpoint", sv.gateWrites(sv.withSession(sv.handleCheckpoint)))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "role": sv.Role()})
 	})
 	return mux
+}
+
+// gateWrites rejects mutating requests while the server is a standby:
+// 503 with Retry-After, so clients (and the router) back off and retry
+// against whichever node is primary — reads stay open on followers, and
+// nothing is ever dropped silently.
+func (sv *Server) gateWrites(fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if sv.Follower() {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, "standby: not accepting writes (send writes to the primary, or promote this node)")
+			return
+		}
+		fn(w, r)
+	}
 }
 
 func (sv *Server) withSession(fn func(http.ResponseWriter, *http.Request, *Session)) http.HandlerFunc {

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// GapError reports a shipped batch that does not continue the follower's
+// log: the primary must rewind to Have+1 or bootstrap the follower from a
+// snapshot.
+type GapError struct {
+	Have uint64 // the follower's last applied sequence number
+	Want uint64 // the first sequence number of the rejected batch
+}
+
+func (e *GapError) Error() string {
+	return fmt.Sprintf("server: replication gap (follower at seq %d, batch starts at %d)", e.Have, e.Want)
+}
+
+// LastSeq returns the sequence number of the session's most recent WAL
+// record — the follower's replication cursor.
+func (s *Session) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.LastSeq()
+}
+
+// ExportTunerState captures the session's full tuner state — the
+// bit-identical comparison handle the replication and failover tests
+// use to prove a follower IS the primary it mirrors.
+func (s *Session) ExportTunerState() *core.TunerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tuner.ExportState()
+}
+
+// ApplyReplicated applies a batch of shipped primary records on a
+// follower: append to the local WAL with the primary's sequence numbers
+// preserved, then apply through the same replay path recovery uses — so
+// the follower's WAL is byte-identical to the stretch of the primary's it
+// mirrors, and its tuner trajectory is the one replaying that WAL yields.
+//
+// Records the follower has already applied (seq ≤ local cursor) are
+// dropped first: re-ships after a lost ack are idempotent, never
+// double-applied. A batch that then does not start exactly at cursor+1
+// is rejected whole with a GapError and nothing is written. The call
+// bypasses the job queue and serializes on the state mutex directly —
+// followers have exactly one writer (the replication handler), and the
+// queue's group-commit machinery would only re-batch what the primary
+// already batched.
+//
+// Follower checkpoints ride here: when the replicated statements cross
+// the session's checkpoint thresholds, a snapshot is written WITHOUT the
+// compaction prelude a primary checkpoint logs — the primary's RecCompact
+// arrives in-stream and is applied at its shipped position, which is what
+// keeps the two registries' ID spaces in lockstep.
+func (s *Session) ApplyReplicated(recs []state.Record) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken != nil {
+		return s.wal.LastSeq(), s.broken
+	}
+	last := s.wal.LastSeq()
+	for len(recs) > 0 && recs[0].Seq <= last {
+		recs = recs[1:] // already applied: a re-ship after a lost ack
+	}
+	if len(recs) == 0 {
+		return last, nil
+	}
+	if recs[0].Seq != last+1 {
+		return last, &GapError{Have: last, Want: recs[0].Seq}
+	}
+	if _, err := s.wal.AppendReplica(recs); err != nil {
+		s.broken = fmt.Errorf("server: replica WAL append: %w", err)
+		return last, s.broken
+	}
+	for _, rec := range recs {
+		if err := s.replay(rec); err != nil {
+			s.broken = fmt.Errorf("server: applying replicated record: %w", err)
+			return s.wal.LastSeq(), s.broken
+		}
+	}
+	if (s.cfg.CheckpointEvery > 0 && s.sinceCkpt >= s.cfg.CheckpointEvery) ||
+		(s.cfg.CheckpointBytes > 0 && s.wal.Size() >= s.cfg.CheckpointBytes) {
+		if err := s.snapshotLocked(); err != nil {
+			s.broken = err
+			return s.wal.LastSeq(), err
+		}
+	}
+	return s.wal.LastSeq(), nil
+}
+
+// Follower reports whether the server is a warm standby (rejecting client
+// writes, accepting the replication stream).
+func (sv *Server) Follower() bool { return sv.follower.Load() }
+
+// Role names the server's current role for health probes and status.
+func (sv *Server) Role() string {
+	if sv.Follower() {
+		return "standby"
+	}
+	return "primary"
+}
+
+// Promote turns a standby into a primary: client writes are accepted from
+// this call on, and the replication handler rejects further shipped
+// records (fencing a zombie primary that comes back and keeps shipping).
+// Sessions need no replay — a follower applies records as they arrive, so
+// its state IS the acked-and-shipped prefix. Promotion on a server that
+// is already primary is a no-op. The promoted server runs unreplicated
+// until a standby is attached to it (restart with -standby).
+func (sv *Server) Promote() {
+	sv.follower.Store(false)
+}
+
+// InstallSnapshot bootstraps (or re-bootstraps) a follower session from a
+// primary snapshot: validate the bytes, lay them down as the session's
+// snapshot file, and open the session over them — its WAL continues the
+// primary's sequence numbering from the snapshot's LastSeq. An existing
+// session of the same name is discarded first (the primary only ships a
+// snapshot when the incremental stream cannot continue, so whatever the
+// follower had is stale by construction).
+func (sv *Server) InstallSnapshot(data []byte) (*Session, error) {
+	snap, err := state.Read(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("server: invalid shipped snapshot: %w", err)
+	}
+	name := snap.Session.Name
+	if !nameRE.MatchString(name) {
+		return nil, fmt.Errorf("server: shipped snapshot has invalid session name %q", name)
+	}
+
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.closed {
+		return nil, ErrSessionClosed
+	}
+	dir := filepath.Join(sv.sessionsRoot(), name)
+	if old, ok := sv.sessions[name]; ok {
+		delete(sv.sessions, name)
+		old.Kill() // discard without checkpointing state we are replacing
+		if err := os.RemoveAll(dir); err != nil {
+			return nil, err
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// The shipped bytes land verbatim (tmp + rename + fsync, like
+	// state.WriteFile): re-encoding a parsed copy could only introduce
+	// divergence from the primary's snapshot.
+	if err := writeFileAtomic(filepath.Join(dir, snapshotFile), data); err != nil {
+		return nil, err
+	}
+	if err := state.SyncDir(filepath.Dir(dir)); err != nil {
+		return nil, err
+	}
+	sess, err := OpenSession(dir, sv.cat, SessionRuntime{
+		Fsync:    sv.cfg.Fsync,
+		Batch:    sv.cfg.Batch,
+		Pipeline: sv.cfg.Pipeline,
+		Hooks:    sv.cfg.WALHooks,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: opening installed snapshot: %w", err)
+	}
+	sv.sessions[name] = sess
+	return sess, nil
+}
+
+// writeFileAtomic writes data to path via temp-file + rename, fsyncing
+// the file before the rename so a crash leaves either the old file or the
+// complete new one.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return state.SyncDir(dir)
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/state"
+)
+
+// TestSeqCounterRestoredAfterCleanRestart is the regression test for a
+// silent-loss bug: after a clean shutdown (checkpoint + WAL reset) the
+// sequence counter lived only in memory, so a reopened session reissued
+// sequence numbers the snapshot already covered — and the NEXT recovery
+// skipped those acknowledged statements as old. The counter must be
+// restored from the snapshot's LastSeq.
+func TestSeqCounterRestoredAfterCleanRestart(t *testing.T) {
+	const first, second = 20, 10
+	sqls := recoveryWorkloadSQL(t, first+second)
+	cat, _ := datagen.Build()
+	dir := filepath.Join(t.TempDir(), "seq")
+
+	sess, err := CreateSession(dir, cat, testSessionConfig("seq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSession(t, sess, sqls, 0, first, false)
+	covered := sess.LastSeq()
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenSession(dir, cat, SessionRuntime{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reopened.LastSeq(); got != covered {
+		t.Fatalf("sequence counter after clean restart: %d, want %d", got, covered)
+	}
+	driveSession(t, reopened, sqls, first, first+second, false)
+	if got := reopened.LastSeq(); got <= covered {
+		t.Fatalf("post-restart appends did not advance past the snapshot: %d <= %d", got, covered)
+	}
+	want := exportTuner(reopened)
+	reopened.Kill()
+
+	recovered, err := OpenSession(dir, cat, SessionRuntime{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if got := recovered.Status().Statements; got != first+second {
+		t.Fatalf("second recovery sees %d statements, want %d (acknowledged post-restart records were skipped)", got, first+second)
+	}
+	if !reflect.DeepEqual(want, exportTuner(recovered)) {
+		t.Fatal("tuner state diverged across restart + crash recovery")
+	}
+}
+
+// TestApplyReplicatedDedupAndGap exercises the follower apply contract:
+// re-shipped records are dropped (exactly-once), a gap is rejected whole
+// with nothing written, and the applied stream matches a local session
+// fed the same statements.
+func TestApplyReplicatedDedupAndGap(t *testing.T) {
+	const total = 12
+	sqls := recoveryWorkloadSQL(t, total)
+	cat, _ := datagen.Build()
+
+	// The "primary": a plain session whose WAL we read back as the ship
+	// stream.
+	pDir := filepath.Join(t.TempDir(), "p")
+	primary, err := CreateSession(pDir, cat, testSessionConfig("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSession(t, primary, sqls, 0, total, false)
+	want := exportTuner(primary)
+	primary.Kill()
+	var stream []state.Record
+	wal, err := state.OpenWAL(filepath.Join(pDir, walFile), func(rec state.Record) error {
+		stream = append(stream, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal.Close()
+	if len(stream) < total {
+		t.Fatalf("primary WAL has %d records, want >= %d", len(stream), total)
+	}
+
+	fDir := filepath.Join(t.TempDir(), "f")
+	follower, err := CreateSession(fDir, cat, testSessionConfig("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	cut := len(stream) / 2
+	if _, err := follower.ApplyReplicated(stream[:cut]); err != nil {
+		t.Fatalf("first batch: %v", err)
+	}
+	// A gap must be rejected with a GapError and leave the cursor alone.
+	if _, err := follower.ApplyReplicated(stream[cut+1:]); err == nil {
+		t.Fatal("gapped batch accepted")
+	} else if _, ok := err.(*GapError); !ok {
+		t.Fatalf("gapped batch error = %T (%v), want *GapError", err, err)
+	}
+	if got := follower.LastSeq(); got != stream[cut-1].Seq {
+		t.Fatalf("cursor moved on rejected batch: %d, want %d", got, stream[cut-1].Seq)
+	}
+	// A re-ship overlapping the applied prefix applies only the new tail.
+	if _, err := follower.ApplyReplicated(stream); err != nil {
+		t.Fatalf("overlapping re-ship: %v", err)
+	}
+	if got := follower.LastSeq(); got != stream[len(stream)-1].Seq {
+		t.Fatalf("cursor after full stream: %d, want %d", got, stream[len(stream)-1].Seq)
+	}
+	// Shipping the whole stream again is a no-op.
+	if _, err := follower.ApplyReplicated(stream); err != nil {
+		t.Fatalf("duplicate re-ship: %v", err)
+	}
+	if got := follower.Status().Statements; got != total {
+		t.Fatalf("follower applied %d statements, want %d (duplicates were double-applied)", got, total)
+	}
+	if !reflect.DeepEqual(want, exportTuner(follower)) {
+		t.Fatal("follower tuner state diverged from the primary's")
+	}
+}

@@ -7,10 +7,12 @@ import (
 	"regexp"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/state"
 )
 
 // Config configures a Server.
@@ -41,6 +43,20 @@ type Config struct {
 	// state, and never change the tuner trajectory.
 	Batch    int
 	Pipeline int
+	// NewShipper, when set, attaches a replication stream to every
+	// session (created and recovered): the factory receives the session's
+	// name and directory, the sequence number its snapshot covers, and
+	// the replayed WAL tail past it, and returns the stream the session's
+	// group commits feed. Nil disables replication.
+	NewShipper func(name, dir string, base uint64, tail []state.Record) Shipper
+	// Follower starts the server as a warm standby: client writes are
+	// rejected with 503 + Retry-After, state arrives through the
+	// replication handler, and reads serve the replicated state. Promote
+	// flips the server to primary at runtime.
+	Follower bool
+	// WALHooks threads fault-injection hooks under every session's WAL
+	// writer (tests only; nil in production).
+	WALHooks *state.WALHooks
 }
 
 // nameRE restricts session names to path- and URL-safe tokens.
@@ -52,6 +68,10 @@ var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_-]{0,63}$`)
 type Server struct {
 	cfg Config
 	cat *catalog.Catalog
+
+	// follower is the server's role; Promote flips it to primary at
+	// runtime (atomically — health probes read it without the lock).
+	follower atomic.Bool
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -68,6 +88,7 @@ func New(cfg Config) (*Server, error) {
 // NewWithCatalog is New with an explicit catalog (shared, read-only).
 func NewWithCatalog(cfg Config, cat *catalog.Catalog) (*Server, error) {
 	sv := &Server{cfg: cfg, cat: cat, sessions: make(map[string]*Session)}
+	sv.follower.Store(cfg.Follower)
 	if cfg.DataDir == "" {
 		return nil, fmt.Errorf("server: DataDir is required")
 	}
@@ -86,7 +107,7 @@ func NewWithCatalog(cfg Config, cat *catalog.Catalog) (*Server, error) {
 		if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
 			continue // not a session directory
 		}
-		sess, err := OpenSession(dir, cat, SessionRuntime{Fsync: cfg.Fsync, Batch: cfg.Batch, Pipeline: cfg.Pipeline})
+		sess, err := OpenSession(dir, cat, sv.runtime(e.Name(), dir))
 		if err != nil {
 			sv.Close()
 			return nil, fmt.Errorf("server: recovering session %s: %w", e.Name(), err)
@@ -98,6 +119,24 @@ func NewWithCatalog(cfg Config, cat *catalog.Catalog) (*Server, error) {
 
 func (sv *Server) sessionsRoot() string {
 	return filepath.Join(sv.cfg.DataDir, "sessions")
+}
+
+// runtime builds a session's process-level runtime wiring: the flag-borne
+// knobs plus, when replication is configured, a shipper factory bound to
+// the session's name and directory.
+func (sv *Server) runtime(name, dir string) SessionRuntime {
+	rt := SessionRuntime{
+		Fsync:    sv.cfg.Fsync,
+		Batch:    sv.cfg.Batch,
+		Pipeline: sv.cfg.Pipeline,
+		Hooks:    sv.cfg.WALHooks,
+	}
+	if sv.cfg.NewShipper != nil {
+		rt.NewShipper = func(base uint64, tail []state.Record) Shipper {
+			return sv.cfg.NewShipper(name, dir, base, tail)
+		}
+	}
+	return rt
 }
 
 // Catalog exposes the shared catalog (read-only).
@@ -155,7 +194,8 @@ func (sv *Server) CreateSession(cfg SessionConfig) (*Session, error) {
 	if _, ok := sv.sessions[cfg.Name]; ok {
 		return nil, fmt.Errorf("server: session %q already exists", cfg.Name)
 	}
-	sess, err := CreateSession(filepath.Join(sv.sessionsRoot(), cfg.Name), sv.cat, cfg)
+	dir := filepath.Join(sv.sessionsRoot(), cfg.Name)
+	sess, err := CreateSessionWith(dir, sv.cat, cfg, sv.runtime(cfg.Name, dir))
 	if err != nil {
 		return nil, err
 	}

@@ -251,6 +251,9 @@ type SessionStatus struct {
 	GroupCommitRecords int64 `json:"group_commit_records"`
 	SpecHits           int64 `json:"spec_hits"`
 	SpecMisses         int64 `json:"spec_misses"`
+	// Replication gauges (primaries with a shipper attached only; see
+	// README "Replication & failover").
+	Replication *ReplicationStatus `json:"replication,omitempty"`
 }
 
 // Session is one independent tuning loop with durable state. All
@@ -284,6 +287,7 @@ type Session struct {
 	mu             sync.Mutex
 	tuner          *core.WFIT
 	wal            *state.WAL
+	shipper        Shipper
 	statements     int
 	totalWork      float64
 	transitionCost float64
@@ -352,6 +356,13 @@ func newSessionBase(dir string, cat *catalog.Catalog, cfg SessionConfig) *Sessio
 // initial snapshot immediately, so a restart can always recover the
 // session (including its configuration) even if it never checkpointed.
 func CreateSession(dir string, cat *catalog.Catalog, cfg SessionConfig) (*Session, error) {
+	return CreateSessionWith(dir, cat, cfg, SessionRuntime{})
+}
+
+// CreateSessionWith is CreateSession with process-level runtime wiring:
+// only rt.NewShipper and rt.Hooks are consulted (durability and
+// throughput knobs of a fresh session come from cfg).
+func CreateSessionWith(dir string, cat *catalog.Catalog, cfg SessionConfig, rt SessionRuntime) (*Session, error) {
 	cfg.applyDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -369,7 +380,11 @@ func CreateSession(dir string, cat *catalog.Catalog, cfg SessionConfig) (*Sessio
 		return nil, err
 	}
 	wal.Fsync = cfg.Fsync
+	wal.SetHooks(rt.Hooks)
 	s.wal = wal
+	if rt.NewShipper != nil {
+		s.shipper = rt.NewShipper(0, nil)
+	}
 	if err := s.writeSnapshot(); err != nil {
 		wal.Close()
 		return nil, err
@@ -394,6 +409,64 @@ type SessionRuntime struct {
 	Fsync    bool
 	Batch    int
 	Pipeline int
+	// NewShipper, when set, attaches a replication stream to the session.
+	// The factory receives the sequence number the session's snapshot
+	// already covers and the WAL tail replayed past it — the backlog a
+	// recovered primary must re-offer its standby without forcing a
+	// snapshot re-ship. Every subsequent group commit is offered to the
+	// returned Shipper before the client is replied to.
+	NewShipper func(base uint64, tail []state.Record) Shipper
+	// Hooks threads fault-injection hooks under the session's WAL writer
+	// (see state.WALHooks); nil is the production path.
+	Hooks *state.WALHooks
+}
+
+// Shipper is the replication stream a primary session feeds. Commit is
+// called from the single-writer apply path after a group of records is
+// durably in the local WAL and BEFORE the clients are replied to: a
+// synchronous shipper that returns nil only after the standby
+// acknowledged gives ship-before-ack semantics, an asynchronous one
+// buffers and returns immediately. A Commit error never fails the local
+// write — the session degrades to asynchronous semantics and the shipper
+// reports the condition through Stats (semi-synchronous replication).
+//
+// Checkpointed(base) is called after a snapshot covering every record up
+// to base has landed on disk: records ≤ base can be dropped from any
+// retry buffer, because a standby that still needs them can be
+// bootstrapped from the snapshot instead. This bounds shipper memory by
+// one checkpoint interval.
+type Shipper interface {
+	Commit(recs []state.Record) error
+	Checkpointed(base uint64)
+	Stats() ShipperStats
+	Close() error
+}
+
+// ShipperStats is a point-in-time view of a replication stream.
+type ShipperStats struct {
+	// Sync reports ship-before-ack mode.
+	Sync bool
+	// AckedSeq is the highest sequence number the standby has confirmed.
+	AckedSeq uint64
+	// Pending is the number of committed records not yet confirmed.
+	Pending int
+	// Errors counts failed ship attempts (the semi-sync degradation
+	// gauge: nonzero with Sync set means some acks were returned without
+	// standby confirmation).
+	Errors int64
+	// SnapshotShips counts full-snapshot bootstraps of the standby.
+	SnapshotShips int64
+}
+
+// ReplicationStatus is the replication section of SessionStatus.
+type ReplicationStatus struct {
+	Mode          string `json:"mode"` // "sync" or "async"
+	AckedSeq      uint64 `json:"acked_seq"`
+	LocalSeq      uint64 `json:"local_seq"`
+	Lag           uint64 `json:"lag"` // LocalSeq - AckedSeq
+	Pending       int    `json:"pending"`
+	ShipErrors    int64  `json:"ship_errors"`
+	SnapshotShips int64  `json:"snapshot_ships"`
 }
 
 // OpenSession recovers a session from dir: load the snapshot, restore the
@@ -442,19 +515,38 @@ func OpenSession(dir string, cat *catalog.Catalog, rt SessionRuntime) (*Session,
 
 	covered := snap.Session.LastSeq
 	replayed := 0
+	var tail []state.Record // the replayed records past the snapshot — a shipper's backlog
 	wal, err := state.OpenWAL(filepath.Join(dir, walFile), func(rec state.Record) error {
 		if rec.Seq <= covered {
 			return nil // the snapshot already folded this record in
 		}
 		replayed++
+		if rt.NewShipper != nil {
+			tail = append(tail, rec)
+		}
 		return s.replay(rec)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: replaying WAL: %w", err)
 	}
+	// Restore the sequence counter from the snapshot when the on-disk log
+	// holds nothing past it (the normal state after a clean checkpoint:
+	// Reset truncates the log, the counter lives only in memory). Without
+	// this, a restarted session would reissue sequence numbers the
+	// snapshot already covers, and the NEXT recovery would skip those
+	// acknowledged records as old — silent loss.
+	if wal.LastSeq() < covered {
+		if err := wal.SetSeq(covered); err != nil {
+			return nil, err
+		}
+	}
 	wal.Fsync = s.cfg.Fsync
+	wal.SetHooks(rt.Hooks)
 	s.wal = wal
 	s.sinceCkpt = replayed
+	if rt.NewShipper != nil {
+		s.shipper = rt.NewShipper(covered, tail)
+	}
 	s.start()
 	return s, nil
 }
@@ -631,6 +723,14 @@ func (s *Session) applyBatch(jobs []*job) {
 		}
 		s.groupCommits++
 		s.groupRecords += int64(n)
+		if s.shipper != nil {
+			// Offer the group (seqs now assigned) to the standby before any
+			// client is replied to. A synchronous shipper returns only after
+			// the standby confirmed; a failure never fails the local write —
+			// the shipper records it and the session degrades to async
+			// semantics until the stream recovers (semi-sync).
+			s.shipper.Commit(recs) //nolint:errcheck // counted in ShipperStats.Errors
+		}
 
 		cp := s.newChunkPipeline(n)
 		for k := range chunk {
@@ -1038,7 +1138,7 @@ func (s *Session) Status() SessionStatus {
 	defer s.mu.Unlock()
 	p := s.tuner.Partition()
 	benefit, pairs := s.tuner.StatsEntries()
-	return SessionStatus{
+	status := SessionStatus{
 		Name:               s.cfg.Name,
 		Statements:         s.statements,
 		UniverseSize:       s.tuner.UniverseSize(),
@@ -1064,6 +1164,28 @@ func (s *Session) Status() SessionStatus {
 		SpecHits:           s.specHits,
 		SpecMisses:         s.specMisses,
 	}
+	if s.shipper != nil {
+		st := s.shipper.Stats()
+		local := s.wal.LastSeq()
+		mode := "async"
+		if st.Sync {
+			mode = "sync"
+		}
+		var lag uint64
+		if local > st.AckedSeq {
+			lag = local - st.AckedSeq
+		}
+		status.Replication = &ReplicationStatus{
+			Mode:          mode,
+			AckedSeq:      st.AckedSeq,
+			LocalSeq:      local,
+			Lag:           lag,
+			Pending:       st.Pending,
+			ShipErrors:    st.Errors,
+			SnapshotShips: st.SnapshotShips,
+		}
+	}
+	return status
 }
 
 // Checkpoint forces a snapshot now. It synchronizes with the apply loop,
@@ -1094,14 +1216,29 @@ func (s *Session) Checkpoint() (uint64, error) {
 // record and compacts at the same stream position the live session did.
 func (s *Session) checkpointLocked() error {
 	if s.cfg.Options.RetireAfter > 0 {
-		if _, err := s.wal.Append(state.Record{Type: state.RecCompact}); err != nil {
+		seq, err := s.wal.Append(state.Record{Type: state.RecCompact})
+		if err != nil {
 			return fmt.Errorf("server: WAL append (compact): %w", err)
+		}
+		if s.shipper != nil {
+			// The compaction record must reach the standby in-stream, at
+			// the same position, so the follower compacts where the primary
+			// did — follower checkpoints are snapshot-only for this reason.
+			s.shipper.Commit([]state.Record{{Seq: seq, Type: state.RecCompact}}) //nolint:errcheck
 		}
 		s.tuner.CompactRegistry()
 		// The session's copy of the materialized set holds pre-compaction
 		// IDs; re-read the remapped form from the tuner.
 		s.materialized = s.tuner.Materialized()
 	}
+	return s.snapshotLocked()
+}
+
+// snapshotLocked writes the snapshot and truncates the WAL, with no
+// compaction prelude — the whole follower checkpoint (a follower must
+// not inject records into a stream it mirrors; compactions arrive
+// shipped), and the tail half of the primary's checkpointLocked.
+func (s *Session) snapshotLocked() error {
 	snap := &state.Snapshot{
 		Defs:  state.CaptureRegistry(s.reg),
 		Tuner: s.tuner.ExportState(),
@@ -1124,6 +1261,12 @@ func (s *Session) checkpointLocked() error {
 		return fmt.Errorf("server: resetting WAL: %w", err)
 	}
 	s.sinceCkpt = 0
+	if s.shipper != nil {
+		// The snapshot on disk now covers everything ≤ LastSeq: the shipper
+		// may drop those records from its retry buffer (a lagging standby
+		// re-bootstraps from the snapshot instead).
+		s.shipper.Checkpointed(s.wal.LastSeq())
+	}
 	return nil
 }
 
@@ -1146,6 +1289,11 @@ func (s *Session) Close() error {
 	if s.broken == nil {
 		err = s.checkpointLocked()
 	}
+	if s.shipper != nil {
+		if serr := s.shipper.Close(); err == nil {
+			err = serr
+		}
+	}
 	if cerr := s.wal.Close(); err == nil {
 		err = cerr
 	}
@@ -1162,6 +1310,12 @@ func (s *Session) Kill() {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.shipper != nil {
+		// Stop the stream's goroutines; a real crash would not flush, and
+		// Close is documented not to (pending unshipped records are the
+		// async mode's loss window — the differential tests measure it).
+		s.shipper.Close() //nolint:errcheck
+	}
 	s.wal.Abort()
 }
 

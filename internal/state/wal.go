@@ -72,6 +72,37 @@ type WAL struct {
 	seq   uint64
 	size  int64 // current log size in bytes (header + intact records)
 	Fsync bool
+	hooks *WALHooks
+}
+
+// WALHooks intercept the WAL's file operations — the seam the
+// fault-injection harness threads under the writer to model torn writes
+// and delayed or failed fsyncs. Each hook receives the real operation and
+// decides whether (and how much of) it happens. Nil hooks (and a nil
+// WALHooks) are the production path.
+type WALHooks struct {
+	// Write replaces a raw file write of a flushed frame buffer. A torn
+	// write performs real(p[:k]) and returns an error — exactly what a
+	// crash mid-write leaves on disk.
+	Write func(p []byte, real func([]byte) (int, error)) (int, error)
+	// Sync replaces the per-commit fsync (consulted only when Fsync is
+	// set, the only time the real sync would run).
+	Sync func(real func() error) error
+}
+
+// SetHooks installs fault-injection hooks. Call before appending; the
+// WAL does not synchronize hook replacement with in-flight appends.
+func (w *WAL) SetHooks(h *WALHooks) { w.hooks = h }
+
+// walSink is the io.Writer behind the append buffer: the file, with the
+// write hook (when installed) interposed at flush time.
+type walSink struct{ w *WAL }
+
+func (s walSink) Write(p []byte) (int, error) {
+	if h := s.w.hooks; h != nil && h.Write != nil {
+		return h.Write(p, s.w.f.Write)
+	}
+	return s.w.f.Write(p)
 }
 
 // OpenWAL opens (creating if needed) the log at path for appending. Every
@@ -99,7 +130,7 @@ func OpenWAL(path string, replay func(Record) error) (*WAL, error) {
 		return nil, err
 	}
 	w.size = end
-	w.w = bufio.NewWriter(f)
+	w.w = bufio.NewWriter(walSink{w})
 	return w, nil
 }
 
@@ -241,9 +272,104 @@ func (w *WAL) commit() error {
 		return err
 	}
 	if w.Fsync {
+		if h := w.hooks; h != nil && h.Sync != nil {
+			return h.Sync(w.f.Sync)
+		}
 		return w.f.Sync()
 	}
 	return nil
+}
+
+// SetSeq fast-forwards the sequence counter to seq, so the next Append
+// assigns seq+1. Two callers need it: recovery, to restore the counter
+// from the snapshot when the WAL on disk is empty (the counter lives in
+// memory and a checkpoint truncates the log without it — without the
+// restore, a restart after a clean checkpoint would reissue sequence
+// numbers the snapshot already covers, and the NEXT recovery would skip
+// those records as old); and a standby bootstrapping from an installed
+// snapshot, whose WAL must continue the primary's numbering. The counter
+// only moves forward.
+func (w *WAL) SetSeq(seq uint64) error {
+	if seq < w.seq {
+		return fmt.Errorf("state: SetSeq(%d) would regress the WAL sequence (at %d)", seq, w.seq)
+	}
+	w.seq = seq
+	return nil
+}
+
+// AppendReplica is the follower-side append: it writes records carrying
+// the PRIMARY's sequence numbers, verbatim, so the standby's log is
+// byte-identical to the stretch of the primary's log it mirrors. Records
+// must continue the local log exactly (each seq = previous + 1); the
+// caller is responsible for dropping already-applied duplicates first.
+// Like AppendBatch, the whole group commits with one flush (+ one fsync
+// under Fsync).
+func (w *WAL) AppendReplica(recs []Record) (uint64, error) {
+	if len(recs) == 0 {
+		return w.seq, nil
+	}
+	var batchBytes int64
+	for i := range recs {
+		if recs[i].Seq != w.seq+1 {
+			return 0, fmt.Errorf("state: replica record seq %d does not continue local log at %d", recs[i].Seq, w.seq)
+		}
+		w.seq = recs[i].Seq
+		payload := encodeRecord(recs[i])
+		if err := w.writeFrame(payload); err != nil {
+			return 0, err
+		}
+		batchBytes += int64(8 + len(payload))
+	}
+	if err := w.commit(); err != nil {
+		return 0, err
+	}
+	w.size += batchBytes
+	return w.seq, nil
+}
+
+// EncodeRecords serializes records in the WAL's own frame format
+// (length + CRC32C per record) — the replication wire payload. Shipping
+// the frames a WAL would write keeps the standby's log bit-identical to
+// the primary's by construction.
+func EncodeRecords(recs []Record) []byte {
+	var buf bytes.Buffer
+	var frame [8]byte
+	for _, rec := range recs {
+		payload := encodeRecord(rec)
+		binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+		buf.Write(frame[:])
+		buf.Write(payload)
+	}
+	return buf.Bytes()
+}
+
+// DecodeRecords parses an EncodeRecords payload. Unlike the tolerant WAL
+// scan, any truncation or corruption rejects the whole batch — a torn
+// replication message must never be half-applied.
+func DecodeRecords(data []byte) ([]Record, error) {
+	var out []Record
+	for len(data) > 0 {
+		if len(data) < 8 {
+			return nil, fmt.Errorf("state: truncated replication frame header (%d bytes)", len(data))
+		}
+		n := binary.LittleEndian.Uint32(data[:4])
+		want := binary.LittleEndian.Uint32(data[4:8])
+		if n > maxSliceLen || int(n) > len(data)-8 {
+			return nil, fmt.Errorf("state: truncated replication frame (%d byte payload, %d remaining)", n, len(data)-8)
+		}
+		payload := data[8 : 8+n]
+		if crc32.Checksum(payload, crcTable) != want {
+			return nil, fmt.Errorf("state: replication frame CRC mismatch")
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+		data = data[8+n:]
+	}
+	return out, nil
 }
 
 // FrameSize returns the exact on-disk footprint of rec once appended: the
@@ -271,7 +397,7 @@ func (w *WAL) Reset() error {
 		return err
 	}
 	w.size = int64(len(walMagic))
-	w.w.Reset(w.f)
+	w.w.Reset(walSink{w})
 	return nil
 }
 
