@@ -23,12 +23,14 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/router"
 )
 
@@ -47,6 +49,7 @@ func realMain() int {
 	readTimeout := flag.Duration("read-timeout", 60*time.Second, "how long a client may take to send a full request")
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "how long a response may take to drain to the client")
 	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "how long an idle keep-alive connection is kept open")
+	pprofOn := flag.Bool("pprof", false, "expose the runtime profiler at /debug/pprof/ (off by default: the endpoints leak process internals)")
 	var shards []router.Shard
 	flag.Func("shard", `one shard as "primaryURL" or "primaryURL,standbyURL" (repeatable)`, func(v string) error {
 		primary, standby, _ := strings.Cut(v, ",")
@@ -66,6 +69,9 @@ func realMain() int {
 		FailThreshold:  *failThreshold,
 		ReadRetries:    *readRetries,
 		RequestTimeout: *requestTimeout,
+		// The daemon always serves metrics; only library embedders run
+		// uninstrumented.
+		Metrics: obs.NewRegistry(),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wfit-router: %v\n", err)
@@ -73,9 +79,21 @@ func realMain() int {
 	}
 	defer rt.Close()
 
+	handler := rt.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+
 	httpServer := &http.Server{
 		Addr:              *addr,
-		Handler:           rt.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,

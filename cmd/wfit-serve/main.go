@@ -27,7 +27,9 @@
 //	POST   /sessions/{id}/accept          materialize the recommendation
 //	GET    /sessions/{id}/status          session statistics
 //	POST   /sessions/{id}/checkpoint      force a snapshot
-//	GET    /healthz                       liveness probe (reports role)
+//	GET    /sessions/{id}/trace?n=K       recent + slowest statement traces
+//	GET    /metrics                       Prometheus text exposition
+//	GET    /healthz                       liveness probe (role + standby lag)
 //
 // plus the replication API (active when peers use it):
 //
@@ -46,16 +48,29 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/state"
 )
+
+// mountPprof exposes the runtime profiler under /debug/pprof/ on mux —
+// only when the -pprof flag asked for it (the endpoints leak heap and
+// goroutine internals, so they are off by default).
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
 func main() {
 	os.Exit(realMain())
@@ -77,6 +92,7 @@ func realMain() int {
 	standby := flag.String("standby", "", "warm-standby base URL to ship every session's WAL to (empty: unreplicated)")
 	replicateAsync := flag.Bool("replicate-async", false, "ship the WAL in the background instead of before acking writes (lower latency, unshipped tail lost on primary death)")
 	follower := flag.Bool("follower", false, "start as a warm standby: apply the replication stream, serve reads, reject client writes until promoted")
+	pprofOn := flag.Bool("pprof", false, "expose the runtime profiler at /debug/pprof/ (off by default: the endpoints leak process internals)")
 	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "how long a client may take to send request headers (slowloris bound)")
 	readTimeout := flag.Duration("read-timeout", 60*time.Second, "how long a client may take to send a full request")
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "how long a response may take to generate and drain to the client")
@@ -102,6 +118,9 @@ func realMain() int {
 		return 2
 	}
 
+	// The daemon always serves metrics; only library embedders run
+	// uninstrumented (server.Config.Metrics nil).
+	metrics := obs.NewRegistry()
 	svCfg := server.Config{
 		DataDir:         *dataDir,
 		DefaultOptions:  options,
@@ -112,6 +131,7 @@ func realMain() int {
 		Batch:           *batch,
 		Pipeline:        *pipeline,
 		Follower:        *follower,
+		Metrics:         metrics,
 	}
 	if *standby != "" {
 		standbyURL, sync := *standby, !*replicateAsync
@@ -123,6 +143,7 @@ func realMain() int {
 				Sync:    sync,
 				Base:    base,
 				Backlog: tail,
+				Metrics: metrics,
 			})
 		}
 	}
@@ -137,6 +158,9 @@ func realMain() int {
 
 	mux := http.NewServeMux()
 	mux.Handle("/replication/", replica.NewHandler(sv))
+	if *pprofOn {
+		mountPprof(mux)
+	}
 	mux.Handle("/", sv.Handler())
 	httpServer := &http.Server{
 		Addr:              *addr,

@@ -48,6 +48,7 @@ func realMain() int {
 	benchout := flag.String("benchout", "BENCH_wfit.json", "perf trajectory output file (empty disables)")
 	service := flag.Bool("service", true, "include the wfit-serve loadgen (K concurrent sessions over HTTP) in the perf run")
 	pipeline := flag.Bool("pipeline", true, "include the ingest-throughput bench (WAL group commit + speculative analysis vs per-record commits, with and without fsync) in the perf run")
+	obsBench := flag.Bool("obs", true, "include the observability overhead bench (the service loadgen with metrics off vs on, plus slowest-statement trace attribution) in the perf run")
 	throughput := flag.Bool("throughput", false, "run only the ingest-throughput bench and write its \"pipeline\" section (the CI throughput-smoke entry point)")
 	failover := flag.Bool("failover", false, "run only the replicated-pair failover bench (kill the primary mid-stream, promote the standby through the router) and write its \"failover\" section (the CI failover-smoke entry point)")
 	soak := flag.Bool("soak", false, "run the long-horizon bounded-memory soak (rotating schemas, candidate retirement, registry compaction); alone it writes just the soak section, with -perf it rides along")
@@ -93,7 +94,7 @@ func realMain() int {
 		if code != 0 {
 			return code
 		}
-		return writeReport(&bench.PerfReport{Schema: "wfit-perf/v6", Pipeline: p}, *benchout)
+		return writeReport(&bench.PerfReport{Schema: "wfit-perf/v7", Pipeline: p}, *benchout)
 	}
 
 	if *failover {
@@ -101,7 +102,7 @@ func realMain() int {
 		if code != 0 {
 			return code
 		}
-		return writeReport(&bench.PerfReport{Schema: "wfit-perf/v6", Failover: p}, *benchout)
+		return writeReport(&bench.PerfReport{Schema: "wfit-perf/v7", Failover: p}, *benchout)
 	}
 
 	var soakReport *bench.SoakReport
@@ -113,7 +114,7 @@ func realMain() int {
 		soakReport = r
 		if !*perf && *fig == 0 && !*overhead {
 			// Soak-only invocation: no experiment environment needed.
-			return writeReport(&bench.PerfReport{Schema: "wfit-perf/v6", Soak: soakReport}, *benchout)
+			return writeReport(&bench.PerfReport{Schema: "wfit-perf/v7", Soak: soakReport}, *benchout)
 		}
 	}
 
@@ -141,7 +142,7 @@ func realMain() int {
 	// when a soak rode along, persist it so the run is never discarded.
 	writeSoakOnly := func(code int) int {
 		if code == 0 && soakReport != nil {
-			return writeReport(&bench.PerfReport{Schema: "wfit-perf/v6", Soak: soakReport}, *benchout)
+			return writeReport(&bench.PerfReport{Schema: "wfit-perf/v7", Soak: soakReport}, *benchout)
 		}
 		return code
 	}
@@ -150,7 +151,7 @@ func realMain() int {
 		return writeSoakOnly(0)
 	}
 	if *perf {
-		return runPerf(env, *benchout, *service, *pipeline, soakReport)
+		return runPerf(env, *benchout, *service, *pipeline, *obsBench, soakReport)
 	}
 
 	run := func(n int) int {
@@ -191,7 +192,7 @@ func realMain() int {
 		}
 	}
 	printOverhead(env)
-	return runPerf(env, *benchout, *service, *pipeline, soakReport)
+	return runPerf(env, *benchout, *service, *pipeline, *obsBench, soakReport)
 }
 
 // runThroughput drives the ingest-throughput bench against a temp data
@@ -297,7 +298,7 @@ func writeReport(r *bench.PerfReport, outPath string) int {
 // worker pool, optionally drives the service-mode loadgen, prints the
 // comparison, and writes the JSON trajectory. It returns a process exit
 // code instead of exiting so deferred profile writers still run.
-func runPerf(env *bench.Env, outPath string, service, pipeline bool, soak *bench.SoakReport) int {
+func runPerf(env *bench.Env, outPath string, service, pipeline, obsBench bool, soak *bench.SoakReport) int {
 	fmt.Println("\nAnalysis-loop perf: full WFIT, serial (workers=1) vs parallel (one worker per core)")
 	r := env.RunPerfComparison()
 	r.Soak = soak
@@ -348,6 +349,37 @@ func runPerf(env *bench.Env, outPath string, service, pipeline bool, soak *bench
 		}
 		r.Pipeline = pp
 		printPipeline(pp)
+	}
+
+	if obsBench {
+		fmt.Println("\nObservability overhead: service loadgen with metrics off vs on")
+		offDir, err := os.MkdirTemp("", "wfit-obs-off-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs bench temp dir: %v\n", err)
+			return 1
+		}
+		defer os.RemoveAll(offDir)
+		onDir, err := os.MkdirTemp("", "wfit-obs-on-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs bench temp dir: %v\n", err)
+			return 1
+		}
+		defer os.RemoveAll(onDir)
+		op, err := env.RunObsPerf(offDir, onDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs bench: %v\n", err)
+			return 1
+		}
+		r.Obs = op
+		fmt.Printf("  metrics off: ingest p50 %.0f µs (mean %.0f, p99 %.0f); on: p50 %.0f µs (mean %.0f, p99 %.0f)\n",
+			op.OffUSP50, op.OffUSMean, op.OffUSP99, op.OnUSP50, op.OnUSMean, op.OnUSP99)
+		fmt.Printf("  overhead: p50 %+.2f%%, mean %+.2f%%; scrape exported %d series\n",
+			op.OverheadP50Pct, op.OverheadMeanPct, op.ScrapeSeries)
+		if len(op.Slowest) > 0 {
+			w := op.Slowest[0]
+			fmt.Printf("  slowest statement: id %d, %.0f µs total, dominant stage %s (%d what-if calls)\n",
+				w.ID, w.TotalUS, w.DominantStage, w.WhatIfCalls)
+		}
 	}
 
 	return writeReport(r, outPath)

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// ObsPerf is the observability-overhead section of the BENCH trajectory:
+// the same service loadgen run twice, metrics off and on, so the cost of
+// the instrumentation (stage clocks, histogram observes, trace ring) is
+// measured on the exact path it taxes. The acceptance bar is OverheadP50
+// under 5%. Slowest carries the instrumented run's retained worst
+// statements with their per-stage attribution — the trace buffer's whole
+// point is naming the stage a p99 tail lives in.
+type ObsPerf struct {
+	Sessions   int `json:"sessions"`
+	PerSession int `json:"statements_per_session"`
+	// Off*/On* summarize client-observed per-statement ingest latency
+	// without and with the metrics registry wired.
+	OffUSMean float64 `json:"off_us_mean"`
+	OffUSP50  float64 `json:"off_us_p50"`
+	OffUSP99  float64 `json:"off_us_p99"`
+	OnUSMean  float64 `json:"on_us_mean"`
+	OnUSP50   float64 `json:"on_us_p50"`
+	OnUSP99   float64 `json:"on_us_p99"`
+	// OverheadP50Pct/OverheadMeanPct are (on-off)/off, in percent.
+	OverheadP50Pct  float64 `json:"overhead_p50_pct"`
+	OverheadMeanPct float64 `json:"overhead_mean_pct"`
+	// ScrapeSeries counts the sample lines one /metrics scrape of the
+	// loaded server produced (a sanity floor, not a contract).
+	ScrapeSeries int `json:"scrape_series"`
+	// Slowest is the instrumented run's slowest-statement trace buffer
+	// for one session, worst first, each annotated with its dominant
+	// stage.
+	Slowest []SlowTrace `json:"slowest"`
+}
+
+// SlowTrace is one retained slow statement plus its dominant stage.
+type SlowTrace struct {
+	obs.StatementTrace
+	DominantStage string `json:"dominant_stage"`
+}
+
+// RunObsPerf runs the service loadgen twice over fresh data dirs — first
+// uninstrumented, then with a metrics registry wired — and reports the
+// overhead plus the instrumented run's trace attribution.
+func RunObsPerf(offDir, onDir string, base ServiceOptions) (*ObsPerf, error) {
+	off := base
+	off.DataDir, off.Metrics, off.Inspect = offDir, nil, nil
+	offPerf, err := RunService(off)
+	if err != nil {
+		return nil, fmt.Errorf("bench: obs baseline run: %w", err)
+	}
+
+	r := &ObsPerf{
+		Sessions:   offPerf.Sessions,
+		PerSession: offPerf.PerSession,
+		OffUSMean:  offPerf.IngestUSMean,
+		OffUSP50:   offPerf.IngestUSP50,
+		OffUSP99:   offPerf.IngestUSP99,
+	}
+
+	on := base
+	on.DataDir = onDir
+	on.Metrics = obs.NewRegistry()
+	on.Inspect = func(baseURL string) error {
+		series, err := scrapeSeriesCount(baseURL)
+		if err != nil {
+			return err
+		}
+		r.ScrapeSeries = series
+		var tr struct {
+			Enabled bool                 `json:"enabled"`
+			Slowest []obs.StatementTrace `json:"slowest"`
+		}
+		if err := getJSON(baseURL+"/sessions/load-0/trace?n=8", &tr); err != nil {
+			return err
+		}
+		if !tr.Enabled {
+			return fmt.Errorf("bench: instrumented server reports tracing disabled")
+		}
+		for _, st := range tr.Slowest {
+			r.Slowest = append(r.Slowest, SlowTrace{StatementTrace: st, DominantStage: st.Dominant()})
+		}
+		return nil
+	}
+	onPerf, err := RunService(on)
+	if err != nil {
+		return nil, fmt.Errorf("bench: obs instrumented run: %w", err)
+	}
+	r.OnUSMean = onPerf.IngestUSMean
+	r.OnUSP50 = onPerf.IngestUSP50
+	r.OnUSP99 = onPerf.IngestUSP99
+	if r.OffUSP50 > 0 {
+		r.OverheadP50Pct = 100 * (r.OnUSP50 - r.OffUSP50) / r.OffUSP50
+	}
+	if r.OffUSMean > 0 {
+		r.OverheadMeanPct = 100 * (r.OnUSMean - r.OffUSMean) / r.OffUSMean
+	}
+	return r, nil
+}
+
+// scrapeSeriesCount GETs /metrics and counts its sample lines.
+func scrapeSeriesCount(baseURL string) (int, error) {
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("bench: GET /metrics: %d: %s", resp.StatusCode, body)
+	}
+	n := 0
+	for _, line := range strings.Split(string(body), "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// RunObsPerf runs the observability-overhead comparison scaled to this
+// environment.
+func (e *Env) RunObsPerf(offDir, onDir string) (*ObsPerf, error) {
+	return RunObsPerf(offDir, onDir, e.serviceOptionsFor(""))
+}

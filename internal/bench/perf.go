@@ -62,7 +62,9 @@ type PerfSide struct {
 // added the Soak section (the long-horizon bounded-memory run); v5 added
 // the Pipeline section (the group-commit ingest-throughput comparison);
 // v6 added the Failover section (the replicated-pair kill test: blip
-// latency across promotion and steady-state replication lag).
+// latency across promotion and steady-state replication lag); v7 added
+// the Obs section (metrics-off vs metrics-on ingest overhead and the
+// slowest-statement trace attribution).
 type PerfReport struct {
 	Schema     string `json:"schema"`
 	GoVersion  string `json:"go_version"`
@@ -91,6 +93,10 @@ type PerfReport struct {
 	// blip across standby promotion, acked-loss accounting, replication
 	// lag); nil when skipped.
 	Failover *FailoverPerf `json:"failover,omitempty"`
+	// Obs is the observability-overhead comparison (the same loadgen with
+	// metrics off and on) plus the slowest-statement trace attribution;
+	// nil when skipped.
+	Obs *ObsPerf `json:"obs,omitempty"`
 }
 
 // RunPerf evaluates the full WFIT once with the given worker bound and
@@ -171,7 +177,7 @@ func (e *Env) RunPerfComparison() *PerfReport {
 	serial := e.RunPerf(1)
 	parallel := e.RunPerf(0)
 	r := &PerfReport{
-		Schema:      "wfit-perf/v6",
+		Schema:      "wfit-perf/v7",
 		GoVersion:   runtime.Version(),
 		Cores:       runtime.NumCPU(),
 		Statements:  len(e.Workload.Statements),

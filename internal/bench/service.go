@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/datagen"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
@@ -38,6 +39,14 @@ type ServiceOptions struct {
 	CheckpointEvery int
 	// Seed drives workload generation.
 	Seed int64
+	// Metrics, when set, wires the registry into the benched server —
+	// stage histograms, trace rings, and /metrics all on. Nil runs the
+	// server uninstrumented (the observability overhead A/B knob).
+	Metrics *obs.Registry
+	// Inspect, when set, runs against the live server's base URL after
+	// every session finished ingesting and before shutdown (the obs
+	// bench reads /metrics and the trace endpoint here).
+	Inspect func(baseURL string) error
 }
 
 func (o *ServiceOptions) applyDefaults() {
@@ -104,6 +113,7 @@ func RunService(o ServiceOptions) (*ServicePerf, error) {
 	sv, err := server.New(server.Config{
 		DataDir:         o.DataDir,
 		CheckpointEvery: o.CheckpointEvery,
+		Metrics:         o.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -208,6 +218,11 @@ func RunService(o ServiceOptions) (*ServicePerf, error) {
 		}
 		perf.SessionStatements = append(perf.SessionStatements, status.Statements)
 		perf.SessionTotalWork = append(perf.SessionTotalWork, status.TotalWork)
+	}
+	if o.Inspect != nil {
+		if err := o.Inspect(ts.URL); err != nil {
+			return nil, err
+		}
 	}
 	return perf, nil
 }

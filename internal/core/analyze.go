@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/cost"
 	"repro/internal/ibg"
 	"repro/internal/index"
@@ -50,6 +52,11 @@ type Analysis struct {
 	ran bool // Run completed
 	ok  bool // Run produced a usable result (every candidate was interned)
 
+	// runDur is Run's wall time — the stage timestamp the service's
+	// trace attributes to "analysis" whether the run happened inline on
+	// the apply path or concurrently on the speculative pipeline.
+	runDur time.Duration
+
 	extracted    index.Set
 	g            *ibg.Graph
 	used         []index.ID
@@ -96,7 +103,11 @@ func (a *Analysis) Run() { a.run(false) }
 // the event order), the speculative path peeks and bails if any candidate
 // is new.
 func (a *Analysis) run(intern bool) {
-	defer func() { a.ran = true }()
+	start := time.Now()
+	defer func() {
+		a.runDur = time.Since(start)
+		a.ran = true
+	}()
 	if a.statsDisabled {
 		a.g = ibg.BuildWorkers(a.opt, a.stmt, a.base, a.workers)
 		a.ok = true
@@ -176,6 +187,11 @@ func (t *WFIT) ApplyAnalysis(a *Analysis) bool {
 // insertion orders are identical to the pre-split AnalyzeQuery, which is
 // what keeps serial, batched, and recovered trajectories bit-identical.
 func (t *WFIT) finishAnalysis(a *Analysis) {
+	start := time.Now()
+	defer func() {
+		t.lastRunDur = a.runDur
+		t.lastFinishDur = time.Since(start)
+	}()
 	t.n++
 	g := a.g
 	if !t.statsDisabled {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/cost"
 	"repro/internal/index"
@@ -120,6 +121,15 @@ type WFIT struct {
 	lastIBGNodes  int
 	statsDisabled bool // fixed-partition mode (candidate maintenance off)
 
+	// lastRunDur/lastFinishDur split the most recent statement's
+	// analysis wall time across the Begin/Run/finish seam: run is the
+	// heavy read-only phase (mining, IBG build, maximizations) wherever
+	// it executed — inline or speculatively — and finish is the
+	// serialized fold (stats, partition, WFA updates). The service's
+	// per-statement traces read them right after the apply.
+	lastRunDur    time.Duration
+	lastFinishDur time.Duration
+
 	// epoch counts the changes that can invalidate a speculative Analysis:
 	// repartitions (the IBG context C changes), materialization changes
 	// (M changes), and registry compactions (every ID is reinterpreted).
@@ -208,6 +218,13 @@ func (t *WFIT) Partition() interaction.Partition { return t.partition }
 // LastIBGNodes reports the node count (= what-if calls) of the most recent
 // statement's index benefit graph.
 func (t *WFIT) LastIBGNodes() int { return t.lastIBGNodes }
+
+// LastAnalysisDurations reports the wall time of the most recent
+// statement's analysis, split across the speculative seam: run is the
+// heavy read-only phase (wherever it ran), finish the serialized fold.
+func (t *WFIT) LastAnalysisDurations() (run, finish time.Duration) {
+	return t.lastRunDur, t.lastFinishDur
+}
 
 // SetMaterialized records the DBA's actual physical configuration, which
 // candidate selection must keep covered (the M set of Figure 6).

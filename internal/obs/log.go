@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Structured key=value event logging for state transitions (promotion,
+// fencing, failover, checkpoint, compaction). One line per event:
+//
+//	2026/08/08 12:00:00 component=router event=failover shard=0 node="http://10.0.0.2:7781"
+//
+// Values containing spaces, quotes, or '=' are quoted with %q. The sink
+// defaults to stderr; tests can redirect it with SetOutput.
+
+var (
+	logMu    sync.Mutex
+	eventLog = log.New(os.Stderr, "", log.LstdFlags)
+)
+
+// SetOutput redirects structured event logging (e.g. io.Discard in
+// benchmarks or tests).
+func SetOutput(w io.Writer) {
+	logMu.Lock()
+	defer logMu.Unlock()
+	eventLog.SetOutput(w)
+}
+
+// Event emits one structured log line. kv is an alternating
+// key1, value1, key2, value2, ... list; values are formatted with %v
+// and quoted when they contain whitespace or reserved characters.
+func Event(component, event string, kv ...any) {
+	var b strings.Builder
+	b.WriteString("component=")
+	b.WriteString(component)
+	b.WriteString(" event=")
+	b.WriteString(event)
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		fmt.Fprintf(&b, "%v", kv[i])
+		b.WriteByte('=')
+		v := fmt.Sprintf("%v", kv[i+1])
+		if v == "" || strings.ContainsAny(v, " \t\n\"=") {
+			b.WriteString(fmt.Sprintf("%q", v))
+		} else {
+			b.WriteString(v)
+		}
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	eventLog.Print(b.String())
+}

@@ -1,0 +1,395 @@
+// Package obs is the repo's zero-dependency observability layer: a
+// metrics registry (counters, gauges, fixed-bucket histograms) with
+// Prometheus text-format exposition, a per-statement trace ring, and
+// structured key=value event logging. Everything is safe for concurrent
+// use; the hot-path instruments (Counter.Add, Gauge.Set,
+// Histogram.Observe) are single atomic operations so instrumented code
+// stays cheap enough to leave on in production.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels lists label key/value pairs in alternating order:
+// Labels{"session", "prod", "stage", "queue"}. An odd-length or
+// invalidly named label set panics at registration time (it is a
+// programmer error, never data-dependent).
+type Labels []string
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; n must be non-negative to keep the counter monotone.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("obs: negative Counter.Add")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an arbitrary float64 metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by v (CAS loop; v may be negative).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram: per-bucket atomic counts plus
+// an atomic sum. Bucket bounds are upper bounds in ascending order; an
+// implicit +Inf bucket terminates the series.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// LatencyBuckets is the default bucket ladder for latency histograms,
+// in seconds: 50µs up to 2.5s, roughly exponential. It brackets the
+// observed ingest distribution (p50 ~350µs, p99 ~5ms) with room for
+// fsync-bound and failover-blip outliers.
+var LatencyBuckets = []float64{
+	50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3,
+	100e-3, 250e-3, 500e-3, 1, 2.5,
+}
+
+type metricType int
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name   string
+	typ    metricType
+	help   string
+	series map[string]any // rendered label string -> *Counter/*Gauge/*Histogram
+	labels map[string]Labels
+}
+
+// Registry holds metric families and exposes them in Prometheus text
+// format. Get-or-create calls are mutex-guarded (resolve instruments
+// once, outside hot paths); the returned instruments are lock-free.
+type Registry struct {
+	mu        sync.Mutex
+	families  map[string]*family
+	collector []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// OnScrape registers fn to run at the start of every WritePrometheus
+// call, before series are rendered. Use it to refresh gauges that
+// mirror externally owned state (e.g. per-session status snapshots).
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collector = append(r.collector, fn)
+}
+
+// Help sets the HELP text for a metric family (create-on-demand safe:
+// it may be called before or after the first series registration).
+func (r *Registry) Help(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		f.help = help
+	} else {
+		mustValidName(name)
+		r.families[name] = &family{
+			name: name, typ: typeGauge, help: help,
+			series: make(map[string]any), labels: make(map[string]Labels),
+		}
+		// The type is fixed by the first series registration; a
+		// help-only family with no series renders nothing.
+	}
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	return r.series(name, typeCounter, labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	return r.series(name, typeGauge, labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram for name+labels, creating it with the
+// given bucket bounds on first use (bounds are ignored on later calls).
+func (r *Registry) Histogram(name string, labels Labels, bounds []float64) *Histogram {
+	return r.series(name, typeHistogram, labels, func() any {
+		h := &Histogram{bounds: append([]float64(nil), bounds...)}
+		h.buckets = make([]atomic.Int64, len(h.bounds)+1)
+		return h
+	}).(*Histogram)
+}
+
+func (r *Registry) series(name string, typ metricType, labels Labels, mk func() any) any {
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		mustValidName(name)
+		f = &family{
+			name: name, typ: typ,
+			series: make(map[string]any), labels: make(map[string]Labels),
+		}
+		r.families[name] = f
+	} else if len(f.series) == 0 {
+		f.typ = typ // help-only family adopts the first series' type
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, f.typ, typ))
+	}
+	s, ok := f.series[key]
+	if !ok {
+		s = mk()
+		f.series[key] = s
+		f.labels[key] = append(Labels(nil), labels...)
+	}
+	return s
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series sorted by
+// label string, histograms as cumulative _bucket/_sum/_count with a
+// terminal le="+Inf" bucket.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	// Collectors run before the lock is taken: they refresh gauges via
+	// the registry's own get-or-create calls, which need r.mu themselves.
+	r.mu.Lock()
+	fns := append([]func(){}, r.collector...)
+	r.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) write(b *strings.Builder) {
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return
+	}
+	sort.Strings(keys)
+	if f.help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	for _, k := range keys {
+		switch s := f.series[k].(type) {
+		case *Counter:
+			writeSample(b, f.name, k, float64(s.Value()))
+		case *Gauge:
+			writeSample(b, f.name, k, s.Value())
+		case *Histogram:
+			cum := int64(0)
+			labels := f.labels[k]
+			for i, bound := range s.bounds {
+				cum += s.buckets[i].Load()
+				le := strconv.FormatFloat(bound, 'g', -1, 64)
+				writeSample(b, f.name+"_bucket", renderLabels(append(labels, "le", le)), float64(cum))
+			}
+			cum += s.buckets[len(s.bounds)].Load()
+			writeSample(b, f.name+"_bucket", renderLabels(append(labels, "le", "+Inf")), float64(cum))
+			writeSample(b, f.name+"_sum", k, s.Sum())
+			writeSample(b, f.name+"_count", k, float64(s.Count()))
+		}
+	}
+}
+
+func writeSample(b *strings.Builder, name, labelStr string, v float64) {
+	b.WriteString(name)
+	b.WriteString(labelStr)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	b.WriteByte('\n')
+}
+
+// renderLabels produces the canonical `{k="v",...}` form, keys sorted,
+// values escaped; empty label sets render as "".
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: odd-length label list")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		mustValidLabelName(labels[i])
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func mustValidName(name string) {
+	if !validName(name, true) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+}
+
+func mustValidLabelName(name string) {
+	if !validName(name, false) {
+		panic(fmt.Sprintf("obs: invalid label name %q", name))
+	}
+}
+
+// validName checks Prometheus identifier rules: [a-zA-Z_:][a-zA-Z0-9_:]*
+// for metric names (colons allowed), [a-zA-Z_][a-zA-Z0-9_]* for labels.
+func validName(name string, colons bool) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(colons && r == ':') || (i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

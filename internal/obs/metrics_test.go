@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func scrape(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Help("wfit_things_total", "Things counted.")
+	r.Counter("wfit_things_total", Labels{"kind", "a"}).Add(3)
+	r.Counter("wfit_things_total", Labels{"kind", "b"}).Inc()
+	r.Gauge("wfit_level", nil).Set(1.5)
+
+	out := scrape(t, r)
+	for _, want := range []string{
+		"# HELP wfit_things_total Things counted.\n",
+		"# TYPE wfit_things_total counter\n",
+		`wfit_things_total{kind="a"} 3` + "\n",
+		`wfit_things_total{kind="b"} 1` + "\n",
+		"# TYPE wfit_level gauge\n",
+		"wfit_level 1.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelAndHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Help("wfit_esc", "line1\nline2 with \\ backslash")
+	r.Gauge("wfit_esc", Labels{"path", `C:\dir`, "msg", "say \"hi\"\nbye"}).Set(1)
+
+	out := scrape(t, r)
+	if !strings.Contains(out, `# HELP wfit_esc line1\nline2 with \\ backslash`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `msg="say \"hi\"\nbye"`) {
+		t.Errorf("label value quotes/newlines not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `path="C:\\dir"`) {
+		t.Errorf("label value backslash not escaped:\n%s", out)
+	}
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, fn := range []func(){
+		func() { r.Counter("bad-name", nil) },
+		func() { r.Counter("0leading", nil) },
+		func() { r.Gauge("ok_name", Labels{"bad-label", "v"}) },
+		func() { r.Gauge("ok_name2", Labels{"odd"}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for invalid name/labels")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wfit_conflict", nil)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic registering same name as gauge")
+		}
+	}()
+	r.Gauge("wfit_conflict", nil)
+}
+
+func TestHistogramBucketsMonotoneWithInfTerminal(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("wfit_lat_seconds", Labels{"stage", "queue"}, []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 0.5, 2.0, 0.001} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+
+	out := scrape(t, r)
+	lines := strings.Split(out, "\n")
+	var bucketVals []float64
+	var sawInf bool
+	var countVal float64
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "wfit_lat_seconds_bucket{") {
+			f := strings.Fields(ln)
+			v, err := strconv.ParseFloat(f[len(f)-1], 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", ln, err)
+			}
+			bucketVals = append(bucketVals, v)
+			if strings.Contains(ln, `le="+Inf"`) {
+				sawInf = true
+				if len(bucketVals) == 0 || strings.Contains(lines[len(lines)-1], "_bucket") {
+					t.Errorf("+Inf bucket must terminate the series")
+				}
+			} else if sawInf {
+				t.Errorf("bucket after +Inf terminal: %q", ln)
+			}
+		}
+		if strings.HasPrefix(ln, "wfit_lat_seconds_count{") {
+			f := strings.Fields(ln)
+			countVal, _ = strconv.ParseFloat(f[len(f)-1], 64)
+		}
+	}
+	if !sawInf {
+		t.Fatalf("no le=\"+Inf\" bucket in:\n%s", out)
+	}
+	if len(bucketVals) != 4 {
+		t.Fatalf("want 4 buckets (3 bounds + Inf), got %d", len(bucketVals))
+	}
+	for i := 1; i < len(bucketVals); i++ {
+		if bucketVals[i] < bucketVals[i-1] {
+			t.Errorf("cumulative buckets not monotone: %v", bucketVals)
+		}
+	}
+	// le="0.001" is inclusive: 0.0005 and 0.001 both land in it.
+	if bucketVals[0] != 2 {
+		t.Errorf("le=0.001 bucket = %v, want 2 (bound is inclusive)", bucketVals[0])
+	}
+	if last := bucketVals[len(bucketVals)-1]; last != 7 || last != countVal {
+		t.Errorf("+Inf bucket %v must equal count %v = 7", last, countVal)
+	}
+}
+
+func TestCounterMonotoneUnderConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("wfit_concurrent_total", nil)
+	h := r.Histogram("wfit_concurrent_seconds", nil, LatencyBuckets)
+	const workers, perWorker = 8, 2000
+	var writers sync.WaitGroup
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	// A reader racing the writers: values must never decrease.
+	go func() {
+		defer close(readerDone)
+		var last int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := c.Value()
+			if v < last {
+				t.Errorf("counter went backwards: %d -> %d", last, v)
+				return
+			}
+			last = v
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	<-readerDone
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got, want := h.Sum(), float64(workers*perWorker)*0.001; got < want*0.999 || got > want*1.001 {
+		t.Fatalf("histogram sum = %v, want ~%v", got, want)
+	}
+}
+
+func TestOnScrapeCollectorRefreshesGauges(t *testing.T) {
+	r := NewRegistry()
+	n := 0
+	r.OnScrape(func() {
+		n++
+		r.Gauge("wfit_scrapes", nil).Set(float64(n))
+	})
+	if out := scrape(t, r); !strings.Contains(out, "wfit_scrapes 1\n") {
+		t.Errorf("first scrape: %s", out)
+	}
+	if out := scrape(t, r); !strings.Contains(out, "wfit_scrapes 2\n") {
+		t.Errorf("second scrape: %s", out)
+	}
+}
+
+func TestDeterministicOrdering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wfit_b_total", Labels{"x", "2"}).Inc()
+	r.Counter("wfit_b_total", Labels{"x", "1"}).Inc()
+	r.Gauge("wfit_a", nil).Set(1)
+	first := scrape(t, r)
+	for i := 0; i < 5; i++ {
+		if got := scrape(t, r); got != first {
+			t.Fatalf("scrape output not deterministic:\n%s\nvs\n%s", first, got)
+		}
+	}
+	if strings.Index(first, "wfit_a") > strings.Index(first, "wfit_b_total") {
+		t.Errorf("families not name-sorted:\n%s", first)
+	}
+	if strings.Index(first, `x="1"`) > strings.Index(first, `x="2"`) {
+		t.Errorf("series not label-sorted:\n%s", first)
+	}
+}

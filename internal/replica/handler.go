@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/state"
 )
@@ -45,10 +46,11 @@ func replyJSON(w http.ResponseWriter, code int, v any) {
 
 // fenceIfPromoted answers the zombie-primary 409 when this node no
 // longer follows, reporting whether the request was terminated.
-func fenceIfPromoted(w http.ResponseWriter, sv *server.Server) bool {
+func fenceIfPromoted(w http.ResponseWriter, r *http.Request, sv *server.Server) bool {
 	if sv.Follower() {
 		return false
 	}
+	obs.Event("replica", "fence", "session", r.PathValue("id"), "path", r.URL.Path)
 	replyJSON(w, http.StatusConflict, walReply{Promoted: true, Error: "node is primary; replication stream rejected"})
 	return true
 }
@@ -59,7 +61,7 @@ func readShipBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 
 func handleWAL(sv *server.Server) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if fenceIfPromoted(w, sv) {
+		if fenceIfPromoted(w, r, sv) {
 			return
 		}
 		body, err := readShipBody(w, r)
@@ -98,7 +100,7 @@ func handleWAL(sv *server.Server) http.HandlerFunc {
 
 func handleSnapshot(sv *server.Server) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if fenceIfPromoted(w, sv) {
+		if fenceIfPromoted(w, r, sv) {
 			return
 		}
 		body, err := readShipBody(w, r)
@@ -131,6 +133,7 @@ type sessionCursor struct {
 	Name       string `json:"name"`
 	LastSeq    uint64 `json:"last_seq"`
 	Statements int    `json:"statements"`
+	LagRecords uint64 `json:"lag_records"`
 }
 
 func handleStatus(sv *server.Server) http.HandlerFunc {
@@ -139,7 +142,12 @@ func handleStatus(sv *server.Server) http.HandlerFunc {
 		cursors := make([]sessionCursor, 0, len(sessions))
 		for _, s := range sessions {
 			st := s.Status()
-			cursors = append(cursors, sessionCursor{Name: st.Name, LastSeq: st.WALSeq, Statements: st.Statements})
+			cursors = append(cursors, sessionCursor{
+				Name:       st.Name,
+				LastSeq:    st.WALSeq,
+				Statements: st.Statements,
+				LagRecords: s.ReplicationLag(),
+			})
 		}
 		replyJSON(w, http.StatusOK, map[string]any{
 			"role":     sv.Role(),

@@ -41,8 +41,16 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/state"
+)
+
+// Metric names the shipper registers when Config.Metrics is set.
+const (
+	metricShipLatency   = "wfit_replication_ship_seconds"
+	metricShipErrors    = "wfit_replication_ship_errors_total"
+	metricSnapshotShips = "wfit_replication_snapshot_ships_total"
 )
 
 // snapshotFile mirrors the server package's session-directory layout (the
@@ -85,6 +93,10 @@ type Config struct {
 	Base uint64
 	// Backlog — see Base.
 	Backlog []state.Record
+	// Metrics, when set, records ship round-trip latency, ship errors,
+	// and snapshot bootstraps, labeled by session. Nil keeps the shipper
+	// uninstrumented.
+	Metrics *obs.Registry
 }
 
 // Shipper implements server.Shipper over HTTP. One Shipper serves one
@@ -92,6 +104,11 @@ type Config struct {
 type Shipper struct {
 	cfg    Config
 	client *http.Client
+
+	// Resolved instruments; all nil when Config.Metrics is nil.
+	hShip *obs.Histogram
+	cErrs *obs.Counter
+	cSnap *obs.Counter
 
 	mu        sync.Mutex
 	pending   []state.Record // committed, not yet standby-confirmed
@@ -116,6 +133,15 @@ func NewShipper(cfg Config) *Shipper {
 	}
 	if s.client == nil {
 		s.client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.Help(metricShipLatency, "Replication ship round-trip latency (one WAL chunk or snapshot POST to the standby).")
+		reg.Help(metricShipErrors, "Replication ship attempts that failed (network error, bad reply, or fencing).")
+		reg.Help(metricSnapshotShips, "Snapshot bootstraps shipped to the standby.")
+		lbl := obs.Labels{"session", cfg.Session}
+		s.hShip = reg.Histogram(metricShipLatency, lbl, obs.LatencyBuckets)
+		s.cErrs = reg.Counter(metricShipErrors, lbl)
+		s.cSnap = reg.Counter(metricSnapshotShips, lbl)
 	}
 	s.pending = append(s.pending, cfg.Backlog...)
 	if !cfg.Sync {
@@ -289,10 +315,7 @@ func (s *Shipper) shipOnce() (progressed, empty bool, err error) {
 		s.fail()
 		return false, false, err
 	case rep.Promoted:
-		s.mu.Lock()
-		s.fenced = true
-		s.errors++
-		s.mu.Unlock()
+		s.fence()
 		return false, false, ErrFenced
 	case rep.NeedSnapshot:
 		last, serr := s.shipSnapshot()
@@ -326,6 +349,26 @@ func (s *Shipper) fail() {
 	s.mu.Lock()
 	s.errors++
 	s.mu.Unlock()
+	if s.cErrs != nil {
+		s.cErrs.Inc()
+	}
+}
+
+// fence marks the shipper permanently fenced: the standby reported itself
+// promoted, so this node's timeline is dead. Loud by design — the event
+// is the operator's cue that a zombie primary tried to keep shipping.
+func (s *Shipper) fence() {
+	s.mu.Lock()
+	alreadyFenced := s.fenced
+	s.fenced = true
+	s.errors++
+	s.mu.Unlock()
+	if s.cErrs != nil {
+		s.cErrs.Inc()
+	}
+	if !alreadyFenced {
+		obs.Event("replica", "fenced", "session", s.cfg.Session, "standby", s.cfg.Standby)
+	}
 }
 
 // walReply is the follower's response to both ship endpoints.
@@ -356,15 +399,15 @@ func (s *Shipper) shipSnapshot() (uint64, error) {
 		return 0, err
 	}
 	if rep.Promoted {
-		s.mu.Lock()
-		s.fenced = true
-		s.errors++
-		s.mu.Unlock()
+		s.fence()
 		return 0, ErrFenced
 	}
 	s.mu.Lock()
 	s.snapshots++
 	s.mu.Unlock()
+	if s.cSnap != nil {
+		s.cSnap.Inc()
+	}
 	return rep.LastSeq, nil
 }
 
@@ -372,7 +415,16 @@ func (s *Shipper) shipSnapshot() (uint64, error) {
 // A 409 is decoded, not failed: it carries the resync instruction
 // (need_snapshot) or the fencing verdict (promoted).
 func (s *Shipper) post(url string, body []byte) (*walReply, error) {
+	var start time.Time
+	if s.hShip != nil {
+		start = time.Now()
+	}
 	resp, err := s.client.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if s.hShip != nil {
+		// Failed round trips are observed too: a standby timing out is
+		// exactly the tail the latency histogram must show.
+		s.hShip.Observe(time.Since(start).Seconds())
+	}
 	if err != nil {
 		return nil, err
 	}

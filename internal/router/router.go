@@ -21,9 +21,20 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
+)
+
+// Metric names the router registers when Config.Metrics is set.
+const (
+	metricProbes          = "wfit_router_probes_total"
+	metricFailovers       = "wfit_router_failovers_total"
+	metricForwardedWrites = "wfit_router_forwarded_writes_total"
+	metricRetriedReads    = "wfit_router_retried_reads_total"
 )
 
 // maxBodyBytes bounds a proxied request body (matches the service's own
@@ -59,6 +70,11 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Logf receives failover events (default log.Printf).
 	Logf func(format string, args ...any)
+	// Metrics, when set, records per-shard probe outcomes, failovers,
+	// forwarded writes, and retried reads, and is served at GET /metrics.
+	// Nil keeps the router uninstrumented (library default; the daemon
+	// always wires a registry).
+	Metrics *obs.Registry
 }
 
 func (c *Config) applyDefaults() {
@@ -92,6 +108,10 @@ type node struct {
 	url     string
 	healthy bool
 	fails   int
+	// lag is the node's self-reported replication lag in records, valid
+	// only when hasLag (standbys report it on /healthz; primaries don't).
+	lag    uint64
+	hasLag bool
 }
 
 // shardState is a shard's routing state. leader indexes nodes; it starts
@@ -99,6 +119,7 @@ type node struct {
 // automatically (a recovered old primary holds a stale timeline; human
 // intervention re-attaches it as a standby).
 type shardState struct {
+	idx      int // position in Router.shards — the "shard" metric label
 	mu       sync.Mutex
 	nodes    []*node // [primary] or [primary, standby]
 	leader   int
@@ -121,15 +142,21 @@ func New(cfg Config) (*Router, error) {
 		return nil, fmt.Errorf("router: at least one shard is required")
 	}
 	rt := &Router{cfg: cfg, done: make(chan struct{})}
-	for _, sh := range cfg.Shards {
+	for i, sh := range cfg.Shards {
 		if sh.Primary == "" {
 			return nil, fmt.Errorf("router: shard with no primary URL")
 		}
-		st := &shardState{nodes: []*node{{url: strings.TrimRight(sh.Primary, "/"), healthy: true}}}
+		st := &shardState{idx: i, nodes: []*node{{url: strings.TrimRight(sh.Primary, "/"), healthy: true}}}
 		if sh.Standby != "" {
 			st.nodes = append(st.nodes, &node{url: strings.TrimRight(sh.Standby, "/"), healthy: true})
 		}
 		rt.shards = append(rt.shards, st)
+	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.Help(metricProbes, "Health probes by shard, node, and result (ok/fail).")
+		reg.Help(metricFailovers, "Standby promotions the router has driven, by shard.")
+		reg.Help(metricForwardedWrites, "Write requests forwarded to a shard leader.")
+		reg.Help(metricRetriedReads, "Read retry attempts after a full pass over a shard's nodes failed.")
 	}
 	rt.wg.Add(1)
 	go rt.healthLoop()
@@ -140,6 +167,19 @@ func New(cfg Config) (*Router, error) {
 func (rt *Router) Close() {
 	close(rt.done)
 	rt.wg.Wait()
+}
+
+// shardLabel renders a shard's index as its metric label value.
+func shardLabel(sh *shardState) string { return strconv.Itoa(sh.idx) }
+
+// count bumps a per-shard counter when metrics are wired; extra label
+// pairs append after the shard label.
+func (rt *Router) count(metric string, sh *shardState, extra ...string) {
+	if rt.cfg.Metrics == nil {
+		return
+	}
+	lbl := append(obs.Labels{"shard", shardLabel(sh)}, extra...)
+	rt.cfg.Metrics.Counter(metric, lbl).Inc()
 }
 
 // shardFor hashes a session name onto a shard (FNV-1a — the same family
@@ -170,7 +210,7 @@ func (rt *Router) healthLoop() {
 // probeShard refreshes one shard's node health and promotes the standby
 // when the primary has been down for FailThreshold consecutive probes.
 func (rt *Router) probeShard(idx int, sh *shardState) {
-	results := make([]bool, len(sh.nodes))
+	results := make([]probeResult, len(sh.nodes))
 	sh.mu.Lock()
 	urls := make([]string, len(sh.nodes))
 	for i, n := range sh.nodes {
@@ -179,13 +219,19 @@ func (rt *Router) probeShard(idx int, sh *shardState) {
 	sh.mu.Unlock()
 	for i, url := range urls {
 		results[i] = rt.probe(url)
+		outcome := "fail"
+		if results[i].ok {
+			outcome = "ok"
+		}
+		rt.count(metricProbes, sh, "node", url, "result", outcome)
 	}
 
 	sh.mu.Lock()
 	for i, n := range sh.nodes {
-		if results[i] {
+		if results[i].ok {
 			n.fails = 0
 			n.healthy = true
+			n.lag, n.hasLag = results[i].lag, results[i].hasLag
 		} else {
 			n.fails++
 			if n.fails >= rt.cfg.FailThreshold {
@@ -214,23 +260,46 @@ func (rt *Router) probeShard(idx int, sh *shardState) {
 	sh.leader = 1
 	sh.promoted = true
 	sh.mu.Unlock()
+	rt.count(metricFailovers, sh)
+	obs.Event("router", "failover", "shard", idx, "from", urls[0], "to", standbyURL)
 	rt.cfg.Logf("router: shard %d now led by %s", idx, standbyURL)
 }
 
-func (rt *Router) probe(url string) bool {
+// probeResult is one /healthz round trip: liveness plus, when the node is
+// a standby, its self-reported replication lag.
+type probeResult struct {
+	ok     bool
+	lag    uint64
+	hasLag bool
+}
+
+func (rt *Router) probe(url string) probeResult {
 	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.HealthTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
 	if err != nil {
-		return false
+		return probeResult{}
 	}
 	resp, err := rt.cfg.Client.Do(req)
 	if err != nil {
-		return false
+		return probeResult{}
 	}
-	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20)) //nolint:errcheck // a short body just skips the lag field
 	resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
+	if resp.StatusCode != http.StatusOK {
+		return probeResult{}
+	}
+	res := probeResult{ok: true}
+	// Standbys report lag_records on /healthz; primaries omit it. The
+	// lag rides the health view so an operator (and the failover smoke
+	// test) can tell a caught-up standby from a stale one.
+	var rep struct {
+		LagRecords *uint64 `json:"lag_records"`
+	}
+	if err := json.Unmarshal(body, &rep); err == nil && rep.LagRecords != nil {
+		res.lag, res.hasLag = *rep.LagRecords, true
+	}
+	return res
 }
 
 func (rt *Router) promote(url string) error {
@@ -253,10 +322,11 @@ func (rt *Router) promote(url string) error {
 }
 
 // Handler returns the routing frontend: the service API surface, proxied
-// per session, plus the router's own /healthz.
+// per session, plus the router's own /healthz and /metrics.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	mux.HandleFunc("GET /sessions", rt.handleList)
 	mux.HandleFunc("/", rt.handleProxy)
 	return mux
@@ -268,9 +338,10 @@ type shardHealth struct {
 }
 
 type member struct {
-	URL     string `json:"url"`
-	Healthy bool   `json:"healthy"`
-	Role    string `json:"role"`
+	URL     string  `json:"url"`
+	Healthy bool    `json:"healthy"`
+	Role    string  `json:"role"`
+	Lag     *uint64 `json:"lag_records,omitempty"` // standbys only, from their last healthy probe
 }
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -283,12 +354,28 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			if i == sh.leader {
 				role = "leader"
 			}
-			h.Nodes = append(h.Nodes, member{URL: n.url, Healthy: n.healthy, Role: role})
+			m := member{URL: n.url, Healthy: n.healthy, Role: role}
+			if n.hasLag {
+				lag := n.lag
+				m.Lag = &lag
+			}
+			h.Nodes = append(h.Nodes, m)
 		}
 		sh.mu.Unlock()
 		out = append(out, h)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "shards": out})
+}
+
+// handleMetrics serves the router's own registry in Prometheus text
+// format; 404 when the embedding process wired none.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if rt.cfg.Metrics == nil {
+		writeErr(w, http.StatusNotFound, "metrics are not enabled on this router")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.cfg.Metrics.WritePrometheus(w) //nolint:errcheck // the scraper is gone if this fails
 }
 
 // handleList merges GET /sessions across every shard, reading from
@@ -409,6 +496,7 @@ func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, sh *shardSta
 	var lastErr error
 	for attempt := 0; attempt <= rt.cfg.ReadRetries; attempt++ {
 		if attempt > 0 {
+			rt.count(metricRetriedReads, sh)
 			select {
 			case <-r.Context().Done():
 				writeErr(w, http.StatusServiceUnavailable, "request cancelled: %v", r.Context().Err())
@@ -452,6 +540,7 @@ func (rt *Router) proxyWrite(w http.ResponseWriter, r *http.Request, sh *shardSt
 		writeErr(w, http.StatusBadGateway, "forwarding write to %s: %v", target, err)
 		return
 	}
+	rt.count(metricForwardedWrites, sh)
 	relay(w, resp)
 }
 

@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/state"
 )
 
@@ -80,7 +82,9 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 //	POST   /sessions/{id}/accept          materialize the recommendation
 //	GET    /sessions/{id}/status          session statistics
 //	POST   /sessions/{id}/checkpoint      force a snapshot
-//	GET    /healthz                       liveness probe
+//	GET    /sessions/{id}/trace?n=K       recent + slowest statement traces
+//	GET    /metrics                       Prometheus text exposition
+//	GET    /healthz                       liveness probe (+ lag_records on standbys)
 func (sv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sessions", sv.gateWrites(sv.handleCreateSession))
@@ -91,10 +95,59 @@ func (sv *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /sessions/{id}/accept", sv.gateWrites(sv.withSession(sv.handleAccept)))
 	mux.HandleFunc("GET /sessions/{id}/status", sv.withSession(sv.handleStatus))
 	mux.HandleFunc("POST /sessions/{id}/checkpoint", sv.gateWrites(sv.withSession(sv.handleCheckpoint)))
+	mux.HandleFunc("GET /sessions/{id}/trace", sv.withSession(sv.handleTrace))
+	mux.HandleFunc("GET /metrics", sv.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "role": sv.Role()})
+		resp := map[string]any{"status": "ok", "role": sv.Role()}
+		if sv.Follower() {
+			// The router's health loop reads this to tell a caught-up
+			// standby from a stale one before promoting it.
+			resp["lag_records"] = sv.MaxReplicationLag()
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 	return mux
+}
+
+// handleMetrics serves the Prometheus text exposition. 404 when the
+// serving process wired no registry (library embedders; the daemon
+// always wires one).
+func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if sv.cfg.Metrics == nil {
+		writeErr(w, http.StatusNotFound, "metrics are not enabled on this server")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	sv.cfg.Metrics.WritePrometheus(w) //nolint:errcheck // the scraper is gone if this fails
+}
+
+// traceResponse is the payload of GET /sessions/{id}/trace: the most
+// recent statement traces (newest first) and the slowest retained ones
+// (slowest first), each with per-stage timings and what-if call counts.
+type traceResponse struct {
+	Enabled bool                 `json:"enabled"`
+	Recent  []obs.StatementTrace `json:"recent"`
+	Slowest []obs.StatementTrace `json:"slowest"`
+}
+
+func (sv *Server) handleTrace(w http.ResponseWriter, r *http.Request, sess *Session) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeErr(w, http.StatusBadRequest, "invalid n %q", q)
+			return
+		}
+		n = v
+	}
+	recent, slowest, enabled := sess.TraceSnapshot(n)
+	if recent == nil {
+		recent = []obs.StatementTrace{}
+	}
+	if slowest == nil {
+		slowest = []obs.StatementTrace{}
+	}
+	writeJSON(w, http.StatusOK, traceResponse{Enabled: enabled, Recent: recent, Slowest: slowest})
 }
 
 // gateWrites rejects mutating requests while the server is a standby:

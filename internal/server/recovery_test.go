@@ -183,6 +183,7 @@ func TestRecoveryFromWALOnly(t *testing.T) {
 	// of the persisted state a recovery reproduces.
 	got.GroupCommits, got.GroupCommitRecords = wantStatus.GroupCommits, wantStatus.GroupCommitRecords
 	got.SpecHits, got.SpecMisses = wantStatus.SpecHits, wantStatus.SpecMisses
+	got.Checkpoints = wantStatus.Checkpoints
 	if got != wantStatus {
 		t.Fatalf("status diverged: %+v vs %+v", got, wantStatus)
 	}

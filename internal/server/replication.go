@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/state"
 )
 
@@ -65,6 +66,12 @@ func (s *Session) ApplyReplicated(recs []state.Record) (uint64, error) {
 	if s.broken != nil {
 		return s.wal.LastSeq(), s.broken
 	}
+	// Track the highest sequence the primary has ever offered — even
+	// when the batch is rejected for a gap — so ReplicationLag can
+	// report how far behind the applied cursor is.
+	if n := len(recs); n > 0 && recs[n-1].Seq > s.maxOffered {
+		s.maxOffered = recs[n-1].Seq
+	}
 	last := s.wal.LastSeq()
 	for len(recs) > 0 && recs[0].Seq <= last {
 		recs = recs[1:] // already applied: a re-ship after a lost ack
@@ -95,6 +102,34 @@ func (s *Session) ApplyReplicated(recs []state.Record) (uint64, error) {
 	return s.wal.LastSeq(), nil
 }
 
+// ReplicationLag reports how many records the primary has offered this
+// follower session beyond what it has applied (0 when caught up, and
+// always 0 on a primary — nothing offers records to a primary). A gap
+// rejection leaves the offered high-water mark in place, so a stale
+// standby shows the true distance, not zero.
+func (s *Session) ReplicationLag() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if applied := s.wal.LastSeq(); s.maxOffered > applied {
+		return s.maxOffered - applied
+	}
+	return 0
+}
+
+// MaxReplicationLag returns the worst per-session replication lag in
+// records across the server's sessions — the follower /healthz signal
+// the router's health loop reads to tell a caught-up standby from a
+// stale one before promoting it.
+func (sv *Server) MaxReplicationLag() uint64 {
+	var worst uint64
+	for _, s := range sv.Sessions() {
+		if lag := s.ReplicationLag(); lag > worst {
+			worst = lag
+		}
+	}
+	return worst
+}
+
 // Follower reports whether the server is a warm standby (rejecting client
 // writes, accepting the replication stream).
 func (sv *Server) Follower() bool { return sv.follower.Load() }
@@ -115,7 +150,9 @@ func (sv *Server) Role() string {
 // is already primary is a no-op. The promoted server runs unreplicated
 // until a standby is attached to it (restart with -standby).
 func (sv *Server) Promote() {
-	sv.follower.Store(false)
+	if sv.follower.CompareAndSwap(true, false) {
+		obs.Event("server", "promotion", "role", "primary", "sessions", len(sv.Sessions()))
+	}
 }
 
 // InstallSnapshot bootstraps (or re-bootstraps) a follower session from a
@@ -165,6 +202,7 @@ func (sv *Server) InstallSnapshot(data []byte) (*Session, error) {
 		Batch:    sv.cfg.Batch,
 		Pipeline: sv.cfg.Pipeline,
 		Hooks:    sv.cfg.WALHooks,
+		Metrics:  sv.cfg.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: opening installed snapshot: %w", err)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/obs"
 	"repro/internal/state"
 )
 
@@ -57,6 +58,13 @@ type Config struct {
 	// WALHooks threads fault-injection hooks under every session's WAL
 	// writer (tests only; nil in production).
 	WALHooks *state.WALHooks
+	// Metrics, when set, turns the server's observability on: every
+	// session (created and recovered) registers stage-latency histograms
+	// and a trace ring, per-session status gauges refresh on scrape, and
+	// GET /metrics serves the registry in Prometheus text format. Nil
+	// (the library default) keeps instrumentation entirely off; the
+	// daemon always wires a registry.
+	Metrics *obs.Registry
 }
 
 // nameRE restricts session names to path- and URL-safe tokens.
@@ -91,6 +99,21 @@ func NewWithCatalog(cfg Config, cat *catalog.Catalog) (*Server, error) {
 	sv.follower.Store(cfg.Follower)
 	if cfg.DataDir == "" {
 		return nil, fmt.Errorf("server: DataDir is required")
+	}
+	if cfg.Metrics != nil {
+		// One collector refreshes every per-session gauge from Status()
+		// at scrape time: /metrics and /status are projections of the
+		// same struct, never separately maintained counters.
+		cfg.Metrics.Help(metricFollowerLag, "Records the primary has offered a follower session beyond what it has applied (0 on primaries).")
+		cfg.Metrics.OnScrape(func() {
+			for _, s := range sv.Sessions() {
+				st := s.Status()
+				forEachStatusMetric(&st, func(metric string, v float64) {
+					cfg.Metrics.Gauge(metric, obs.Labels{labelSession, st.Name}).Set(v)
+				})
+				cfg.Metrics.Gauge(metricFollowerLag, obs.Labels{labelSession, st.Name}).Set(float64(s.ReplicationLag()))
+			}
+		})
 	}
 	if err := os.MkdirAll(sv.sessionsRoot(), 0o755); err != nil {
 		return nil, err
@@ -130,6 +153,7 @@ func (sv *Server) runtime(name, dir string) SessionRuntime {
 		Batch:    sv.cfg.Batch,
 		Pipeline: sv.cfg.Pipeline,
 		Hooks:    sv.cfg.WALHooks,
+		Metrics:  sv.cfg.Metrics,
 	}
 	if sv.cfg.NewShipper != nil {
 		rt.NewShipper = func(base uint64, tail []state.Record) Shipper {

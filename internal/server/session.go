@@ -24,11 +24,13 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/sqlmini"
 	"repro/internal/state"
 	"repro/internal/stmt"
@@ -251,6 +253,12 @@ type SessionStatus struct {
 	GroupCommitRecords int64 `json:"group_commit_records"`
 	SpecHits           int64 `json:"spec_hits"`
 	SpecMisses         int64 `json:"spec_misses"`
+	// What-if gauges: real optimizer invocations versus probes served by
+	// the session's what-if cache, and how many checkpoints the session
+	// has taken (each one a snapshot + WAL truncation).
+	WhatIfCalls     int64 `json:"whatif_calls"`
+	WhatIfCacheHits int64 `json:"whatif_cache_hits"`
+	Checkpoints     int64 `json:"checkpoints"`
 	// Replication gauges (primaries with a shipper attached only; see
 	// README "Replication & failover").
 	Replication *ReplicationStatus `json:"replication,omitempty"`
@@ -301,6 +309,22 @@ type Session struct {
 	groupRecords int64
 	specHits     int64
 	specMisses   int64
+	checkpoints  int64
+
+	// maxOffered (followers only, guarded by mu) is the highest primary
+	// sequence number ever offered to this session — including batches
+	// rejected for a gap — so maxOffered − wal.LastSeq() is the
+	// follower's replication lag in records.
+	maxOffered uint64
+
+	// obsv holds the session's resolved metric instruments and trace
+	// ring; nil (no registry wired) disables instrumentation entirely.
+	// lastFlush/lastSync are scratch written by the WAL commit observer
+	// (synchronously, under the same serialization as the append) and
+	// read right after each AppendBatch returns.
+	obsv      *sessionObs
+	lastFlush time.Duration
+	lastSync  time.Duration
 }
 
 type jobKind int
@@ -320,6 +344,12 @@ type job struct {
 	sts         []*stmt.Statement
 	plus, minus []state.IndexSpec
 	reply       chan jobReply
+
+	// enq is the enqueue timestamp (set only when the session is
+	// instrumented); queueWait is the measured queue delay, recorded by
+	// the apply loop when it first touches the job.
+	enq       time.Time
+	queueWait time.Duration
 
 	// results and accept accumulate outcomes as the apply loop works
 	// through the job's events (only the apply loop touches them).
@@ -360,8 +390,8 @@ func CreateSession(dir string, cat *catalog.Catalog, cfg SessionConfig) (*Sessio
 }
 
 // CreateSessionWith is CreateSession with process-level runtime wiring:
-// only rt.NewShipper and rt.Hooks are consulted (durability and
-// throughput knobs of a fresh session come from cfg).
+// only rt.NewShipper, rt.Hooks, and rt.Metrics are consulted
+// (durability and throughput knobs of a fresh session come from cfg).
 func CreateSessionWith(dir string, cat *catalog.Catalog, cfg SessionConfig, rt SessionRuntime) (*Session, error) {
 	cfg.applyDefaults()
 	if err := cfg.validate(); err != nil {
@@ -374,6 +404,7 @@ func CreateSessionWith(dir string, cat *catalog.Catalog, cfg SessionConfig, rt S
 		return nil, fmt.Errorf("server: session directory %s already initialized", dir)
 	}
 	s := newSessionBase(dir, cat, cfg)
+	s.obsv = newSessionObs(rt.Metrics, cfg.Name)
 	s.tuner = core.NewWFIT(s.opt, cfg.Options)
 	wal, err := state.OpenWAL(filepath.Join(dir, walFile), nil)
 	if err != nil {
@@ -382,6 +413,7 @@ func CreateSessionWith(dir string, cat *catalog.Catalog, cfg SessionConfig, rt S
 	wal.Fsync = cfg.Fsync
 	wal.SetHooks(rt.Hooks)
 	s.wal = wal
+	s.installCommitObserver()
 	if rt.NewShipper != nil {
 		s.shipper = rt.NewShipper(0, nil)
 	}
@@ -419,6 +451,11 @@ type SessionRuntime struct {
 	// Hooks threads fault-injection hooks under the session's WAL writer
 	// (see state.WALHooks); nil is the production path.
 	Hooks *state.WALHooks
+	// Metrics, when set, turns on the session's instrumentation: stage
+	// latency histograms registered here, plus the per-statement trace
+	// ring behind GET /sessions/{id}/trace. Nil keeps every clock and
+	// ring off the ingest path.
+	Metrics *obs.Registry
 }
 
 // Shipper is the replication stream a primary session feeds. Commit is
@@ -496,6 +533,7 @@ func OpenSession(dir string, cat *catalog.Catalog, rt SessionRuntime) (*Session,
 	// validation guards the creation path only.
 	cfg.applyDefaults()
 	s := newSessionBase(dir, cat, cfg)
+	s.obsv = newSessionObs(rt.Metrics, cfg.Name)
 	reg, err := index.RestoreRegistry(snap.Defs)
 	if err != nil {
 		return nil, err
@@ -543,6 +581,7 @@ func OpenSession(dir string, cat *catalog.Catalog, rt SessionRuntime) (*Session,
 	wal.Fsync = s.cfg.Fsync
 	wal.SetHooks(rt.Hooks)
 	s.wal = wal
+	s.installCommitObserver()
 	s.sinceCkpt = replayed
 	if rt.NewShipper != nil {
 		s.shipper = rt.NewShipper(covered, tail)
@@ -561,7 +600,7 @@ func (s *Session) replay(rec state.Record) error {
 			return fmt.Errorf("replaying statement (seq %d): %w", rec.Seq, err)
 		}
 		st.ID = s.statements + 1
-		s.applyStatement(st, nil)
+		s.applyStatement(st, nil, nil)
 	case state.RecVote:
 		plus, minus, err := s.resolveSpecs(rec.Plus, rec.Minus)
 		if err != nil {
@@ -579,6 +618,24 @@ func (s *Session) replay(rec state.Record) error {
 		return fmt.Errorf("unknown WAL record type %d (seq %d)", rec.Type, rec.Seq)
 	}
 	return nil
+}
+
+// installCommitObserver hangs the WAL-layer timing hook: every commit's
+// flush and fsync durations land in the stage histograms and in the
+// lastFlush/lastSync scratch the apply path divides into per-statement
+// trace shares. No registry, no hook — the uninstrumented WAL path has
+// zero added clocks.
+func (s *Session) installCommitObserver() {
+	if s.obsv == nil {
+		return
+	}
+	s.wal.OnCommit = func(flush, sync time.Duration, records int, bytes int64) {
+		s.lastFlush, s.lastSync = flush, sync
+		s.obsv.hWAL.Observe(flush.Seconds())
+		if s.cfg.Fsync {
+			s.obsv.hFsync.Observe(sync.Seconds())
+		}
+	}
 }
 
 func (s *Session) start() {
@@ -663,6 +720,10 @@ func (s *Session) applyBatch(jobs []*job) {
 	events := make([]event, 0, len(jobs))
 	nextID := s.statements
 	for _, j := range jobs {
+		if s.obsv != nil && !j.enq.IsZero() {
+			j.queueWait = time.Since(j.enq)
+			s.obsv.hQueue.Observe(j.queueWait.Seconds())
+		}
 		switch j.kind {
 		case jobStmt:
 			if len(j.sts) == 0 {
@@ -721,6 +782,14 @@ func (s *Session) applyBatch(jobs []*job) {
 			fail(i, s.broken)
 			return
 		}
+		// Per-statement shares of the group commit, for the traces: the
+		// flush and fsync the chunk just paid, amortized over its records
+		// (exactly how the cost amortizes for the clients waiting on it).
+		var shares stageShares
+		if s.obsv != nil {
+			shares.walUS = s.lastFlush.Seconds() * 1e6 / float64(n)
+			shares.fsyncUS = s.lastSync.Seconds() * 1e6 / float64(n)
+		}
 		s.groupCommits++
 		s.groupRecords += int64(n)
 		if s.shipper != nil {
@@ -738,7 +807,9 @@ func (s *Session) applyBatch(jobs []*job) {
 			ev := &chunk[k]
 			switch ev.j.kind {
 			case jobStmt:
-				ev.j.results = append(ev.j.results, s.applyStatement(ev.st, cp.task(k)))
+				sh := shares
+				sh.queueUS = ev.j.queueWait.Seconds() * 1e6
+				ev.j.results = append(ev.j.results, s.applyStatement(ev.st, cp.task(k), &sh))
 			case jobVote:
 				// Pre-validated above, so resolution cannot fail; interning
 				// happens here, at the vote's position in the event order.
@@ -938,12 +1009,20 @@ func (cp *chunkPipeline) finish() {
 // analysis when one is offered, recomputing serially otherwise — and
 // charges the total-work account: the statement's cost under the
 // currently materialized configuration, as the evaluation harness prices
-// runs.
-func (s *Session) applyStatement(st *stmt.Statement, spec *specTask) StatementResult {
+// runs. shares carries the statement's queue wait and group-commit
+// shares for the trace record; nil (replay, or instrumentation off)
+// records nothing.
+func (s *Session) applyStatement(st *stmt.Statement, spec *specTask, shares *stageShares) StatementResult {
 	// st.ID was assigned when the batch's events were built (or by
 	// replay) — never here: writing it now would race with an in-flight
 	// speculative Run reading the statement.
+	var start time.Time
+	traced := s.obsv != nil && shares != nil
+	if traced {
+		start = time.Now()
+	}
 	s.statements++
+	specHit := false
 	switch {
 	case spec == nil:
 		s.tuner.AnalyzeQuery(st)
@@ -954,6 +1033,7 @@ func (s *Session) applyStatement(st *stmt.Statement, spec *specTask) StatementRe
 		<-spec.done
 		if s.tuner.ApplyAnalysis(spec.a) {
 			s.specHits++
+			specHit = true
 		} else {
 			s.specMisses++
 		}
@@ -967,7 +1047,46 @@ func (s *Session) applyStatement(st *stmt.Statement, spec *specTask) StatementRe
 	c := s.opt.Cost(st, s.materialized)
 	s.totalWork += c
 	s.sinceCkpt++
+	if traced {
+		s.recordTrace(st, start, specHit, shares)
+	}
 	return StatementResult{ID: st.ID, Kind: st.Kind.String(), Cost: c}
+}
+
+// recordTrace builds the statement's trace record and feeds the
+// analysis/apply stage histograms. The analysis stage is the heavy
+// read-only Run wherever it executed (inline or on the speculative
+// pipeline); apply is the rest of the statement's time on the
+// serialized path — for speculative hits that includes any wait for
+// the concurrent Run, which is genuine apply-path stall.
+func (s *Session) recordTrace(st *stmt.Statement, start time.Time, specHit bool, shares *stageShares) {
+	total := time.Since(start)
+	runDur, _ := s.tuner.LastAnalysisDurations()
+	apply := total
+	if !specHit {
+		// The run happened inline, inside total; subtract it out so the
+		// two stages partition the measured time.
+		apply -= runDur
+		if apply < 0 {
+			apply = 0
+		}
+	}
+	analysisUS := runDur.Seconds() * 1e6
+	applyUS := apply.Seconds() * 1e6
+	s.obsv.hAnalysis.Observe(runDur.Seconds())
+	s.obsv.hApply.Observe(apply.Seconds())
+	s.obsv.trace.Add(obs.StatementTrace{
+		ID:          st.ID,
+		SQL:         st.SQL,
+		TotalUS:     shares.queueUS + shares.walUS + shares.fsyncUS + analysisUS + applyUS,
+		QueueUS:     shares.queueUS,
+		WALUS:       shares.walUS,
+		FsyncUS:     shares.fsyncUS,
+		AnalysisUS:  analysisUS,
+		ApplyUS:     applyUS,
+		WhatIfCalls: s.tuner.LastIBGNodes(),
+		SpecHit:     specHit,
+	})
 }
 
 // applyAccept materializes the current recommendation with implicit
@@ -1050,6 +1169,9 @@ func ValidateSpec(cat *catalog.Catalog, spec state.IndexSpec) error {
 // bounded channel provides) and waits for the apply loop's reply.
 func (s *Session) submit(ctx context.Context, j *job) (jobReply, error) {
 	j.reply = make(chan jobReply, 1)
+	if s.obsv != nil {
+		j.enq = time.Now()
+	}
 	s.encMu.RLock()
 	if s.closed {
 		s.encMu.RUnlock()
@@ -1163,6 +1285,9 @@ func (s *Session) Status() SessionStatus {
 		GroupCommitRecords: s.groupRecords,
 		SpecHits:           s.specHits,
 		SpecMisses:         s.specMisses,
+		WhatIfCalls:        s.opt.Calls(),
+		WhatIfCacheHits:    s.opt.Hits(),
+		Checkpoints:        s.checkpoints,
 	}
 	if s.shipper != nil {
 		st := s.shipper.Stats()
@@ -1215,6 +1340,7 @@ func (s *Session) Checkpoint() (uint64, error) {
 // crash between the two recoverable bit-identically: replay reaches the
 // record and compacts at the same stream position the live session did.
 func (s *Session) checkpointLocked() error {
+	start := time.Now()
 	if s.cfg.Options.RetireAfter > 0 {
 		seq, err := s.wal.Append(state.Record{Type: state.RecCompact})
 		if err != nil {
@@ -1226,12 +1352,28 @@ func (s *Session) checkpointLocked() error {
 			// did — follower checkpoints are snapshot-only for this reason.
 			s.shipper.Commit([]state.Record{{Seq: seq, Type: state.RecCompact}}) //nolint:errcheck
 		}
-		s.tuner.CompactRegistry()
+		dropped := s.tuner.CompactRegistry()
 		// The session's copy of the materialized set holds pre-compaction
 		// IDs; re-read the remapped form from the tuner.
 		s.materialized = s.tuner.Materialized()
+		obs.Event("server", "compaction",
+			"session", s.cfg.Name, "wal_seq", seq,
+			"dropped", dropped, "registry", s.reg.Len())
 	}
-	return s.snapshotLocked()
+	walBytes := s.wal.Size()
+	if err := s.snapshotLocked(); err != nil {
+		return err
+	}
+	s.checkpoints++
+	dur := time.Since(start)
+	if s.obsv != nil {
+		s.obsv.hCkpt.Observe(dur.Seconds())
+	}
+	obs.Event("server", "checkpoint",
+		"session", s.cfg.Name, "wal_seq", s.wal.LastSeq(),
+		"wal_bytes_covered", walBytes, "statements", s.statements,
+		"dur_ms", fmt.Sprintf("%.2f", dur.Seconds()*1e3))
+	return nil
 }
 
 // snapshotLocked writes the snapshot and truncates the WAL, with no

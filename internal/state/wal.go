@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 )
 
 // walMagic identifies a WAL file; the trailing digit versions the record
@@ -73,6 +74,14 @@ type WAL struct {
 	size  int64 // current log size in bytes (header + intact records)
 	Fsync bool
 	hooks *WALHooks
+
+	// OnCommit, when set, observes every commit (the flush-and-maybe-
+	// fsync that acknowledges an Append/AppendBatch/AppendReplica):
+	// the wall time of the flush and of the fsync (sync is zero when
+	// Fsync is off), plus the records and bytes the commit covered. It
+	// runs synchronously on the appending goroutine — keep it cheap.
+	// The observability layer hangs stage-latency histograms here.
+	OnCommit func(flush, sync time.Duration, records int, bytes int64)
 }
 
 // WALHooks intercept the WAL's file operations — the seam the
@@ -210,7 +219,7 @@ func (w *WAL) Append(rec Record) (uint64, error) {
 	if err := w.writeFrame(payload); err != nil {
 		return 0, err
 	}
-	if err := w.commit(); err != nil {
+	if err := w.commit(1, int64(8+len(payload))); err != nil {
 		return 0, err
 	}
 	w.size += int64(8 + len(payload))
@@ -245,7 +254,7 @@ func (w *WAL) AppendBatch(recs []Record) (uint64, error) {
 		}
 		batchBytes += int64(8 + len(payload))
 	}
-	if err := w.commit(); err != nil {
+	if err := w.commit(len(recs), batchBytes); err != nil {
 		return 0, err
 	}
 	w.size += batchBytes
@@ -266,16 +275,37 @@ func (w *WAL) writeFrame(payload []byte) error {
 }
 
 // commit flushes buffered frames to the OS and, when Fsync is set, syncs
-// them to stable storage.
-func (w *WAL) commit() error {
+// them to stable storage. records/bytes describe what the commit covers;
+// they flow to OnCommit untouched.
+func (w *WAL) commit(records int, bytes int64) error {
+	var start time.Time
+	if w.OnCommit != nil {
+		start = time.Now()
+	}
 	if err := w.w.Flush(); err != nil {
 		return err
 	}
+	var flushed time.Time
+	if w.OnCommit != nil {
+		flushed = time.Now()
+	}
 	if w.Fsync {
+		var err error
 		if h := w.hooks; h != nil && h.Sync != nil {
-			return h.Sync(w.f.Sync)
+			err = h.Sync(w.f.Sync)
+		} else {
+			err = w.f.Sync()
 		}
-		return w.f.Sync()
+		if err != nil {
+			return err
+		}
+	}
+	if w.OnCommit != nil {
+		var sync time.Duration
+		if w.Fsync {
+			sync = time.Since(flushed)
+		}
+		w.OnCommit(flushed.Sub(start), sync, records, bytes)
 	}
 	return nil
 }
@@ -320,7 +350,7 @@ func (w *WAL) AppendReplica(recs []Record) (uint64, error) {
 		}
 		batchBytes += int64(8 + len(payload))
 	}
-	if err := w.commit(); err != nil {
+	if err := w.commit(len(recs), batchBytes); err != nil {
 		return 0, err
 	}
 	w.size += batchBytes
