@@ -159,10 +159,14 @@ func (c *Catalog) Schemas() []string {
 	return out
 }
 
-// TotalBytes estimates the total base-table footprint.
+// TotalBytes estimates the total base-table footprint. The fold runs in
+// registration order: float addition does not commute bit-for-bit, and
+// iterating the map would make the total depend on Go's per-run
+// iteration order.
 func (c *Catalog) TotalBytes() float64 {
 	var total float64
-	for _, t := range c.tables {
+	for _, qn := range c.order {
+		t := c.tables[qn]
 		total += t.Rows * float64(t.RowWidth())
 	}
 	return total

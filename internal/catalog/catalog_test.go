@@ -165,3 +165,29 @@ func TestRangeSelectivityBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTotalBytesDeterministicOrder pins the regression found by the
+// maprange analyzer: TotalBytes used to fold table footprints in map
+// iteration order, so the float64 total could differ bit-for-bit run to
+// run. The fold must follow registration order exactly. The table sizes
+// are chosen so that almost every other summation order produces a
+// different bit pattern (adding 1 to 1e16 is absorbed; adding 2 is not).
+func TestTotalBytesDeterministicOrder(t *testing.T) {
+	c := New()
+	var want float64
+	// 20 one-byte-ish tables followed by one huge one, then two more
+	// small ones: any reordering that folds the small tail into the
+	// large value one-by-one loses bits that registration order keeps.
+	rows := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1e16, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	for i, r := range rows {
+		tbl := &Table{Schema: "s", Name: string(rune('a' + i)), Rows: r / 25}
+		tbl.AddColumn(Column{Name: "x", Width: 1, Distinct: 1})
+		c.AddTable(tbl)
+		want += tbl.Rows * float64(tbl.RowWidth())
+	}
+	for i := 0; i < 100; i++ {
+		if got := c.TotalBytes(); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("TotalBytes = %x, want %x (registration-order fold)", got, want)
+		}
+	}
+}

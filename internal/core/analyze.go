@@ -103,8 +103,10 @@ func (a *Analysis) Run() { a.run(false) }
 // the event order), the speculative path peeks and bails if any candidate
 // is new.
 func (a *Analysis) run(intern bool) {
+	//lint:allow nondeterminism(stage timing feeds only obs traces, never tuner state)
 	start := time.Now()
 	defer func() {
+		//lint:allow nondeterminism(stage timing feeds only obs traces, never tuner state)
 		a.runDur = time.Since(start)
 		a.ran = true
 	}()
@@ -187,9 +189,11 @@ func (t *WFIT) ApplyAnalysis(a *Analysis) bool {
 // insertion orders are identical to the pre-split AnalyzeQuery, which is
 // what keeps serial, batched, and recovered trajectories bit-identical.
 func (t *WFIT) finishAnalysis(a *Analysis) {
+	//lint:allow nondeterminism(stage timing feeds only obs traces, never tuner state)
 	start := time.Now()
 	defer func() {
 		t.lastRunDur = a.runDur
+		//lint:allow nondeterminism(stage timing feeds only obs traces, never tuner state)
 		t.lastFinishDur = time.Since(start)
 	}()
 	t.n++

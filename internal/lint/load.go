@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// exportLookup resolves import paths to gc export data files produced by
+// `go list -export`. It is shared process-wide and grows lazily: paths
+// not yet known trigger one `go list -deps -export -json <path>` run
+// whose whole transitive closure is recorded. This is what lets the
+// suite type-check against the standard library with zero module
+// dependencies and no network.
+type exportLookup struct {
+	mu      sync.Mutex
+	dir     string // working directory for go list (module root)
+	exports map[string]string
+}
+
+func newExportLookup(dir string) *exportLookup {
+	return &exportLookup{dir: dir, exports: make(map[string]string)}
+}
+
+// seed runs one go list over patterns and records every package in the
+// dependency closure, returning the non-DepOnly roots.
+func (x *exportLookup) seed(patterns ...string) ([]listedPkg, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,GoFiles,Export,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = x.dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var roots []listedPkg
+	dec := json.NewDecoder(&stdout)
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			x.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			roots = append(roots, p)
+		}
+	}
+	return roots, nil
+}
+
+func (x *exportLookup) lookup(path string) (io.ReadCloser, error) {
+	x.mu.Lock()
+	file, ok := x.exports[path]
+	x.mu.Unlock()
+	if !ok {
+		if _, err := x.seed(path); err != nil {
+			return nil, err
+		}
+		x.mu.Lock()
+		file, ok = x.exports[path]
+		x.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Load type-checks the packages matching patterns (e.g. "./...") rooted
+// at dir, which must lie inside a Go module. Each target package is
+// checked from source (so analyzers get full ASTs and types.Info);
+// every dependency — module-internal or standard library — is imported
+// from compiler export data, keeping the load O(targets) instead of
+// O(closure).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	x := newExportLookup(dir)
+	roots, err := x.seed(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", x.lookup)
+	var pkgs []*Package
+	for _, root := range roots {
+		if len(root.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(root.GoFiles))
+		for _, name := range root.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(root.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{
+			Importer: imp,
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		}
+		tpkg, err := conf.Check(root.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", root.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  root.ImportPath,
+			Dir:   root.Dir,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// fixtureImporter resolves imports for testdata fixtures: paths present
+// under <root>/src are type-checked from fixture source (recursively),
+// everything else falls back to export data via go list.
+type fixtureImporter struct {
+	root   string // testdata dir
+	fset   *token.FileSet
+	x      *exportLookup
+	expImp types.Importer
+	cache  map[string]*Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, err := fi.load(path); err == nil && pkg != nil {
+		return pkg.Types, nil
+	} else if err != nil {
+		return nil, err
+	}
+	return fi.expImp.Import(path)
+}
+
+// load type-checks the fixture package at <root>/src/<path>, returning
+// (nil, nil) when no such fixture directory exists.
+func (fi *fixtureImporter) load(path string) (*Package, error) {
+	if pkg, ok := fi.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(fi.root, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil // not a fixture path: caller falls back to export data
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fi.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s: no Go files in %s", path, dir)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: fi, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	tpkg, err := conf.Check(path, fi.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: fi.fset, Files: files, Types: tpkg, Info: info}
+	fi.cache[path] = pkg
+	return pkg, nil
+}
+
+// LoadFixture type-checks the fixture package at <testdata>/src/<path>.
+// Fixture packages may import each other (resolved from testdata) and
+// the standard library (resolved from export data).
+func LoadFixture(testdata, path string) (*Package, error) {
+	fset := token.NewFileSet()
+	x := newExportLookup(testdata)
+	fi := &fixtureImporter{
+		root:   testdata,
+		fset:   fset,
+		x:      x,
+		expImp: importer.ForCompiler(fset, "gc", x.lookup),
+		cache:  make(map[string]*Package),
+	}
+	pkg, err := fi.load(path)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("no fixture at %s/src/%s", testdata, path)
+	}
+	return pkg, nil
+}
+
+// unquoteImport returns the import path of an import spec.
+func unquoteImport(spec *ast.ImportSpec) string {
+	p, err := strconv.Unquote(spec.Path.Value)
+	if err != nil {
+		return ""
+	}
+	return p
+}

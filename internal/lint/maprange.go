@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRangeAnalyzer flags `range` over a map whose body does
+// order-sensitive work: accumulating floats (float addition does not
+// commute bit-for-bit), appending to a slice declared outside the loop
+// (a later-serialized slice built in map order differs run to run), or
+// writing the WAL / snapshot codec. Go randomizes map iteration order
+// per run, so any of these makes the result depend on the run, which is
+// exactly what the bit-identical differential tests forbid.
+//
+// The sorted-keys idiom is recognized: appending keys to a slice that is
+// passed to a sort call later in the same block is exempt — that IS the
+// fix for map-order dependence.
+var MapRangeAnalyzer = &Analyzer{
+	Name: "maprange",
+	Doc: "flag map iteration whose body accumulates floats, builds an escaping " +
+		"slice, or writes the WAL/snapshot codec (map order is randomized per run)",
+	Run: runMapRange,
+}
+
+// orderedSinks are the serialization types in internal/state: any method
+// call on them inside a map range writes bytes in map order.
+var orderedSinkTypes = map[string]bool{"WAL": true, "writer": true}
+
+func runMapRange(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkMapRanges(pass, fd.Body)
+			return true
+		})
+	}
+}
+
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	// Walk statement lists so a range statement can be judged against
+	// the statements that FOLLOW it in the same block (the sort-after
+	// exemption).
+	ast.Inspect(body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			rng, ok := stmt.(*ast.RangeStmt)
+			if !ok {
+				continue
+			}
+			t := pass.TypeOf(rng.X)
+			if t == nil {
+				continue
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				continue
+			}
+			checkMapRangeBody(pass, rng, block.List[i+1:])
+		}
+		return true
+	})
+}
+
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			// Nested map ranges are visited by the outer walk; their
+			// bodies are hazards of the inner loop too, so keep going.
+			return true
+		case *ast.AssignStmt:
+			checkFloatAccum(pass, rng, s)
+			checkAppend(pass, rng, s, rest)
+		case *ast.CallExpr:
+			checkOrderedSink(pass, s)
+		}
+		return true
+	})
+}
+
+// checkFloatAccum flags x += v / x -= v / x *= v (and x = x + v) on a
+// float accumulator declared outside the loop.
+func checkFloatAccum(pass *Pass, rng *ast.RangeStmt, s *ast.AssignStmt) {
+	accum := false
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+		accum = true
+	case token.ASSIGN:
+		// x = x + v with the same x on both sides.
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if bin, ok := s.Rhs[0].(*ast.BinaryExpr); ok &&
+				(bin.Op == token.ADD || bin.Op == token.SUB || bin.Op == token.MUL) {
+				accum = types.ExprString(s.Lhs[0]) == types.ExprString(bin.X) ||
+					types.ExprString(s.Lhs[0]) == types.ExprString(bin.Y)
+			}
+		}
+	}
+	if !accum || len(s.Lhs) != 1 {
+		return
+	}
+	t := pass.TypeOf(s.Lhs[0])
+	if t == nil {
+		return
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsFloat == 0 {
+		return
+	}
+	if declaredWithin(pass, s.Lhs[0], rng) {
+		return
+	}
+	pass.Reportf(s.Pos(), "float accumulation in map-iteration order: %s is folded in randomized order (iterate sorted keys, or sum into a slice and reduce after sorting)", types.ExprString(s.Lhs[0]))
+}
+
+// checkAppend flags appends to a slice that outlives the loop, unless
+// the slice is sorted in the statements following the loop.
+func checkAppend(pass *Pass, rng *ast.RangeStmt, s *ast.AssignStmt, rest []ast.Stmt) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+		return
+	} else if pass.ObjectOf(id) != nil && pass.ObjectOf(id).Pkg() != nil {
+		return // shadowed append
+	}
+	target := types.ExprString(s.Lhs[0])
+	if target != types.ExprString(call.Args[0]) {
+		return // x = append(y, ...): not a self-append accumulator
+	}
+	if declaredWithin(pass, s.Lhs[0], rng) {
+		return
+	}
+	if sortedAfter(pass, target, rest) {
+		return
+	}
+	pass.Reportf(s.Pos(), "append to %s in map-iteration order: the slice's element order is randomized per run (sort it after the loop, or iterate sorted keys)", target)
+}
+
+// checkOrderedSink flags method calls on the WAL or the snapshot codec
+// writer inside the loop: bytes written in map order.
+func checkOrderedSink(pass *Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, _ := pass.ObjectOf(sel.Sel).(*types.Func)
+	if fn == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil || named.Obj().Pkg() == nil {
+		return
+	}
+	if named.Obj().Pkg().Path() == ModulePath+"/internal/state" && orderedSinkTypes[named.Obj().Name()] {
+		pass.Reportf(call.Pos(), "%s.%s called in map-iteration order: WAL/snapshot bytes must not depend on map order (iterate sorted keys)", named.Obj().Name(), fn.Name())
+	}
+}
+
+// sortedAfter reports whether any statement in rest canonicalizes the
+// named slice, erasing the map-order dependence:
+//
+//   - sort.*/slices.Sort*(x, ...) with x as the first argument;
+//   - index.NewSet(x...) — sets are order-normalized on construction;
+//   - x.Normalize() — partitions canonicalize their part order.
+func sortedAfter(pass *Pass, target string, rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "sort" || fn.Pkg().Path() == "slices":
+				if len(call.Args) > 0 && types.ExprString(call.Args[0]) == target {
+					found = true
+				}
+			case fn.Name() == "NewSet" && fn.Pkg().Path() == ModulePath+"/internal/index":
+				if len(call.Args) > 0 && types.ExprString(call.Args[0]) == target {
+					found = true
+				}
+			case fn.Name() == "Normalize":
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+					types.ExprString(sel.X) == target {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// declaredWithin reports whether e is (rooted at) an identifier declared
+// inside the range statement — a per-iteration local, reset each pass,
+// carries no cross-iteration order dependence.
+func declaredWithin(pass *Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := pass.ObjectOf(x)
+			return obj != nil && obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// namedOf unwraps pointers to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

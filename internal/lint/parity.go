@@ -1,0 +1,303 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ParityAnalyzer checks Export/Restore (and write*/read*) field parity
+// for snapshot-codec state structs: every exported field of a struct
+// that has both a serializing side and a deserializing side in a
+// package must be mentioned in both. This is the mechanical form of the
+// PR-4 materialized-set bug ("add tuner state, forget the snapshot"):
+// a field added to a state struct but not to one side of its codec
+// round-trips as a zero value and silently diverges the recovered
+// trajectory.
+//
+// Sides are recognized by the repo's two conventions:
+//
+//   - write*/encode* functions taking the struct (by value, pointer, or
+//     slice) pair with read*/decode* functions returning it or filling a
+//     pointer to it;
+//   - Export* functions/methods returning the struct pair with Restore*
+//     functions taking it.
+//
+// A field "appears" in a side when its name occurs as a selector or a
+// composite-literal key anywhere in that side's bodies. For a field of
+// struct type declared in the same package without its own codec pair,
+// the field's subfields stand in for it when the body serializes them
+// individually: if SOME of the subfield names appear, ALL must.
+var ParityAnalyzer = &Analyzer{
+	Name: "parity",
+	Doc: "every exported field of a snapshot-codec state struct must appear in " +
+		"both the Export/write path and the Restore/read path",
+	Run: runParity,
+}
+
+// paritySides collects, per struct type, the functions on each side.
+type paritySides struct {
+	named      *types.Named
+	write      []*ast.FuncDecl
+	read       []*ast.FuncDecl
+	writeNames map[string]bool // selector/key names mentioned across write bodies
+	readNames  map[string]bool
+}
+
+func runParity(pass *Pass) {
+	sides := make(map[*types.TypeName]*paritySides)
+	get := func(named *types.Named) *paritySides {
+		key := named.Obj()
+		s, ok := sides[key]
+		if !ok {
+			s = &paritySides{named: named}
+			sides[key] = s
+		}
+		return s
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			obj, _ := pass.ObjectOf(fd.Name).(*types.Func)
+			if obj == nil {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			switch {
+			case strings.HasPrefix(name, "write") || strings.HasPrefix(name, "encode"):
+				for _, t := range paramStructs(sig) {
+					s := get(t)
+					s.write = append(s.write, fd)
+				}
+			case strings.HasPrefix(name, "read") || strings.HasPrefix(name, "decode"):
+				for _, t := range resultStructs(sig) {
+					s := get(t)
+					s.read = append(s.read, fd)
+				}
+				for _, t := range pointerParamStructs(sig) {
+					s := get(t)
+					s.read = append(s.read, fd)
+				}
+			case strings.HasPrefix(name, "Export"):
+				for _, t := range resultStructs(sig) {
+					s := get(t)
+					s.write = append(s.write, fd)
+				}
+			case strings.HasPrefix(name, "Restore"):
+				for _, t := range paramStructs(sig) {
+					s := get(t)
+					s.read = append(s.read, fd)
+				}
+			}
+		}
+	}
+
+	var keys []*types.TypeName
+	for k, s := range sides {
+		if len(s.write) > 0 && len(s.read) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Pos() < keys[j].Pos() })
+
+	// hasPair marks struct types with a complete codec pair in this
+	// package: their fields are checked at their own pair, not inlined
+	// into an enclosing struct's check.
+	hasPair := make(map[*types.TypeName]bool)
+	for _, k := range keys {
+		hasPair[k] = true
+	}
+
+	for _, k := range keys {
+		s := sides[k]
+		s.writeNames = bodyNames(s.write)
+		s.readNames = bodyNames(s.read)
+		st, ok := s.named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		checkStructParity(pass, s, s.named.Obj().Name(), st, s.named.Obj().Pkg(), hasPair, nil)
+	}
+}
+
+// checkStructParity verifies every exported field of st appears on both
+// sides, recursing into same-package struct fields without their own
+// pair per the some-implies-all rule. seen guards against cycles.
+func checkStructParity(pass *Pass, s *paritySides, typeName string, st *types.Struct, pkg *types.Package, hasPair map[*types.TypeName]bool, seen []*types.Struct) {
+	for _, prev := range seen {
+		if prev == st {
+			return
+		}
+	}
+	seen = append(seen, st)
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		if !field.Exported() {
+			continue
+		}
+		name := field.Name()
+		inWrite := s.writeNames[name]
+		inRead := s.readNames[name]
+
+		// A struct-typed field from the same package without its own
+		// codec pair may be serialized subfield-by-subfield instead of
+		// by name: accept it on a side when ALL its exported subfields
+		// appear there, and flag partial coverage precisely.
+		sub := samePkgStructWithoutPair(field.Type(), pkg, hasPair)
+		if sub != nil {
+			if !inWrite {
+				inWrite = subfieldsCovered(pass, s, typeName, name, sub, s.writeNames, s.write[0], "write/Export")
+			}
+			if !inRead {
+				inRead = subfieldsCovered(pass, s, typeName, name, sub, s.readNames, s.read[0], "read/Restore")
+			}
+		}
+		if !inWrite {
+			pass.Reportf(s.write[0].Pos(), "snapshot parity: exported field %s.%s is not handled in the write/Export path %s (a restored state would silently zero it)", typeName, name, s.write[0].Name.Name)
+		}
+		if !inRead {
+			pass.Reportf(s.read[0].Pos(), "snapshot parity: exported field %s.%s is not handled in the read/Restore path %s (a restored state would silently zero it)", typeName, name, s.read[0].Name.Name)
+		}
+	}
+}
+
+// subfieldsCovered reports whether all exported subfields of sub appear
+// in names; when only some appear, it reports the missing ones (the
+// body clearly serializes the struct field-by-field and missed these).
+func subfieldsCovered(pass *Pass, s *paritySides, typeName, fieldName string, sub *types.Struct, names map[string]bool, at *ast.FuncDecl, side string) bool {
+	var present, missing []string
+	for i := 0; i < sub.NumFields(); i++ {
+		f := sub.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		if names[f.Name()] {
+			present = append(present, f.Name())
+		} else {
+			missing = append(missing, f.Name())
+		}
+	}
+	if len(present) == 0 {
+		return false // nothing serialized inline: the field name itself was required
+	}
+	if len(missing) > 0 {
+		pass.Reportf(at.Pos(), "snapshot parity: %s.%s is serialized field-by-field in the %s path %s but %s missing", typeName, fieldName, side, at.Name.Name, strings.Join(missing, ", ")+" is")
+		// Report once here; treat as covered so the enclosing field
+		// doesn't double-report.
+	}
+	return true
+}
+
+// samePkgStructWithoutPair unwraps field type t (through pointers and
+// slices) to a named struct declared in pkg that lacks its own codec
+// pair, or returns nil.
+func samePkgStructWithoutPair(t types.Type, pkg *types.Package, hasPair map[*types.TypeName]bool) *types.Struct {
+	t = unwrapElem(t)
+	named := namedOf(t)
+	if named == nil || named.Obj().Pkg() != pkg || hasPair[named.Obj()] {
+		return nil
+	}
+	st, _ := named.Underlying().(*types.Struct)
+	return st
+}
+
+// unwrapElem strips slices, arrays, and pointers.
+func unwrapElem(t types.Type) types.Type {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Slice:
+			t = x.Elem()
+		case *types.Array:
+			t = x.Elem()
+		default:
+			return t
+		}
+	}
+}
+
+// paramStructs returns the named struct types among sig's parameters
+// (unwrapping pointers and slices), skipping the serializer
+// handle (types like *writer/*reader have no exported fields and are
+// filtered by the caller pairing anyway).
+func paramStructs(sig *types.Signature) []*types.Named {
+	var out []*types.Named
+	for i := 0; i < sig.Params().Len(); i++ {
+		if n := structNamed(sig.Params().At(i).Type()); n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// pointerParamStructs returns named struct types passed as pointers —
+// the out-parameter convention of read-side fillers like readSession.
+func pointerParamStructs(sig *types.Signature) []*types.Named {
+	var out []*types.Named
+	for i := 0; i < sig.Params().Len(); i++ {
+		if _, ok := sig.Params().At(i).Type().(*types.Pointer); !ok {
+			continue
+		}
+		if n := structNamed(sig.Params().At(i).Type()); n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// resultStructs returns the named struct types among sig's results.
+func resultStructs(sig *types.Signature) []*types.Named {
+	var out []*types.Named
+	for i := 0; i < sig.Results().Len(); i++ {
+		if n := structNamed(sig.Results().At(i).Type()); n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// structNamed unwraps t to a named type whose underlying is a struct
+// with at least one exported field.
+func structNamed(t types.Type) *types.Named {
+	named := namedOf(unwrapElem(t))
+	if named == nil {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Exported() {
+			return named
+		}
+	}
+	return nil
+}
+
+// bodyNames collects every selector name and composite-literal key used
+// in the bodies of fns.
+func bodyNames(fns []*ast.FuncDecl) map[string]bool {
+	names := make(map[string]bool)
+	for _, fd := range fns {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				names[x.Sel.Name] = true
+			case *ast.KeyValueExpr:
+				if id, ok := x.Key.(*ast.Ident); ok {
+					names[id.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	return names
+}

@@ -1,0 +1,290 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ScrapeReentryAnalyzer flags the PR-7 deadlock class in internal/obs:
+// code that, while holding a registry-style mutex, makes a call that can
+// re-enter the same lock. sync.Mutex is not reentrant, so an OnScrape
+// collector invoked under the registry lock that refreshes a gauge
+// (itself a get-or-create needing the lock) self-deadlocks the scrape —
+// exactly what happened before collectors were moved outside the lock.
+//
+// Two call shapes are flagged inside a locked region:
+//
+//   - a call to another method of the same type that also acquires the
+//     mutex (direct re-entry);
+//   - a call through a function value read from a field of the locked
+//     receiver (e.g. registered collector callbacks) — the registry
+//     cannot know what the callback does, so it must not run under the
+//     lock.
+var ScrapeReentryAnalyzer = &Analyzer{
+	Name: "scrapereentry",
+	Doc: "flag calls made while holding the obs registry lock that can re-enter " +
+		"the registry (collector callbacks, lock-taking methods of the same type)",
+	Run: runScrapeReentry,
+}
+
+func runScrapeReentry(pass *Pass) {
+	path := pass.Pkg.Path()
+	if path != ModulePath+"/internal/obs" && !strings.HasSuffix(path, "/internal/obs") {
+		return
+	}
+	locking := lockingMethods(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			recv := receiverVar(pass, fd)
+			if recv == nil {
+				continue
+			}
+			regions := lockedRegions(pass, fd, recv)
+			if len(regions) == 0 {
+				continue
+			}
+			checkLockedCalls(pass, fd, recv, regions, locking)
+		}
+	}
+}
+
+// methodKey identifies a method by receiver type name and method name.
+type methodKey struct {
+	typeName string
+	method   string
+}
+
+// lockingMethods returns every method in the package that acquires a
+// sync.Mutex/RWMutex field of its own receiver.
+func lockingMethods(pass *Pass) map[methodKey]bool {
+	out := make(map[methodKey]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			recv := receiverVar(pass, fd)
+			if recv == nil {
+				continue
+			}
+			named := namedOf(recv.Type())
+			if named == nil {
+				continue
+			}
+			found := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok && isMutexOp(pass, call, recv, "Lock") {
+					found = true
+				}
+				return true
+			})
+			if found {
+				out[methodKey{named.Obj().Name(), fd.Name.Name}] = true
+			}
+		}
+	}
+	return out
+}
+
+// receiverVar returns the receiver variable of fd, or nil for unnamed
+// receivers.
+func receiverVar(pass *Pass, fd *ast.FuncDecl) *types.Var {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	obj, _ := pass.ObjectOf(fd.Recv.List[0].Names[0]).(*types.Var)
+	return obj
+}
+
+// isMutexOp reports whether call is recv.<field>.<op>() where field is a
+// sync.Mutex or sync.RWMutex (op: "Lock", "Unlock", "RLock"...).
+func isMutexOp(pass *Pass, call *ast.CallExpr, recv *types.Var, op string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != op {
+		return false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	base, ok := ast.Unparen(inner.X).(*ast.Ident)
+	if !ok || pass.ObjectOf(base) != recv {
+		return false
+	}
+	named := namedOf(pass.TypeOf(inner))
+	return named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" &&
+		(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+}
+
+// region is a [from, to] Pos interval during which the lock is held.
+type region struct{ from, to token.Pos }
+
+// lockedRegions computes the intervals of fd's body where recv's mutex
+// is held: from each Lock() to the matching textual Unlock() in
+// sequence, or to the end of the function when the Unlock is deferred.
+func lockedRegions(pass *Pass, fd *ast.FuncDecl, recv *types.Var) []region {
+	type ev struct {
+		pos      token.Pos
+		lock     bool
+		deferred bool
+	}
+	var evs []ev
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isMutexOp(pass, x, recv, "Lock") || isMutexOp(pass, x, recv, "RLock") {
+				evs = append(evs, ev{x.Pos(), true, false})
+			} else if isMutexOp(pass, x, recv, "Unlock") || isMutexOp(pass, x, recv, "RUnlock") {
+				evs = append(evs, ev{x.Pos(), false, false})
+			}
+		case *ast.DeferStmt:
+			if isMutexOp(pass, x.Call, recv, "Unlock") || isMutexOp(pass, x.Call, recv, "RUnlock") {
+				evs = append(evs, ev{x.Pos(), false, true})
+				return false // don't double-count the call inside
+			}
+		}
+		return true
+	})
+	var regions []region
+	var open *token.Pos
+	for _, e := range evs {
+		switch {
+		case e.lock:
+			if open == nil {
+				p := e.pos
+				open = &p
+			}
+		case e.deferred:
+			if open != nil {
+				regions = append(regions, region{*open, fd.Body.End()})
+				open = nil
+			}
+		default:
+			if open != nil {
+				regions = append(regions, region{*open, e.pos})
+				open = nil
+			}
+		}
+	}
+	if open != nil {
+		regions = append(regions, region{*open, fd.Body.End()})
+	}
+	return regions
+}
+
+func inRegions(pos token.Pos, regions []region) bool {
+	for _, r := range regions {
+		if pos > r.from && pos < r.to {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLockedCalls walks fd's body flagging re-entrant calls inside the
+// locked regions. Function values assigned from fields of recv (directly,
+// via copy, or as a range variable) are tracked as tainted.
+func checkLockedCalls(pass *Pass, fd *ast.FuncDecl, recv *types.Var, regions []region, locking map[methodKey]bool) {
+	named := namedOf(recv.Type())
+	if named == nil {
+		return
+	}
+	tainted := make(map[types.Object]bool)
+	mentionsRecvField := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if base, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.ObjectOf(base) == recv {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(x.Rhs) && len(x.Rhs) != 1 {
+					continue
+				}
+				rhs := x.Rhs[0]
+				if len(x.Rhs) == len(x.Lhs) {
+					rhs = x.Rhs[i]
+				}
+				if mentionsRecvField(rhs) || isTaintedExpr(pass, rhs, tainted) {
+					if obj := pass.ObjectOf(id); obj != nil {
+						tainted[obj] = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if x.Value != nil && (mentionsRecvField(x.X) || isTaintedExpr(pass, x.X, tainted)) {
+				if id, ok := x.Value.(*ast.Ident); ok {
+					if obj := pass.ObjectOf(id); obj != nil {
+						tainted[obj] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if !inRegions(x.Pos(), regions) {
+				return true
+			}
+			// Direct re-entry: a lock-taking method of the same type.
+			if fn := pass.CalleeFunc(x); fn != nil {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					if rn := namedOf(sig.Recv().Type()); rn != nil && rn.Obj() == named.Obj() &&
+						locking[methodKey{rn.Obj().Name(), fn.Name()}] {
+						pass.Reportf(x.Pos(), "%s.%s acquires the %s lock already held here: self-deadlock (sync.Mutex is not reentrant)", rn.Obj().Name(), fn.Name(), named.Obj().Name())
+					}
+				}
+				return true
+			}
+			// Callback re-entry: dynamic call through a value rooted in
+			// a field of the locked receiver.
+			fun := ast.Unparen(x.Fun)
+			if mentionsRecvField(fun) || isTaintedExpr(pass, fun, tainted) {
+				pass.Reportf(x.Pos(), "callback from %s invoked while holding its lock: a collector that touches the registry self-deadlocks (copy the callbacks out, unlock, then call)", named.Obj().Name())
+			}
+		}
+		return true
+	})
+}
+
+// isTaintedExpr reports whether e is (or indexes into) a tainted value.
+func isTaintedExpr(pass *Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return tainted[pass.ObjectOf(x)]
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.CallExpr:
+			// append(tainted, ...) and similar pass taint through their
+			// first argument.
+			if len(x.Args) > 0 {
+				e = x.Args[0]
+			} else {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+}

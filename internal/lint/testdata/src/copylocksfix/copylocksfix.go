@@ -1,0 +1,48 @@
+// Package copylocksfix exercises the copylocks pass: by-value copies of
+// types containing sync primitives.
+package copylocksfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g Guarded) Bad() int { return g.n } // want `value receiver of Bad copies field mu \(sync.Mutex\)`
+
+func (g *Guarded) Good() int { return g.n }
+
+func byValueParam(g Guarded) {} // want `parameter passes a lock by value`
+
+func byPointerParam(g *Guarded) {}
+
+func assignCopy(g *Guarded) int {
+	cp := *g // want `assignment copies a lock value`
+	return cp.n
+}
+
+func rangeCopy(gs []Guarded) int {
+	n := 0
+	for _, g := range gs { // want `range copies a lock value`
+		n += g.n
+	}
+	return n
+}
+
+func rangeIndex(gs []Guarded) int {
+	n := 0
+	for i := range gs {
+		n += gs[i].n
+	}
+	return n
+}
+
+type Counted struct{ c atomic.Int64 }
+
+func atomicResult() Counted { // want `result passes a lock by value`
+	return Counted{}
+}

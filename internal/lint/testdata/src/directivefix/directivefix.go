@@ -1,0 +1,13 @@
+// Package directivefix holds deliberately broken //lint:allow
+// directives: an empty reason and a malformed body are findings.
+package directivefix
+
+func empty() int {
+	//lint:allow nondeterminism()
+	return 1
+}
+
+func malformed() int {
+	//lint:allow this is not the syntax
+	return 2
+}

@@ -1,0 +1,24 @@
+// Package lostcancelfix exercises the lostcancel pass: discarding the
+// CancelFunc of a cancellable context leaks it until the parent dies.
+package lostcancelfix
+
+import (
+	"context"
+	"time"
+)
+
+func leakCancel(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent) // want `cancel function returned by context.WithCancel is discarded`
+	return ctx
+}
+
+func leakTimeout(parent context.Context) context.Context {
+	ctx, _ := context.WithTimeout(parent, time.Second) // want `cancel function returned by context.WithTimeout is discarded`
+	return ctx
+}
+
+func keepCancel(parent context.Context) context.Context {
+	ctx, cancel := context.WithDeadline(parent, time.Unix(0, 0))
+	defer cancel()
+	return ctx
+}

@@ -1,0 +1,65 @@
+// Package nilnessfix exercises the nilness pass: uses of a value inside
+// the branch that proved it nil.
+package nilnessfix
+
+type T struct{ F int }
+
+func derefInNilBranch(p *T) int {
+	if p == nil {
+		return p.F // want `nil dereference: p.F inside the branch that established p == nil`
+	}
+	return p.F
+}
+
+func derefInElse(p *T) int {
+	if p != nil {
+		return p.F
+	} else {
+		return p.F // want `nil dereference: p.F inside the branch that established p == nil`
+	}
+}
+
+func starDeref(p *T) T {
+	if nil == p {
+		return *p // want `nil dereference: \*p inside the branch`
+	}
+	return *p
+}
+
+func nilIndex(s []int) int {
+	if s == nil {
+		return s[0] // want `nil index: s\[...\] inside the branch`
+	}
+	return s[0]
+}
+
+func nilCall(f func() int) int {
+	if f == nil {
+		return f() // want `nil call: f\(...\) inside the branch`
+	}
+	return f()
+}
+
+func nilMethod(e error) string {
+	if e == nil {
+		return e.Error() // want `nil method call: e.Error inside the branch`
+	}
+	return e.Error()
+}
+
+// reassigned is fine: the nil value is replaced before use.
+func reassigned(p *T) int {
+	if p == nil {
+		p = &T{}
+		return p.F
+	}
+	return p.F
+}
+
+// lenOnNilSlice is fine: len of a nil slice is defined.
+func lenOnNilSlice(s []int) int {
+	if s == nil {
+		return len(s)
+	}
+	return len(s)
+}

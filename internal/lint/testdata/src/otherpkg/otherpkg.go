@@ -1,0 +1,11 @@
+// Package otherpkg is outside the deterministic set: the same calls
+// that nondetfix flags are fine here (the serving layer legitimately
+// reads the clock for timeouts and metrics).
+package otherpkg
+
+import "time"
+
+func clocked() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,28 @@
+// Package nondetfix exercises the nondeterminism analyzer: its import
+// path sits under repro/internal/core, so wall-clock reads and
+// math/rand are findings unless annotated.
+package nondetfix
+
+import (
+	"math/rand" // want `deterministic package repro/internal/core/nondetfix imports math/rand`
+	"time"
+)
+
+func clocked() time.Duration {
+	start := time.Now() // want `wall-clock read time.Now in deterministic package`
+	_ = rand.Int()
+	return time.Since(start) // want `wall-clock read time.Since in deterministic package`
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `wall-clock read time.Until in deterministic package`
+}
+
+// durationMath is fine: arithmetic on values handed in from outside
+// reads no clock.
+func durationMath(d time.Duration) time.Duration { return 2 * d }
+
+func audited() time.Time {
+	//lint:allow nondeterminism(feeds only an observability trace, never tuner state)
+	return time.Now()
+}

@@ -1,0 +1,17 @@
+// Package index is a fixture stand-in for the real repro/internal/index:
+// just enough surface for the maprange fixture to exercise the NewSet
+// canonicalization exemption.
+package index
+
+// ID identifies an index.
+type ID uint64
+
+// Set is an ordered index set.
+type Set struct{ ids []ID }
+
+// NewSet builds a canonical (sorted, deduplicated) set: input order is
+// deliberately irrelevant, which is why the maprange analyzer treats it
+// as a sort.
+func NewSet(ids ...ID) Set {
+	return Set{ids: ids}
+}

@@ -1,0 +1,74 @@
+// Package obs is a fixture stand-in for the real registry: the
+// scrapereentry analyzer flags calls made under the registry lock that
+// can re-enter it — the PR-7 scrape deadlock.
+package obs
+
+import "sync"
+
+// Registry mirrors the metrics registry: a mutex guarding families and
+// a list of scrape-time collector callbacks.
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]int
+	collectors []func()
+}
+
+// Gauge is a lock-taking method: get-or-create under the mutex.
+func (r *Registry) Gauge(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.families[name]
+}
+
+// BadScrape is the deadlock: collectors run under the lock, and any
+// collector that touches the registry (they all do — that is their
+// job) re-enters the non-reentrant mutex. The direct Gauge call is the
+// same bug without the indirection.
+func (r *Registry) BadScrape() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, fn := range r.collectors {
+		fn() // want `callback from Registry invoked while holding its lock`
+	}
+	_ = r.Gauge("up") // want `Registry.Gauge acquires the Registry lock already held here`
+}
+
+// BadScrapeCopied still calls the copied callbacks before unlocking:
+// copying the slice does not help if the calls stay inside the region.
+func (r *Registry) BadScrapeCopied() {
+	r.mu.Lock()
+	fns := append([]func(){}, r.collectors...)
+	for _, fn := range fns {
+		fn() // want `callback from Registry invoked while holding its lock`
+	}
+	r.mu.Unlock()
+}
+
+// GoodScrape is the PR-7 fix: copy the callbacks out under the lock,
+// unlock, then call.
+func (r *Registry) GoodScrape() {
+	r.mu.Lock()
+	fns := append([]func(){}, r.collectors...)
+	r.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// Snapshot calls Gauge with the lock already released: fine.
+func (r *Registry) Snapshot() int {
+	r.mu.Lock()
+	n := len(r.families)
+	r.mu.Unlock()
+	return n + r.Gauge("up")
+}
+
+// Audited shows the escape hatch for a reviewed exception.
+func (r *Registry) Audited() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, fn := range r.collectors {
+		//lint:allow scrapereentry(these callbacks are package-internal and never touch the registry)
+		fn()
+	}
+}

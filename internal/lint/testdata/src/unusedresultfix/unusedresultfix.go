@@ -1,0 +1,32 @@
+// Package unusedresultfix exercises the unusedresult pass: calls whose
+// only effect is the return value, in statement position.
+package unusedresultfix
+
+import (
+	"fmt"
+	"strings"
+)
+
+type id int
+
+func (id) String() string { return "" }
+
+func drop(s string) string {
+	fmt.Sprintf("dropped %s", s) // want `result of fmt.Sprintf is discarded`
+	strings.ToUpper(s)           // want `result of strings.ToUpper is discarded`
+	return strings.ToLower(s)
+}
+
+func dropMethod(n id) {
+	n.String() // want `result of \(unusedresultfix.id\).String is discarded`
+}
+
+func used(s string) string {
+	u := strings.TrimSpace(s)
+	return fmt.Sprintf("%s!", u)
+}
+
+// effectful calls in statement position are fine.
+func effectful() {
+	println("side effect")
+}

@@ -1,0 +1,19 @@
+// Package consumer switches over a record enum imported from another
+// package — the follower/replay shape the walrecord analyzer exists
+// for: the enum grew a kind, the consumer's switch did not.
+package consumer
+
+import "walfix/internal/state"
+
+func replay(t state.RecType) {
+	switch t { // want `switch over RecType does not handle RecAccept`
+	case state.RecStatement:
+	case state.RecVote:
+	}
+}
+
+func replayAll(t state.RecType) {
+	switch t {
+	case state.RecStatement, state.RecVote, state.RecAccept:
+	}
+}

@@ -1,0 +1,57 @@
+// Package state is a fixture stand-in for a WAL package: RecType is a
+// record-kind enum (two or more Rec* constants in an internal/state
+// package), so every switch over it must be exhaustive.
+package state
+
+// RecType tags a WAL record.
+type RecType uint8
+
+// The record kinds.
+const (
+	RecStatement RecType = 1
+	RecVote      RecType = 2
+	RecAccept    RecType = 3
+)
+
+// otherKind is NOT a record enum (single constant, no Rec prefix):
+// switches over it are not checked.
+type otherKind uint8
+
+const someKind otherKind = 1
+
+func applyPartial(t RecType) {
+	switch t { // want `switch over RecType does not handle RecAccept`
+	case RecStatement:
+	case RecVote:
+	}
+}
+
+func applyWithDefault(t RecType) {
+	// A default clause does not excuse a missing kind: defaults are for
+	// corruption, not for record types someone forgot.
+	switch t { // want `switch over RecType does not handle RecVote, RecAccept`
+	case RecStatement:
+	default:
+	}
+}
+
+func applyAll(t RecType) {
+	switch t {
+	case RecStatement, RecVote:
+	case RecAccept:
+	default:
+	}
+}
+
+func applyOther(k otherKind) {
+	switch k {
+	case someKind:
+	}
+}
+
+func applyAudited(t RecType) {
+	//lint:allow walrecord(RecAccept is filtered out by the caller before this switch)
+	switch t {
+	case RecStatement, RecVote:
+	}
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WALRecordAnalyzer enforces exhaustive handling of WAL record kinds:
+// every switch over a Rec* enum declared in internal/state must name
+// every Rec* constant of that type. A `default` clause does not count —
+// defaults are for corruption, not for record kinds someone forgot: the
+// failure mode this catches is "added a record type, updated the encode
+// path, forgot the follower's apply switch", which a default would turn
+// into a silent runtime error long after the WAL was written.
+var WALRecordAnalyzer = &Analyzer{
+	Name: "walrecord",
+	Doc: "every switch over a Rec* record-kind enum from internal/state must " +
+		"handle every Rec* constant explicitly (default clauses do not count)",
+	Run: runWALRecord,
+}
+
+func runWALRecord(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagType := pass.TypeOf(sw.Tag)
+			named := namedOf(tagType)
+			if named == nil || !isRecEnum(named) {
+				return true
+			}
+			all := recConstants(named)
+			if len(all) == 0 {
+				return true
+			}
+			covered := make(map[string]bool)
+			for _, clause := range sw.Body.List {
+				cc, ok := clause.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					var id *ast.Ident
+					switch x := ast.Unparen(e).(type) {
+					case *ast.Ident:
+						id = x
+					case *ast.SelectorExpr:
+						id = x.Sel
+					}
+					if id == nil {
+						continue
+					}
+					if c, ok := pass.ObjectOf(id).(*types.Const); ok {
+						covered[c.Name()] = true
+					}
+				}
+			}
+			var missing []string
+			for _, name := range all {
+				if !covered[name] {
+					missing = append(missing, name)
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(), "switch over %s does not handle %s: every WAL record kind needs an explicit case in every replay/ship/apply path", named.Obj().Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// isRecEnum reports whether named is a record-kind enum: declared in an
+// internal/state package and carrying at least two package-level Rec*
+// constants.
+func isRecEnum(named *types.Named) bool {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	if pkg.Path() != ModulePath+"/internal/state" && !strings.HasSuffix(pkg.Path(), "/internal/state") {
+		return false
+	}
+	return len(recConstants(named)) >= 2
+}
+
+// recConstants returns the names of the Rec*-prefixed package-level
+// constants of type named, sorted by constant value so diagnostics are
+// stable.
+func recConstants(named *types.Named) []string {
+	pkg := named.Obj().Pkg()
+	scope := pkg.Scope()
+	type rc struct {
+		name string
+		val  string
+	}
+	var consts []rc
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.HasPrefix(c.Name(), "Rec") {
+			continue
+		}
+		if cn := namedOf(c.Type()); cn == nil || cn.Obj() != named.Obj() {
+			continue
+		}
+		consts = append(consts, rc{c.Name(), c.Val().ExactString()})
+	}
+	sort.Slice(consts, func(i, j int) bool { return consts[i].val < consts[j].val })
+	out := make([]string, len(consts))
+	for i, c := range consts {
+		out[i] = c.name
+	}
+	return out
+}

@@ -320,9 +320,14 @@ func TestLateJoinerSnapshotBootstrap(t *testing.T) {
 	}
 	drive(t, sess, sqls, 0, total-1)
 
+	// Shipping is asynchronous: the commit only kicks the loop, so give
+	// the failing attempt a moment to be recorded.
 	st := sess.Status()
-	if st.Replication.ShipErrors == 0 {
-		t.Fatal("partition recorded no ship errors")
+	for wait := time.Now().Add(5 * time.Second); st.Replication.ShipErrors == 0; st = sess.Status() {
+		if time.Now().After(wait) {
+			t.Fatal("partition recorded no ship errors")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 
 	// Partition heals; the next commit kicks the loop, which discovers

@@ -266,6 +266,9 @@ func (sv *Server) Close() error {
 		sessions = append(sessions, s)
 	}
 	sv.mu.Unlock()
+	// Close in name order so shutdown checkpointing (and any error
+	// surfaced from it) is deterministic rather than map-ordered.
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].Name() < sessions[j].Name() })
 	var first error
 	for _, s := range sessions {
 		if err := s.Close(); err != nil && first == nil {

@@ -177,62 +177,63 @@ func (d *reader) fail(err error) {
 	}
 }
 
+// decodeChunk bounds what any one length prefix may pre-allocate. The
+// snapshot CRC is only verified at the END of a decode, so a corrupt or
+// adversarial prefix must not drive a huge up-front allocation; slices
+// grow incrementally instead, and a short stream errors out after at
+// most one chunk of wasted work.
+const decodeChunk = 1 << 12
+
+// decodeSlice reads n elements via elem, growing the result
+// incrementally and bailing out on the first stream error.
+func decodeSlice[T any](d *reader, n int, elem func() T) []T {
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]T, 0, min(n, decodeChunk))
+	for i := 0; i < n; i++ {
+		v := elem()
+		if d.err != nil {
+			return nil
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
 func (d *reader) str() string {
 	n := d.lenPrefix()
 	if d.err != nil || n == 0 {
 		return ""
 	}
-	b := make([]byte, n)
-	d.read(b)
-	return string(b)
+	out := make([]byte, 0, min(n, decodeChunk))
+	buf := make([]byte, min(n, decodeChunk))
+	for n > 0 && d.err == nil {
+		c := min(n, len(buf))
+		d.read(buf[:c])
+		out = append(out, buf[:c]...)
+		n -= c
+	}
+	if d.err != nil {
+		return ""
+	}
+	return string(out)
 }
 
 func (d *reader) strs() []string {
-	n := d.lenPrefix()
-	if d.err != nil || n == 0 {
-		return nil
-	}
-	out := make([]string, n)
-	for i := range out {
-		out[i] = d.str()
-	}
-	return out
+	return decodeSlice(d, d.lenPrefix(), d.str)
 }
 
 func (d *reader) f64s() []float64 {
-	n := d.lenPrefix()
-	if d.err != nil || n == 0 {
-		return nil
-	}
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = d.f64()
-	}
-	return out
+	return decodeSlice(d, d.lenPrefix(), d.f64)
 }
 
 func (d *reader) ints() []int {
-	n := d.lenPrefix()
-	if d.err != nil || n == 0 {
-		return nil
-	}
-	out := make([]int, n)
-	for i := range out {
-		out[i] = d.intv()
-	}
-	return out
+	return decodeSlice(d, d.lenPrefix(), d.intv)
 }
 
 func (d *reader) idSlice() []index.ID {
-	n := d.lenPrefix()
-	if d.err != nil || n == 0 {
-		return nil
-	}
-	out := make([]index.ID, n)
-	for i := range out {
-		out[i] = index.ID(d.u32())
-	}
-	return out
+	return decodeSlice(d, d.lenPrefix(), func() index.ID { return index.ID(d.u32()) })
 }
 
 func (d *reader) set() index.Set { return index.NewSet(d.idSlice()...) }

@@ -1,0 +1,73 @@
+package state
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestReaderHugeLengthPrefixBounded pins the allocation-bomb fix: the
+// snapshot CRC is only verified at the end of a decode, so a corrupt
+// length prefix used to drive a pre-allocation of up to maxSliceLen
+// elements before the stream ran dry. Decoding now grows slices
+// incrementally: a maximal admissible prefix with no payload behind it
+// must fail fast and allocate no more than one chunk.
+func TestReaderHugeLengthPrefixBounded(t *testing.T) {
+	var buf bytes.Buffer
+	e := newWriter(&buf)
+	e.lenPrefix(maxSliceLen)
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	d := newReader(bytes.NewReader(buf.Bytes()))
+	out := d.strs()
+	runtime.ReadMemStats(&after)
+
+	if d.err == nil {
+		t.Fatal("decoding a truncated huge-length stream did not error")
+	}
+	if out != nil {
+		t.Fatalf("got %d elements from a truncated stream", len(out))
+	}
+	if delta := after.TotalAlloc - before.TotalAlloc; delta > 1<<20 {
+		t.Fatalf("decode allocated %d bytes for a stream of %d bytes", delta, buf.Len())
+	}
+}
+
+// TestWALScanOversizedFrameTreatedAsTorn pins the WAL-side bound: a
+// frame header promising more payload than the file holds is a torn
+// tail — the scan keeps every intact record before it, truncates the
+// garbage, and never allocates beyond the file size.
+func TestWALScanOversizedFrameTreatedAsTorn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	valid := EncodeRecords([]Record{
+		{Seq: 1, Type: RecStatement, SQL: "SELECT 1"},
+		{Seq: 2, Type: RecAccept},
+	})
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[:4], 1<<27) // 128 MiB payload that is not there
+	body := append(append([]byte(walMagic), valid...), frame[:]...)
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Record
+	w, err := OpenWAL(path, func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer w.Close()
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(got))
+	}
+	if want := int64(len(walMagic) + len(valid)); w.Size() != want {
+		t.Fatalf("size after repair = %d, want %d (torn frame truncated)", w.Size(), want)
+	}
+}

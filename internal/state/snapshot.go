@@ -180,13 +180,8 @@ func writeDefs(e *writer, defs []index.Index) {
 }
 
 func readDefs(d *reader) []index.Index {
-	n := d.lenPrefix()
-	if d.err != nil || n == 0 {
-		return nil
-	}
-	out := make([]index.Index, n)
-	for i := range out {
-		out[i] = index.Index{
+	return decodeSlice(d, d.lenPrefix(), func() index.Index {
+		return index.Index{
 			ID:         index.ID(d.u32()),
 			Table:      d.str(),
 			Columns:    d.strs(),
@@ -195,8 +190,7 @@ func readDefs(d *reader) []index.Index {
 			CreateCost: d.f64(),
 			DropCost:   d.f64(),
 		}
-	}
-	return out
+	})
 }
 
 func writeTuner(e *writer, t *core.TunerState) {

@@ -172,8 +172,12 @@ func (w *WAL) scan(replay func(Record) error) (int64, error) {
 		}
 		n := binary.LittleEndian.Uint32(frame[:4])
 		want := binary.LittleEndian.Uint32(frame[4:])
-		if n > maxSliceLen {
-			break // corrupt length: treat as torn tail
+		if n > maxSliceLen || int64(n) > info.Size()-end-8 {
+			// Corrupt length, or a payload longer than the bytes left in
+			// the file: either way the frame cannot be intact, so treat
+			// it as a torn tail — and never allocate more than the file
+			// actually holds.
+			break
 		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(r, payload); err != nil {
@@ -280,6 +284,7 @@ func (w *WAL) writeFrame(payload []byte) error {
 func (w *WAL) commit(records int, bytes int64) error {
 	var start time.Time
 	if w.OnCommit != nil {
+		//lint:allow nondeterminism(flush/fsync timing feeds only OnCommit observability)
 		start = time.Now()
 	}
 	if err := w.w.Flush(); err != nil {
@@ -287,6 +292,7 @@ func (w *WAL) commit(records int, bytes int64) error {
 	}
 	var flushed time.Time
 	if w.OnCommit != nil {
+		//lint:allow nondeterminism(flush/fsync timing feeds only OnCommit observability)
 		flushed = time.Now()
 	}
 	if w.Fsync {
@@ -303,6 +309,7 @@ func (w *WAL) commit(records int, bytes int64) error {
 	if w.OnCommit != nil {
 		var sync time.Duration
 		if w.Fsync {
+			//lint:allow nondeterminism(flush/fsync timing feeds only OnCommit observability)
 			sync = time.Since(flushed)
 		}
 		w.OnCommit(flushed.Sub(start), sync, records, bytes)
@@ -489,13 +496,7 @@ func writeSpecs(e *writer, specs []IndexSpec) {
 }
 
 func readSpecs(d *reader) []IndexSpec {
-	n := d.lenPrefix()
-	if d.err != nil || n == 0 {
-		return nil
-	}
-	out := make([]IndexSpec, n)
-	for i := range out {
-		out[i] = IndexSpec{Table: d.str(), Columns: d.strs()}
-	}
-	return out
+	return decodeSlice(d, d.lenPrefix(), func() IndexSpec {
+		return IndexSpec{Table: d.str(), Columns: d.strs()}
+	})
 }
