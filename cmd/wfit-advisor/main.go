@@ -158,12 +158,16 @@ func (s *session) load(path string) error {
 		return err
 	}
 	model := cost.NewModel(s.model.Catalog(), reg, cost.DefaultParams())
-	tuner, err := core.RestoreWFIT(whatif.New(model), snap.Tuner)
+	ts, ok := snap.Tuner.(*core.TunerState)
+	if !ok {
+		return fmt.Errorf("snapshot holds a %q engine; the advisor drives wfit only", snap.Tuner.TunerKind())
+	}
+	tuner, err := core.RestoreWFIT(whatif.New(model), ts)
 	if err != nil {
 		return err
 	}
 	s.tuner, s.reg, s.model = tuner, reg, model
-	s.materialized = snap.Tuner.Materialized
+	s.materialized = ts.Materialized
 	s.statements = snap.Session.Statements
 	return nil
 }

@@ -8,8 +8,9 @@
 //
 //	wfit-serve -addr :7781 -data ./wfit-data [-checkpoint-every N]
 //	           [-checkpoint-bytes N] [-queue N] [-idxcnt N] [-statecnt N]
-//	           [-histsize N] [-retire-after N] [-fsync] [-batch N]
-//	           [-pipeline N] [-standby URL] [-replicate-async] [-follower]
+//	           [-histsize N] [-retire-after N] [-tuner NAME] [-fsync]
+//	           [-batch N] [-pipeline N] [-standby URL] [-replicate-async]
+//	           [-follower]
 //
 // Replication (see the README's "Replication & failover" section):
 // -standby URL ships every session's WAL to a warm standby at URL
@@ -88,6 +89,7 @@ func realMain() int {
 	stateCnt := flag.Int("statecnt", 500, "default stateCnt knob for new sessions")
 	histSize := flag.Int("histsize", 100, "default histSize knob for new sessions")
 	retireAfter := flag.Int("retire-after", 0, "retire candidates with no recorded benefit in this many statements, bounding memory on long-horizon sessions (0 disables)")
+	tunerKind := flag.String("tuner", "", "default tuner engine for new sessions (empty: wfit); recovered sessions keep the engine persisted in their snapshot")
 	fsync := flag.Bool("fsync", false, "fsync the WAL on every append (power-loss durability)")
 	standby := flag.String("standby", "", "warm-standby base URL to ship every session's WAL to (empty: unreplicated)")
 	replicateAsync := flag.Bool("replicate-async", false, "ship the WAL in the background instead of before acking writes (lower latency, unshipped tail lost on primary death)")
@@ -112,7 +114,7 @@ func realMain() int {
 
 	// Fail fast on knob values that would silently create unbounded
 	// tuner state (the same rule the API applies to per-session knobs).
-	defaults := server.SessionConfig{Name: "defaults", Options: options, QueueDepth: *queueDepth, CheckpointBytes: *checkpointBytes, Batch: *batch, Pipeline: *pipeline}
+	defaults := server.SessionConfig{Name: "defaults", Tuner: *tunerKind, Options: options, QueueDepth: *queueDepth, CheckpointBytes: *checkpointBytes, Batch: *batch, Pipeline: *pipeline}
 	if err := defaults.Check(); err != nil {
 		fmt.Fprintf(os.Stderr, "wfit-serve: invalid flags: %v\n", err)
 		return 2
@@ -124,6 +126,7 @@ func realMain() int {
 	svCfg := server.Config{
 		DataDir:         *dataDir,
 		DefaultOptions:  options,
+		DefaultTuner:    *tunerKind,
 		QueueDepth:      *queueDepth,
 		CheckpointEvery: *checkpointEvery,
 		CheckpointBytes: *checkpointBytes,

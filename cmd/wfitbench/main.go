@@ -5,15 +5,18 @@
 //
 // Usage:
 //
-//	wfitbench [-fig N] [-overhead] [-perf] [-small] [-csv] [-seed S]
-//	          [-workers W] [-benchout FILE]
+//	wfitbench [-fig N] [-overhead] [-perf] [-gauntlet] [-small] [-csv]
+//	          [-seed S] [-workers W] [-benchout FILE]
 //
 // Without -fig, every experiment runs in order, followed by the §6.2
 // overhead numbers and a serial-vs-parallel measurement of the
 // per-statement analysis loop, written as a JSON trajectory file
 // (-benchout, default BENCH_wfit.json). Output is an ASCII chart per
 // figure (OPT-normalized total work over the workload), optionally
-// followed by CSV series data.
+// followed by CSV series data. -gauntlet races every registered tuner
+// engine over every workload scenario (the CI gauntlet-smoke entry
+// point); alone it writes just the "gauntlet" section, with -perf it
+// rides along.
 package main
 
 import (
@@ -31,6 +34,10 @@ import (
 func main() {
 	os.Exit(realMain())
 }
+
+// perfSchema is the BENCH_wfit.json schema version stamped on every
+// report this binary writes (see bench.PerfReport for the history).
+const perfSchema = "wfit-perf/v8"
 
 // realMain carries the program body so error paths return instead of
 // calling os.Exit directly — the deferred profile writers must flush
@@ -52,6 +59,7 @@ func realMain() int {
 	throughput := flag.Bool("throughput", false, "run only the ingest-throughput bench and write its \"pipeline\" section (the CI throughput-smoke entry point)")
 	failover := flag.Bool("failover", false, "run only the replicated-pair failover bench (kill the primary mid-stream, promote the standby through the router) and write its \"failover\" section (the CI failover-smoke entry point)")
 	soak := flag.Bool("soak", false, "run the long-horizon bounded-memory soak (rotating schemas, candidate retirement, registry compaction); alone it writes just the soak section, with -perf it rides along")
+	gauntlet := flag.Bool("gauntlet", false, "run the engine × scenario gauntlet (every registered tuner over every workload profile) on the fixed compact environment; alone it writes just the \"gauntlet\" section, with -perf it rides along")
 	soakStatements := flag.Int("soak-statements", 0, "soak stream length (0 = the 10k default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured runs to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -94,7 +102,7 @@ func realMain() int {
 		if code != 0 {
 			return code
 		}
-		return writeReport(&bench.PerfReport{Schema: "wfit-perf/v7", Pipeline: p}, *benchout)
+		return writeReport(&bench.PerfReport{Schema: perfSchema, Pipeline: p}, *benchout)
 	}
 
 	if *failover {
@@ -102,7 +110,7 @@ func realMain() int {
 		if code != 0 {
 			return code
 		}
-		return writeReport(&bench.PerfReport{Schema: "wfit-perf/v7", Failover: p}, *benchout)
+		return writeReport(&bench.PerfReport{Schema: perfSchema, Failover: p}, *benchout)
 	}
 
 	var soakReport *bench.SoakReport
@@ -112,10 +120,19 @@ func realMain() int {
 			return code
 		}
 		soakReport = r
-		if !*perf && *fig == 0 && !*overhead {
-			// Soak-only invocation: no experiment environment needed.
-			return writeReport(&bench.PerfReport{Schema: "wfit-perf/v7", Soak: soakReport}, *benchout)
-		}
+	}
+
+	var gauntletReport *bench.GauntletReport
+	if *gauntlet {
+		gauntletReport = runGauntlet(*workers)
+	}
+	if (soakReport != nil || gauntletReport != nil) && !*perf && *fig == 0 && !*overhead {
+		// Soak/gauntlet-only invocation: no experiment environment needed.
+		return writeReport(&bench.PerfReport{
+			Schema:   perfSchema,
+			Soak:     soakReport,
+			Gauntlet: gauntletReport,
+		}, *benchout)
 	}
 
 	opts := bench.DefaultOptions()
@@ -139,19 +156,24 @@ func realMain() int {
 		100*(env.OptReplay[n]-env.Opt.PrefixTotal[n])/env.Opt.PrefixTotal[n])
 
 	// The figure/overhead paths don't write the perf report themselves;
-	// when a soak rode along, persist it so the run is never discarded.
-	writeSoakOnly := func(code int) int {
-		if code == 0 && soakReport != nil {
-			return writeReport(&bench.PerfReport{Schema: "wfit-perf/v7", Soak: soakReport}, *benchout)
+	// when a soak or gauntlet rode along, persist it so the run is never
+	// discarded.
+	writeRideAlongs := func(code int) int {
+		if code == 0 && (soakReport != nil || gauntletReport != nil) {
+			return writeReport(&bench.PerfReport{
+				Schema:   perfSchema,
+				Soak:     soakReport,
+				Gauntlet: gauntletReport,
+			}, *benchout)
 		}
 		return code
 	}
 	if *overhead {
 		printOverhead(env)
-		return writeSoakOnly(0)
+		return writeRideAlongs(0)
 	}
 	if *perf {
-		return runPerf(env, *benchout, *service, *pipeline, *obsBench, soakReport)
+		return runPerf(env, *benchout, *service, *pipeline, *obsBench, soakReport, gauntletReport)
 	}
 
 	run := func(n int) int {
@@ -184,7 +206,7 @@ func realMain() int {
 	}
 
 	if *fig != 0 {
-		return writeSoakOnly(run(*fig))
+		return writeRideAlongs(run(*fig))
 	}
 	for _, n := range []int{8, 9, 10, 11, 12} {
 		if code := run(n); code != 0 {
@@ -192,7 +214,7 @@ func realMain() int {
 		}
 	}
 	printOverhead(env)
-	return runPerf(env, *benchout, *service, *pipeline, *obsBench, soakReport)
+	return runPerf(env, *benchout, *service, *pipeline, *obsBench, soakReport, gauntletReport)
 }
 
 // runThroughput drives the ingest-throughput bench against a temp data
@@ -253,6 +275,40 @@ func runFailover() (*bench.FailoverPerf, int) {
 	return p, 0
 }
 
+// runGauntlet races every registered tuner engine over every workload
+// scenario. It always uses the fixed compact environment (the scenario
+// matrix measures OPT-normalized decision quality, not wall time), so
+// the per-cell trajectory digests are comparable across hosts and
+// against the committed BENCH_wfit.json baseline — which is exactly
+// what the CI gauntlet smoke does. Only the worker bound is taken from
+// the command line: the trajectories are bit-identical at any worker
+// count, so it shifts wall time without moving a digest.
+func runGauntlet(workers int) *bench.GauntletReport {
+	o := bench.SmallOptions()
+	o.Workers = workers
+	fmt.Println("Gauntlet: every registered engine × every workload scenario (OPT-normalized total work)")
+	g := bench.RunGauntlet(o)
+	headers := []string{"scenario"}
+	for _, en := range g.Engines {
+		headers = append(headers, en+" ratio", en+" chg")
+	}
+	rows := make([][]string, 0, len(g.Scenarios))
+	for _, sc := range g.Scenarios {
+		row := []string{sc}
+		for _, en := range g.Engines {
+			c := g.Cell(en, sc)
+			if c == nil {
+				row = append(row, "-", "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.3f", c.FinalRatio), fmt.Sprintf("%d", c.Changes))
+		}
+		rows = append(rows, row)
+	}
+	fmt.Println(report.Table(headers, rows))
+	return g
+}
+
 // runSoak drives the bounded-memory soak and prints its summary.
 func runSoak(statements int) (*bench.SoakReport, int) {
 	o := bench.DefaultSoakOptions()
@@ -298,10 +354,11 @@ func writeReport(r *bench.PerfReport, outPath string) int {
 // worker pool, optionally drives the service-mode loadgen, prints the
 // comparison, and writes the JSON trajectory. It returns a process exit
 // code instead of exiting so deferred profile writers still run.
-func runPerf(env *bench.Env, outPath string, service, pipeline, obsBench bool, soak *bench.SoakReport) int {
+func runPerf(env *bench.Env, outPath string, service, pipeline, obsBench bool, soak *bench.SoakReport, gauntlet *bench.GauntletReport) int {
 	fmt.Println("\nAnalysis-loop perf: full WFIT, serial (workers=1) vs parallel (one worker per core)")
 	r := env.RunPerfComparison()
 	r.Soak = soak
+	r.Gauntlet = gauntlet
 	show := func(label string, s *bench.PerfSide) {
 		fmt.Printf("  %-8s %8.1f µs/stmt (p50 %.1f, p90 %.1f, p99 %.1f, max %.1f), %d what-if calls, cache hit rate %.1f%%\n",
 			label, s.USPerStmtMean, s.USPerStmtP50, s.USPerStmtP90, s.USPerStmtP99, s.USPerStmtMax,

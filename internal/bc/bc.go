@@ -15,6 +15,7 @@ package bc
 import (
 	"repro/internal/core"
 	"repro/internal/index"
+	"repro/internal/tuner"
 )
 
 // BC is the online tuner. It selects recommendations from a fixed
@@ -120,4 +121,4 @@ func (b *BC) clamp(a index.ID) {
 	}
 }
 
-var _ core.Tuner = (*BC)(nil)
+var _ tuner.CostTuner = (*BC)(nil)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/interaction"
 	"repro/internal/stmt"
+	"repro/internal/tuner"
 	"repro/internal/whatif"
 )
 
@@ -58,51 +59,60 @@ func (a *bcAlgo) Recommend() index.Set           { return a.b.Recommend() }
 func (a *bcAlgo) Feedback(plus, minus index.Set) {}
 func (a *bcAlgo) SetMaterialized(index.Set)      {}
 
-// wfitAutoAlgo adapts the full WFIT with online candidate maintenance
-// (Figure 12's AUTO). It builds its own IBGs over its evolving universe
-// through a private what-if optimizer, whose call counter provides the
-// overhead statistics.
-type wfitAutoAlgo struct {
+// EngineAlgo drives any registered tuner engine — an engine with online
+// candidate maintenance, building its own IBGs over its evolving
+// universe through a private what-if optimizer whose call counter
+// provides the overhead statistics. It replaces the WFIT-only AUTO
+// adapter: the harness sees only the tuner.Engine contract, so every
+// engine the server can run is benchmarkable unchanged.
+type EngineAlgo struct {
 	name string
-	t    *core.WFIT
+	eng  tuner.Engine
 	opt  *whatif.Optimizer
 
 	// per-statement IBG node counts (= what-if calls per statement)
 	ibgNodes []int
 }
 
-// NewWFITAutoAlgo builds the full WFIT.
-func (e *Env) NewWFITAutoAlgo(name string, options core.Options) *WFITAutoAlgo {
+// NewEngineAlgo builds the adapter for the named engine kind over a
+// private what-if optimizer.
+func (e *Env) NewEngineAlgo(name, kind string, options core.Options) (*EngineAlgo, error) {
 	o := whatif.New(e.Model)
-	return &WFITAutoAlgo{wfitAutoAlgo{
-		name: name,
-		t:    core.NewWFIT(o, options),
-		opt:  o,
-	}}
+	eng, err := tuner.New(kind, o, options)
+	if err != nil {
+		return nil, err
+	}
+	return &EngineAlgo{name: name, eng: eng, opt: o}, nil
 }
 
-// WFITAutoAlgo exposes the AUTO adapter with its overhead accessors.
-type WFITAutoAlgo struct {
-	wfitAutoAlgo
+// NewWFITAutoAlgo builds the full WFIT with online candidate and
+// partition maintenance (Figure 12's AUTO).
+func (e *Env) NewWFITAutoAlgo(name string, options core.Options) *EngineAlgo {
+	a, err := e.NewEngineAlgo(name, tuner.KindWFIT, options)
+	if err != nil {
+		panic("bench: wfit engine not registered: " + err.Error())
+	}
+	return a
 }
 
-func (a *WFITAutoAlgo) Name() string { return a.name }
-func (a *WFITAutoAlgo) Analyze(_ int, s *stmt.Statement, _ core.StatementCost) {
-	a.t.AnalyzeQuery(s)
-	a.ibgNodes = append(a.ibgNodes, a.t.LastIBGNodes())
+func (a *EngineAlgo) Name() string { return a.name }
+func (a *EngineAlgo) Analyze(_ int, s *stmt.Statement, _ core.StatementCost) {
+	a.eng.AnalyzeQuery(s)
+	a.ibgNodes = append(a.ibgNodes, a.eng.LastIBGNodes())
 }
-func (a *WFITAutoAlgo) Recommend() index.Set           { return a.t.Recommend() }
-func (a *WFITAutoAlgo) Feedback(plus, minus index.Set) { a.t.Feedback(plus, minus) }
-func (a *WFITAutoAlgo) SetMaterialized(m index.Set)    { a.t.SetMaterialized(m) }
+func (a *EngineAlgo) Recommend() index.Set           { return a.eng.Recommend() }
+func (a *EngineAlgo) Feedback(plus, minus index.Set) { a.eng.Feedback(plus, minus) }
+func (a *EngineAlgo) SetMaterialized(m index.Set)    { a.eng.SetMaterialized(m) }
 
-// Tuner exposes the underlying WFIT (repartition counts, universe size).
-func (a *WFITAutoAlgo) Tuner() *core.WFIT { return a.t }
+// Engine exposes the underlying engine (status gauges: universe size,
+// repartition counts).
+func (a *EngineAlgo) Engine() tuner.Engine { return a.eng }
 
 // WhatIfCalls reports the real optimizer invocations performed so far.
-func (a *WFITAutoAlgo) WhatIfCalls() int64 { return a.opt.Calls() }
+func (a *EngineAlgo) WhatIfCalls() int64 { return a.opt.Calls() }
 
 // Optimizer exposes the private what-if optimizer (cache statistics).
-func (a *WFITAutoAlgo) Optimizer() *whatif.Optimizer { return a.opt }
+func (a *EngineAlgo) Optimizer() *whatif.Optimizer { return a.opt }
 
 // IBGNodeCounts returns per-statement IBG sizes (what-if calls/query).
-func (a *WFITAutoAlgo) IBGNodeCounts() []int { return a.ibgNodes }
+func (a *EngineAlgo) IBGNodeCounts() []int { return a.ibgNodes }

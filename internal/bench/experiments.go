@@ -107,10 +107,11 @@ func (e *Env) RunFig12() *Fig12Result {
 	fixed := e.NewWFITFixedAlgo("FIXED", e.Partitions[e.middle()])
 	runs := e.RunAll(RunSpec{Algo: auto}, RunSpec{Algo: fixed})
 
+	st := auto.Engine().Status()
 	return &Fig12Result{
 		Runs:          runs,
-		CandidateCnt:  auto.Tuner().UniverseSize(),
-		Repartitions:  auto.Tuner().Repartitions(),
+		CandidateCnt:  st.UniverseSize,
+		Repartitions:  st.Repartitions,
 		WhatIfCalls:   auto.WhatIfCalls(),
 		WhatIfPerStmt: NewOverhead(auto.IBGNodeCounts()),
 	}

@@ -1,0 +1,50 @@
+package bench
+
+import "testing"
+
+// TestGauntletMatrix pins the gauntlet's shape and its determinism: the
+// matrix covers every registered engine over every scenario, every cell
+// carries a sane OPT-normalized ratio, and a re-run reproduces every
+// trajectory digest bit-exactly — the property CI's gauntlet smoke
+// relies on when it compares a fresh run against the committed
+// BENCH_wfit.json baseline.
+func TestGauntletMatrix(t *testing.T) {
+	g := RunGauntlet(SmallOptions())
+	if len(g.Engines) < 2 {
+		t.Fatalf("engines = %v, want at least wfit and one competitor", g.Engines)
+	}
+	if len(g.Scenarios) < 5 {
+		t.Fatalf("scenarios = %v, want >= 5", g.Scenarios)
+	}
+	if len(g.Cells) != len(g.Engines)*len(g.Scenarios) {
+		t.Fatalf("got %d cells, want %d engines x %d scenarios",
+			len(g.Cells), len(g.Engines), len(g.Scenarios))
+	}
+	for _, en := range g.Engines {
+		for _, sc := range g.Scenarios {
+			c := g.Cell(en, sc)
+			if c == nil {
+				t.Fatalf("missing cell (%s, %s)", en, sc)
+			}
+			// OPT is a lower bound on total work, so the ratio lives in (0, 1].
+			if !(c.FinalRatio > 0 && c.FinalRatio <= 1.0+1e-9) {
+				t.Errorf("cell (%s, %s): ratio %v outside (0, 1]", en, sc, c.FinalRatio)
+			}
+			if c.TotalWork < c.OptTotalWork {
+				t.Errorf("cell (%s, %s): total work %v below OPT %v", en, sc, c.TotalWork, c.OptTotalWork)
+			}
+			if len(c.TrajectoryDigest) != 16 {
+				t.Errorf("cell (%s, %s): digest %q not 16 hex chars", en, sc, c.TrajectoryDigest)
+			}
+		}
+	}
+
+	again := RunGauntlet(SmallOptions())
+	for _, c := range g.Cells {
+		r := again.Cell(c.Engine, c.Scenario)
+		if r == nil || r.TrajectoryDigest != c.TrajectoryDigest {
+			t.Errorf("cell (%s, %s): digest not reproducible: %q vs %v",
+				c.Engine, c.Scenario, c.TrajectoryDigest, r)
+		}
+	}
+}

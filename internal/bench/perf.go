@@ -64,7 +64,8 @@ type PerfSide struct {
 // v6 added the Failover section (the replicated-pair kill test: blip
 // latency across promotion and steady-state replication lag); v7 added
 // the Obs section (metrics-off vs metrics-on ingest overhead and the
-// slowest-statement trace attribution).
+// slowest-statement trace attribution); v8 added the Gauntlet section
+// (the engine × scenario matrix of OPT-normalized total work).
 type PerfReport struct {
 	Schema     string `json:"schema"`
 	GoVersion  string `json:"go_version"`
@@ -97,6 +98,10 @@ type PerfReport struct {
 	// metrics off and on) plus the slowest-statement trace attribution;
 	// nil when skipped.
 	Obs *ObsPerf `json:"obs,omitempty"`
+	// Gauntlet is the engine × scenario matrix (every registered tuner
+	// engine over every workload profile, OPT-normalized); nil when
+	// skipped.
+	Gauntlet *GauntletReport `json:"gauntlet,omitempty"`
 }
 
 // RunPerf evaluates the full WFIT once with the given worker bound and
@@ -177,7 +182,7 @@ func (e *Env) RunPerfComparison() *PerfReport {
 	serial := e.RunPerf(1)
 	parallel := e.RunPerf(0)
 	r := &PerfReport{
-		Schema:      "wfit-perf/v7",
+		Schema:      "wfit-perf/v8",
 		GoVersion:   runtime.Version(),
 		Cores:       runtime.NumCPU(),
 		Statements:  len(e.Workload.Statements),

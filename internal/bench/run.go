@@ -8,24 +8,23 @@ import (
 	"repro/internal/index"
 	"repro/internal/par"
 	"repro/internal/stmt"
+	"repro/internal/tuner"
 	"repro/internal/workload"
 )
 
-// Algorithm is the harness-facing adapter over a tuning algorithm.
+// Algorithm is the harness-facing adapter over a tuning algorithm. Its
+// session-facing half IS the engine contract (tuner.Core) — any
+// registered tuner engine drops into the harness through EngineAlgo,
+// and the fixed-candidate baselines (WFA+, BC) implement the same
+// methods directly.
 type Algorithm interface {
+	tuner.Core
 	// Name labels the run.
 	Name() string
 	// Analyze observes statement s (1-based position i); sc prices it
-	// over the fixed candidate set.
+	// over the fixed candidate set. Engines with online candidate
+	// maintenance ignore sc and extract their own candidates.
 	Analyze(i int, s *stmt.Statement, sc core.StatementCost)
-	// Recommend returns the current recommendation.
-	Recommend() index.Set
-	// Feedback delivers DBA votes; algorithms without feedback support
-	// ignore it.
-	Feedback(plus, minus index.Set)
-	// SetMaterialized informs the algorithm of the DBA's physical
-	// configuration (used by full WFIT's candidate maintenance).
-	SetMaterialized(m index.Set)
 }
 
 // RunSpec describes one evaluation run.

@@ -62,6 +62,14 @@ type TunerState struct {
 	RandState uint64
 }
 
+// TunerKind tags the state with its engine kind for the snapshot
+// codec's kind-dispatched payload (state.TunerState).
+func (t *TunerState) TunerKind() string { return "wfit" }
+
+// TunerOptions returns the options the exporting tuner ran with, so a
+// recovering session can rebuild its configuration from the snapshot.
+func (t *TunerState) TunerOptions() Options { return t.Options }
+
 // ExportState captures the tuner's complete state. The snapshot shares no
 // mutable structure with the tuner except the exported statistics windows
 // (see Window.Export); callers must serialize it before analyzing further

@@ -43,13 +43,3 @@ type MaskCoster interface {
 	// but the closure.
 	CostProbe(ids []index.ID, xlat []uint32) (probe func(mask uint32) float64, relevant uint32)
 }
-
-// Tuner is the common interface of the online tuning algorithms compared
-// in the experiments (WFIT, WFA+ under a fixed partition, BC).
-type Tuner interface {
-	// AnalyzeStatement observes the next workload statement, priced by
-	// sc, and updates the internal recommendation.
-	AnalyzeStatement(sc StatementCost)
-	// Recommend returns the current recommended index set.
-	Recommend() index.Set
-}

@@ -113,5 +113,3 @@ func (p *WFAPlus) StateCount() int {
 	}
 	return total
 }
-
-var _ Tuner = (*WFAPlus)(nil)

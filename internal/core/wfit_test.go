@@ -299,9 +299,13 @@ func TestWFITInterfaceCompliance(t *testing.T) {
 	ex := cost.NewExtractor(e.model)
 	cands := ex.Extract(e.tradeQuery(0))
 	plus := NewWFAPlus(e.reg, interaction.Singletons(cands), index.EmptySet)
-	// WFAPlus must be drivable through the generic Tuner interface with
-	// an IBG as StatementCost.
-	var tn Tuner = plus
+	// WFAPlus must be drivable through the generic priced-statement
+	// contract (tuner.CostTuner; spelled out structurally here because
+	// the tuner package depends on core) with an IBG as StatementCost.
+	var tn interface {
+		AnalyzeStatement(sc StatementCost)
+		Recommend() index.Set
+	} = plus
 	q := e.tradeQuery(1)
 	g := ibg.Build(e.opt, q, cands)
 	tn.AnalyzeStatement(g)

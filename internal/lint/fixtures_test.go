@@ -93,6 +93,12 @@ func TestNondeterminismFixture(t *testing.T) {
 	runFixture(t, "repro/internal/core/nondetfix", NondeterminismAnalyzer)
 }
 
+func TestTunerNondeterminismFixture(t *testing.T) {
+	// The tuner-engine subtree is in the deterministic set: a new engine
+	// drawing from math/rand or reading the clock is a finding.
+	runFixture(t, "repro/internal/tuner/nondetfix", NondeterminismAnalyzer)
+}
+
 func TestNondeterminismIgnoresOtherPackages(t *testing.T) {
 	// The same forbidden calls in a non-deterministic package (the
 	// server layer legitimately reads the clock) produce no findings.
@@ -119,6 +125,10 @@ func TestWALRecordCrossPackageFixture(t *testing.T) {
 
 func TestParityFixture(t *testing.T) {
 	runFixture(t, "parityfix", ParityAnalyzer)
+}
+
+func TestEngineCodecParityFixture(t *testing.T) {
+	runFixture(t, "enginecodecfix", ParityAnalyzer)
 }
 
 func TestScrapeReentryFixture(t *testing.T) {
@@ -181,9 +191,11 @@ func TestFixtureWantLinesFire(t *testing.T) {
 		a    *Analyzer
 	}{
 		{"repro/internal/core/nondetfix", NondeterminismAnalyzer},
+		{"repro/internal/tuner/nondetfix", NondeterminismAnalyzer},
 		{"repro/internal/state", MapRangeAnalyzer},
 		{"walfix/internal/state", WALRecordAnalyzer},
 		{"parityfix", ParityAnalyzer},
+		{"enginecodecfix", ParityAnalyzer},
 		{"scrapefix/internal/obs", ScrapeReentryAnalyzer},
 	}
 	for _, tc := range cases {

@@ -18,6 +18,10 @@ var deterministicPkgs = []string{
 	ModulePath + "/internal/index",
 	ModulePath + "/internal/wfa",
 	ModulePath + "/internal/whatif",
+	// Every tuner engine (the wfit adapter, the bandit, and whatever
+	// registers next) replays from the same WAL stream: the whole
+	// subtree inherits the bit-identical recovery obligation.
+	ModulePath + "/internal/tuner",
 }
 
 // isDeterministicPkg reports whether path is (or is nested under) one of

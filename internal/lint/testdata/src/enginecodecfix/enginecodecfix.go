@@ -1,0 +1,64 @@
+// Package enginecodecfix exercises the snapshot parity analyzer over
+// the kind-tagged engine-codec shape introduced with pluggable tuners:
+// an exported State struct carrying the engine's kind tag, serialized
+// by an encodeState/decodeState pair that a registered state.TunerCodec
+// dispatches to. The analyzer needs no knowledge of the registry — the
+// encode*/decode* prefix pairing covers the payload functions — so a
+// field added to a State but missed on one side is a finding exactly
+// like in the core snapshot codec.
+package enginecodecfix
+
+type enc struct{}
+
+func (e *enc) u64(v uint64)  {}
+func (e *enc) f64(v float64) {}
+func (e *enc) str(s string)  {}
+
+type dec struct{}
+
+func (d *dec) u64() uint64  { return 0 }
+func (d *dec) f64() float64 { return 0 }
+func (d *dec) str() string  { return "" }
+
+// State is a miniature engine payload: a kind tag plus model state.
+// Alpha is the PR-4 bug shape replayed at the engine layer — encoded
+// but never decoded, so a recovered engine would silently zero its
+// exploration weight and diverge from the uninterrupted trajectory.
+type State struct {
+	Kind  string
+	Seed  uint64
+	Alpha float64
+}
+
+// TunerKind mirrors the real state.TunerState contract: the tag the
+// snapshot reader dispatches codecs on.
+func (s *State) TunerKind() string { return s.Kind }
+
+func encodeState(e *enc, s *State) {
+	e.str(s.Kind)
+	e.u64(s.Seed)
+	e.f64(s.Alpha)
+}
+
+func decodeState(d *dec) *State { // want `exported field State.Alpha is not handled in the read/Restore path decodeState`
+	s := &State{}
+	s.Kind = d.str()
+	s.Seed = d.u64()
+	return s
+}
+
+// GoodState round-trips completely: the kind tag and every payload
+// field appear on both sides, so no findings.
+type GoodState struct {
+	Kind string
+	Pins uint64
+}
+
+func encodeGoodState(e *enc, s *GoodState) {
+	e.str(s.Kind)
+	e.u64(s.Pins)
+}
+
+func decodeGoodState(d *dec) *GoodState {
+	return &GoodState{Kind: d.str(), Pins: d.u64()}
+}

@@ -1,0 +1,30 @@
+// Package nondetfix exercises the nondeterminism analyzer over the
+// tuner-engine subtree: its import path sits under repro/internal/tuner,
+// so every registered engine — not just core's WFIT — is held to the
+// bit-identical replay obligation.
+package nondetfix
+
+import (
+	"math/rand" // want `deterministic package repro/internal/tuner/nondetfix imports math/rand`
+	"time"
+)
+
+// explore is the bug shape the analyzer exists for: an engine breaking
+// ties (or ε-exploring) from the process-global stream would make the
+// recovered trajectory depend on what else ran in the process.
+func explore(arms int) int {
+	return rand.Intn(arms)
+}
+
+func timedSelect() time.Duration {
+	start := time.Now()      // want `wall-clock read time.Now in deterministic package`
+	return time.Since(start) // want `wall-clock read time.Since in deterministic package`
+}
+
+// audited mirrors the real engines' observability clocks (analysis
+// duration gauges): allowed when annotated, because the reading feeds
+// only metrics, never a tuning decision.
+func audited() time.Time {
+	//lint:allow nondeterminism(feeds only the analysis-duration gauge, never engine state)
+	return time.Now()
+}

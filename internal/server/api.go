@@ -179,6 +179,7 @@ func (sv *Server) withSession(fn func(http.ResponseWriter, *http.Request, *Sessi
 
 type createSessionRequest struct {
 	Name            string `json:"name"`
+	Tuner           string `json:"tuner,omitempty"`
 	IdxCnt          int    `json:"idx_cnt,omitempty"`
 	StateCnt        int    `json:"state_cnt,omitempty"`
 	HistSize        int    `json:"hist_size,omitempty"`
@@ -205,7 +206,8 @@ func (sv *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cfg := SessionConfig{
-		Name: req.Name,
+		Name:  req.Name,
+		Tuner: req.Tuner,
 		Options: core.Options{
 			IdxCnt:      req.IdxCnt,
 			StateCnt:    req.StateCnt,

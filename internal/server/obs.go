@@ -21,6 +21,7 @@ const (
 	metricSessionPrefix  = "wfit_session_"
 	metricFollowerLag    = "wfit_replication_follower_lag_records"
 	labelSession         = "session"
+	labelEngine          = "engine"
 	traceRecentRetained  = 128
 	traceSlowestRetained = 32
 )

@@ -242,7 +242,7 @@ func TestStatusMetricsConsistency(t *testing.T) {
 	count := 0
 	forEachStatusMetric(&st, func(metric string, v float64) {
 		count++
-		key := promSample{name: metric, labels: map[string]string{"session": "cons"}}.key()
+		key := promSample{name: metric, labels: map[string]string{"session": "cons", "engine": "wfit"}}.key()
 		got, ok := byKey[key]
 		if !ok {
 			t.Errorf("status field %s has no /metrics series %s", metric, key)

@@ -79,7 +79,7 @@ func driveSession(t *testing.T, sess *Session, sqls []string, from, to int, chec
 
 // exportTuner reaches into the session for the full tuner state (test-only;
 // same package).
-func exportTuner(s *Session) *core.TunerState {
+func exportTuner(s *Session) state.TunerState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.tuner.ExportState()

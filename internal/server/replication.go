@@ -6,7 +6,6 @@ import (
 	"os"
 	"path/filepath"
 
-	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/state"
 )
@@ -34,7 +33,7 @@ func (s *Session) LastSeq() uint64 {
 // ExportTunerState captures the session's full tuner state — the
 // bit-identical comparison handle the replication and failover tests
 // use to prove a follower IS the primary it mirrors.
-func (s *Session) ExportTunerState() *core.TunerState {
+func (s *Session) ExportTunerState() state.TunerState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.tuner.ExportState()

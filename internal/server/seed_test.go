@@ -25,7 +25,7 @@ func TestDefaultSeedDerivedFromName(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := exportTuner(sess).Options.Seed
+		got := exportTuner(sess).TunerOptions().Seed
 		if got != NameSeed(name) {
 			t.Fatalf("session %q runs with seed %d, want NameSeed = %d", name, got, NameSeed(name))
 		}
@@ -43,7 +43,7 @@ func TestDefaultSeedDerivedFromName(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := exportTuner(sess).Options.Seed; got != 1234 {
+	if got := exportTuner(sess).TunerOptions().Seed; got != 1234 {
 		t.Fatalf("explicit seed overridden: got %d, want 1234", got)
 	}
 }
@@ -72,7 +72,7 @@ func TestSeedPersistedAcrossRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer recovered.Close()
-	if got := exportTuner(recovered).Options.Seed; got != 1 {
+	if got := exportTuner(recovered).TunerOptions().Seed; got != 1 {
 		t.Fatalf("recovered session reseeded to %d, want the persisted 1", got)
 	}
 	if NameSeed("old") == 1 {
@@ -95,7 +95,7 @@ func TestSeedPersistedAcrossRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer recovered2.Close()
-	if got := exportTuner(recovered2).Options.Seed; got != NameSeed("derived") {
+	if got := exportTuner(recovered2).TunerOptions().Seed; got != NameSeed("derived") {
 		t.Fatalf("recovered seed %d, want NameSeed(\"derived\") = %d", got, NameSeed("derived"))
 	}
 }
@@ -129,7 +129,7 @@ func TestServerSessionDefaultComposition(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := sess.Status()
-	opts := exportTuner(sess).Options
+	opts := exportTuner(sess).TunerOptions()
 	switch {
 	case opts.IdxCnt != 24:
 		t.Fatalf("IdxCnt = %d, want the server default 24", opts.IdxCnt)

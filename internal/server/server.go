@@ -28,6 +28,11 @@ type Config struct {
 	// independently; a server-wide shared seed would correlate them all.
 	// Sessions that want a specific seed pass it in their own config.
 	DefaultOptions core.Options
+	// DefaultTuner names the engine new sessions run when their config
+	// leaves Tuner empty ("" falls through to the session default, wfit).
+	// Recovered sessions ignore it: the engine kind persisted in their
+	// snapshot always wins.
+	DefaultTuner string
 	// QueueDepth and CheckpointEvery default new sessions' service knobs
 	// (zero: 256 and 500).
 	QueueDepth      int
@@ -108,8 +113,12 @@ func NewWithCatalog(cfg Config, cat *catalog.Catalog) (*Server, error) {
 		cfg.Metrics.OnScrape(func() {
 			for _, s := range sv.Sessions() {
 				st := s.Status()
+				// The engine label namespaces the session gauges per tuner
+				// kind: a wfit and a bandit session exporting the same
+				// wfit_session_* series stay distinguishable to queries that
+				// aggregate by engine.
 				forEachStatusMetric(&st, func(metric string, v float64) {
-					cfg.Metrics.Gauge(metric, obs.Labels{labelSession, st.Name}).Set(v)
+					cfg.Metrics.Gauge(metric, obs.Labels{labelSession, st.Name, labelEngine, st.Tuner}).Set(v)
 				})
 				cfg.Metrics.Gauge(metricFollowerLag, obs.Labels{labelSession, st.Name}).Set(float64(s.ReplicationLag()))
 			}
@@ -187,6 +196,9 @@ func (sv *Server) applyServerDefaults(cfg *SessionConfig) {
 	}
 	if cfg.Pipeline == 0 {
 		cfg.Pipeline = sv.cfg.Pipeline
+	}
+	if cfg.Tuner == "" {
+		cfg.Tuner = sv.cfg.DefaultTuner
 	}
 	if cfg.Options.IdxCnt == 0 {
 		cfg.Options.IdxCnt = sv.cfg.DefaultOptions.IdxCnt

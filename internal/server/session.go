@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -34,7 +35,13 @@ import (
 	"repro/internal/sqlmini"
 	"repro/internal/state"
 	"repro/internal/stmt"
+	"repro/internal/tuner"
 	"repro/internal/whatif"
+
+	// Every serving process links the full engine set, so any session —
+	// created via flag, API field, or recovered from a kind-tagged
+	// snapshot — can be driven regardless of which engine it runs.
+	_ "repro/internal/tuner/bandit"
 )
 
 // snapshotFile and walFile are the two files of a session directory.
@@ -71,6 +78,11 @@ func (e *ConfigError) Unwrap() error { return e.Err }
 type SessionConfig struct {
 	// Name identifies the session (and its directory under the data dir).
 	Name string
+	// Tuner selects the engine kind driving the session (default "wfit";
+	// see tuner.Kinds for what this binary links). The kind persists in
+	// the session's snapshots, so recovery resumes the same engine no
+	// matter what later defaults say.
+	Tuner string
 	// Options are the tuner knobs (zero: core.DefaultOptions with Seed
 	// derived from the name so distinct sessions explore independently).
 	Options core.Options
@@ -138,6 +150,9 @@ func (c *SessionConfig) applyDefaults() {
 	if c.Pipeline < 0 {
 		c.Pipeline = runtime.NumCPU()
 	}
+	if c.Tuner == "" {
+		c.Tuner = tuner.KindWFIT
+	}
 	def := core.DefaultOptions()
 	o := &c.Options
 	if o.IdxCnt == 0 {
@@ -200,6 +215,9 @@ func (c *SessionConfig) validate() error {
 	case c.Batch < 1:
 		return bad("batch must be positive, got %d", c.Batch)
 	}
+	if _, ok := tuner.Lookup(c.Tuner); !ok {
+		return bad("unknown tuner %q (available: %s)", c.Tuner, strings.Join(tuner.Kinds(), ", "))
+	}
 	return nil
 }
 
@@ -220,7 +238,10 @@ type AcceptResult struct {
 
 // SessionStatus is a point-in-time summary of a session.
 type SessionStatus struct {
-	Name           string  `json:"name"`
+	Name string `json:"name"`
+	// Tuner is the engine kind driving the session; in the metrics
+	// exposition it becomes the engine label on every session gauge.
+	Tuner          string  `json:"tuner"`
 	Statements     int     `json:"statements"`
 	UniverseSize   int     `json:"universe_size"`
 	Repartitions   int     `json:"repartitions"`
@@ -293,7 +314,7 @@ type Session struct {
 	// analysis goroutines run WITHOUT it — they touch only state captured
 	// at launch plus the concurrency-safe registry and what-if optimizer.
 	mu             sync.Mutex
-	tuner          *core.WFIT
+	tuner          tuner.Engine
 	wal            *state.WAL
 	shipper        Shipper
 	statements     int
@@ -405,7 +426,11 @@ func CreateSessionWith(dir string, cat *catalog.Catalog, cfg SessionConfig, rt S
 	}
 	s := newSessionBase(dir, cat, cfg)
 	s.obsv = newSessionObs(rt.Metrics, cfg.Name)
-	s.tuner = core.NewWFIT(s.opt, cfg.Options)
+	eng, err := tuner.New(cfg.Tuner, s.opt, cfg.Options)
+	if err != nil {
+		return nil, &ConfigError{Err: err}
+	}
+	s.tuner = eng
 	wal, err := state.OpenWAL(filepath.Join(dir, walFile), nil)
 	if err != nil {
 		return nil, err
@@ -517,7 +542,8 @@ func OpenSession(dir string, cat *catalog.Catalog, rt SessionRuntime) (*Session,
 	}
 	cfg := SessionConfig{
 		Name:            snap.Session.Name,
-		Options:         snap.Tuner.Options,
+		Tuner:           snap.Tuner.TunerKind(),
+		Options:         snap.Tuner.TunerOptions(),
 		QueueDepth:      snap.Session.QueueDepth,
 		CheckpointEvery: snap.Session.CheckpointEvery,
 		CheckpointBytes: snap.Session.CheckpointBytes,
@@ -541,7 +567,7 @@ func OpenSession(dir string, cat *catalog.Catalog, rt SessionRuntime) (*Session,
 	s.reg = reg
 	s.model = cost.NewModel(cat, reg, cost.DefaultParams())
 	s.opt = whatif.New(s.model)
-	s.tuner, err = core.RestoreWFIT(s.opt, snap.Tuner)
+	s.tuner, err = tuner.Restore(s.opt, snap.Tuner)
 	if err != nil {
 		return nil, err
 	}
@@ -549,7 +575,7 @@ func OpenSession(dir string, cat *catalog.Catalog, rt SessionRuntime) (*Session,
 	s.totalWork = snap.Session.TotalWork
 	s.transitionCost = snap.Session.TransitionCost
 	s.changes = snap.Session.Changes
-	s.materialized = snap.Tuner.Materialized
+	s.materialized = s.tuner.Materialized()
 
 	covered := snap.Session.LastSeq
 	replayed := 0
@@ -915,7 +941,7 @@ func (s *Session) validateVote(j *job) error {
 // specTask is one in-flight speculative analysis. consumed is touched
 // only by the apply loop (under mu), never by the worker.
 type specTask struct {
-	a        *core.Analysis
+	a        tuner.Analysis
 	done     chan struct{}
 	consumed bool
 }
@@ -1258,15 +1284,15 @@ func (s *Session) Name() string { return s.cfg.Name }
 func (s *Session) Status() SessionStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p := s.tuner.Partition()
-	benefit, pairs := s.tuner.StatsEntries()
+	es := s.tuner.Status()
 	status := SessionStatus{
 		Name:               s.cfg.Name,
+		Tuner:              s.cfg.Tuner,
 		Statements:         s.statements,
-		UniverseSize:       s.tuner.UniverseSize(),
-		Repartitions:       s.tuner.Repartitions(),
-		Parts:              len(p),
-		States:             p.States(),
+		UniverseSize:       es.UniverseSize,
+		Repartitions:       es.Repartitions,
+		Parts:              es.Parts,
+		States:             es.States,
 		TotalWork:          s.totalWork,
 		TransitionCost:     s.transitionCost,
 		Changes:            s.changes,
@@ -1276,9 +1302,9 @@ func (s *Session) Status() SessionStatus {
 		QueueLen:           len(s.jobs),
 		QueueDepth:         s.cfg.QueueDepth,
 		RegistrySize:       s.reg.Len(),
-		BenefitWindows:     benefit,
-		PairWindows:        pairs,
-		Retired:            s.tuner.Retired(),
+		BenefitWindows:     es.BenefitWindows,
+		PairWindows:        es.PairWindows,
+		Retired:            es.Retired,
 		Batch:              s.cfg.Batch,
 		Pipeline:           s.cfg.Pipeline,
 		GroupCommits:       s.groupCommits,

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"errors"
+	"math"
+	"net/http"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// TestSessionConfigUnknownTunerRejected covers the engine-selection
+// satellite: a tuner name with no registered factory must fail loudly at
+// every entry point — CreateSession (ConfigError), SessionConfig.Check
+// (the daemon's fail-fast startup path), and the HTTP create API (400) —
+// while every registered kind, and the empty default, creates fine.
+func TestSessionConfigUnknownTunerRejected(t *testing.T) {
+	cat, _ := datagen.Build()
+	bad := []string{"nope", "WFIT", "wfit2", "bandit ", "c2ucb"}
+	for _, name := range bad {
+		cfg := testSessionConfig("bad")
+		cfg.Tuner = name
+		if err := cfg.Check(); err == nil {
+			t.Errorf("Check accepted unknown tuner %q", name)
+		}
+		_, err := CreateSession(filepath.Join(t.TempDir(), "bad"), cat, cfg)
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("tuner %q: want ConfigError, got %v", name, err)
+		}
+	}
+
+	good := []string{"", "wfit", "bandit"}
+	for _, name := range good {
+		cfg := testSessionConfig("ok")
+		cfg.Tuner = name
+		if err := cfg.Check(); err != nil {
+			t.Errorf("Check rejected tuner %q: %v", name, err)
+		}
+	}
+
+	rig := newAPIRig(t)
+	var resp map[string]any
+	rig.call("POST", "/sessions", map[string]any{"name": "neg", "tuner": "nope"}, http.StatusBadRequest, &resp)
+
+	// A created session reports its resolved engine kind in /status.
+	var status SessionStatus
+	rig.call("POST", "/sessions", map[string]any{"name": "b1", "tuner": "bandit", "idx_cnt": 16, "state_cnt": 200}, http.StatusCreated, &status)
+	if status.Tuner != "bandit" {
+		t.Fatalf("created bandit session reports tuner %q", status.Tuner)
+	}
+	rig.call("POST", "/sessions", map[string]any{"name": "w1", "idx_cnt": 16, "state_cnt": 200}, http.StatusCreated, &status)
+	if status.Tuner != "wfit" {
+		t.Fatalf("default session reports tuner %q, want wfit", status.Tuner)
+	}
+}
+
+// TestServerDefaultTunerApplied pins the engine-defaulting order: an
+// empty session-level Tuner takes the server's DefaultTuner, an explicit
+// one wins over it, and a recovered session keeps the engine kind
+// persisted in its snapshot even when the server default has changed.
+func TestServerDefaultTunerApplied(t *testing.T) {
+	dir := t.TempDir()
+	sv, err := New(Config{DataDir: dir, CheckpointEvery: -1, DefaultTuner: "bandit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sv.CreateSession(SessionConfig{Name: "inherit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Status().Tuner; got != "bandit" {
+		t.Fatalf("session inherited tuner %q, want the server default bandit", got)
+	}
+	sess2, err := sv.CreateSession(SessionConfig{Name: "explicit", Tuner: "wfit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess2.Status().Tuner; got != "wfit" {
+		t.Fatalf("explicit tuner overridden: %q", got)
+	}
+	if err := sv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart with a different default: the persisted kinds win.
+	sv2, err := New(Config{DataDir: dir, CheckpointEvery: -1, DefaultTuner: "wfit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv2.Close()
+	rec, ok := sv2.Session("inherit")
+	if !ok {
+		t.Fatal("session not recovered")
+	}
+	if got := rec.Status().Tuner; got != "bandit" {
+		t.Fatalf("recovered session runs tuner %q, want the persisted bandit", got)
+	}
+
+	// An unknown server-wide default fails session creation, not startup:
+	// recovery must stay immune to bad flag values.
+	sv3, err := New(Config{DataDir: t.TempDir(), CheckpointEvery: -1, DefaultTuner: "nope"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv3.Close()
+	if _, err := sv3.CreateSession(SessionConfig{Name: "x"}); err == nil {
+		t.Fatal("unknown DefaultTuner accepted at session creation")
+	}
+}
+
+// TestBanditCrashRecoveryBitIdentical is the cross-engine recovery
+// satellite: the same kill -9 + replay harness that proves WFIT recovery
+// bit-identical must hold for the bandit engine — the WAL and snapshot
+// layers know nothing engine-specific beyond the registered codec, so a
+// crashed bandit session driven to the end must match an uninterrupted
+// one exactly (total work, recommendations, full exported state).
+func TestBanditCrashRecoveryBitIdentical(t *testing.T) {
+	const total = 520
+	const cut = 337
+	sqls := recoveryWorkloadSQL(t, total)
+	cat, _ := datagen.Build()
+
+	banditConfig := func(name string) SessionConfig {
+		cfg := testSessionConfig(name)
+		cfg.Tuner = "bandit"
+		return cfg
+	}
+
+	refDir := filepath.Join(t.TempDir(), "ref")
+	ref, err := CreateSession(refDir, cat, banditConfig("ref"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSession(t, ref, sqls, 0, total, false)
+
+	crashDir := filepath.Join(t.TempDir(), "crash")
+	sess, err := CreateSession(crashDir, cat, banditConfig("ref"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSession(t, sess, sqls, 0, cut, true)
+	sess.Kill()
+
+	recovered, err := OpenSession(crashDir, cat, SessionRuntime{})
+	if err != nil {
+		t.Fatalf("recovering crashed bandit session: %v", err)
+	}
+	defer recovered.Close()
+	if got := recovered.Status().Tuner; got != "bandit" {
+		t.Fatalf("recovered session runs engine %q, want bandit", got)
+	}
+	if got := recovered.Status().Statements; got != cut {
+		t.Fatalf("recovered session has %d statements, want %d", got, cut)
+	}
+	driveSession(t, recovered, sqls, cut, total, true)
+
+	refStatus, gotStatus := ref.Status(), recovered.Status()
+	if refStatus.Statements != gotStatus.Statements {
+		t.Fatalf("statements: %d vs %d", gotStatus.Statements, refStatus.Statements)
+	}
+	if math.Float64bits(refStatus.TotalWork) != math.Float64bits(gotStatus.TotalWork) {
+		t.Fatalf("total work diverged: recovered %v (%x), uninterrupted %v (%x)",
+			gotStatus.TotalWork, math.Float64bits(gotStatus.TotalWork),
+			refStatus.TotalWork, math.Float64bits(refStatus.TotalWork))
+	}
+	refRec, _, _ := ref.Recommendation()
+	gotRec, _, _ := recovered.Recommendation()
+	if !refRec.Equal(gotRec) {
+		t.Fatalf("recommendations diverged:\n  recovered:     %s\n  uninterrupted: %s",
+			gotRec.Format(recovered.Registry()), refRec.Format(ref.Registry()))
+	}
+	if !reflect.DeepEqual(exportTuner(ref), exportTuner(recovered)) {
+		t.Fatalf("full bandit states diverged after recovery")
+	}
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

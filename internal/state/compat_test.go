@@ -54,7 +54,8 @@ func writeV1(s *Snapshot) []byte {
 	e := newWriter(&buf)
 	writeDefs(e, s.Defs)
 
-	t, o := s.Tuner, s.Tuner.Options
+	t := s.Tuner.(*core.TunerState)
+	o := t.Options
 	e.intv(o.IdxCnt)
 	e.intv(o.StateCnt)
 	e.intv(o.HistSize)
@@ -108,7 +109,8 @@ func TestSnapshotV1BackwardCompat(t *testing.T) {
 	if err != nil {
 		t.Fatalf("reading v1 snapshot: %v", err)
 	}
-	if got.Tuner.Options.RetireAfter != 0 || got.Tuner.Retired != 0 || got.Tuner.Pinned != nil {
+	gt := got.Tuner.(*core.TunerState)
+	if gt.Options.RetireAfter != 0 || gt.Retired != 0 || gt.Pinned != nil {
 		t.Fatalf("v2-only tuner fields not zero: %+v", got.Tuner)
 	}
 	if got.Session.CheckpointBytes != 0 {
@@ -119,14 +121,60 @@ func TestSnapshotV1BackwardCompat(t *testing.T) {
 	}
 }
 
-// TestSnapshotV2RoundTripNewFields round-trips a snapshot carrying every
-// v2 addition through the current writer.
-func TestSnapshotV2RoundTripNewFields(t *testing.T) {
-	want := compatSnapshot()
-	want.Tuner.Options.RetireAfter = 400
-	want.Tuner.Retired = 31
-	want.Tuner.Pinned = []core.PinnedVote{{ID: 2, Pos: 15}}
-	want.Session.CheckpointBytes = 1 << 20
+// writeV2 encodes the snapshot in the exact v2 layout (the PR 4 codec):
+// retirement fields, pins, and CheckpointBytes present, but no engine
+// kind tag — v2 predates pluggable engines, so the stream is implicitly
+// WFIT. The tuner and session payloads are byte-identical to v3's, so
+// the current write helpers serve as the reference; only the header
+// differs. Kept so the v2 read path stays covered after the writer
+// moved to the kind-tagged v3.
+func writeV2(s *Snapshot) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(snapMagicPrefix + "2")
+	e := newWriter(&buf)
+	writeDefs(e, s.Defs)
+	writeTuner(e, s.Tuner.(*core.TunerState))
+	se := s.Session
+	writeSession(e, &se)
+	e.u32(e.sum())
+	return buf.Bytes()
+}
+
+// v2Snapshot is compatSnapshot carrying every v2 addition.
+func v2Snapshot() *Snapshot {
+	s := compatSnapshot()
+	st := s.Tuner.(*core.TunerState)
+	st.Options.RetireAfter = 400
+	st.Retired = 31
+	st.Pinned = []core.PinnedVote{{ID: 2, Pos: 15}}
+	s.Session.CheckpointBytes = 1 << 20
+	return s
+}
+
+// TestSnapshotV2BackwardCompat reads a byte-exact v2 stream with the v3
+// codec: with no kind tag present, the payload must decode under the
+// implicit "wfit" kind with every v2 field intact.
+func TestSnapshotV2BackwardCompat(t *testing.T) {
+	want := v2Snapshot()
+	got, err := Read(bytes.NewReader(writeV2(want)))
+	if err != nil {
+		t.Fatalf("reading v2 snapshot: %v", err)
+	}
+	if kind := got.Tuner.TunerKind(); kind != "wfit" {
+		t.Fatalf("v2 snapshot decoded as tuner kind %q, want wfit", kind)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v2 snapshot did not round-trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSnapshotV3RoundTripNewFields round-trips a fully-populated wfit
+// snapshot through the current kind-tagged writer, and pins v3's one
+// layout change: the kind tag sits between the defs block and the
+// payload, so the v3 stream must be the v2 stream with "wfit" spliced
+// in (and the version digit and CRC updated).
+func TestSnapshotV3RoundTripNewFields(t *testing.T) {
+	want := v2Snapshot()
 
 	var buf bytes.Buffer
 	if err := Write(&buf, want); err != nil {
@@ -137,7 +185,27 @@ func TestSnapshotV2RoundTripNewFields(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("v2 snapshot did not round-trip:\n got %+v\nwant %+v", got, want)
+		t.Fatalf("v3 snapshot did not round-trip:\n got %+v\nwant %+v", got, want)
+	}
+
+	v2 := writeV2(want)
+	v3 := buf.Bytes()
+	var defsEnd int
+	for i := len(snapMagicPrefix) + 1; i < len(v3); i++ {
+		// The kind tag is the first point where the streams diverge.
+		if v3[i] != v2[i] {
+			defsEnd = i
+			break
+		}
+	}
+	if defsEnd == 0 {
+		t.Fatal("v2 and v3 streams identical: kind tag missing")
+	}
+	// str() writes a fixed-width little-endian u32 length then the bytes.
+	tag := append([]byte{4, 0, 0, 0}, []byte("wfit")...)
+	if !bytes.Equal(v3[defsEnd:defsEnd+len(tag)], tag) ||
+		!bytes.Equal(v3[defsEnd+len(tag):len(v3)-4], v2[defsEnd:len(v2)-4]) {
+		t.Fatal("v3 stream is not the v2 stream with the kind tag spliced in: the wfit payload bytes changed")
 	}
 }
 

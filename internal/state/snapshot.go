@@ -22,9 +22,13 @@ import (
 //	     pins to the tuner section, and CheckpointBytes to the session
 //	     section. A v1 stream decodes with all of them zero — exactly
 //	     the semantics those sessions ran with.
+//	v3 — prefixes the tuner section with the engine kind tag and
+//	     dispatches the payload to the codec registered for that kind
+//	     (RegisterTunerCodec). v1/v2 streams decode as kind "wfit";
+//	     the wfit payload bytes are unchanged from v2.
 const (
 	snapMagicPrefix = "WFITSNP"
-	snapVersion     = 2
+	snapVersion     = 3
 )
 
 // SessionState is the service-level state that travels with a tuner
@@ -47,10 +51,11 @@ type SessionState struct {
 }
 
 // Snapshot is a complete persisted tuner: the index registry in ID order,
-// the full WFIT state, and the owning session's counters.
+// the engine's kind-tagged state payload, and the owning session's
+// counters.
 type Snapshot struct {
 	Defs    []index.Index
-	Tuner   *core.TunerState
+	Tuner   TunerState
 	Session SessionState
 }
 
@@ -68,12 +73,18 @@ func CaptureRegistry(reg *index.Registry) []index.Index {
 // Write serializes the snapshot: magic, sections, and a trailing CRC32C of
 // everything after the magic.
 func Write(w io.Writer, s *Snapshot) error {
+	kind := s.Tuner.TunerKind()
+	codec, ok := tunerCodecs[kind]
+	if !ok {
+		return fmt.Errorf("state: no codec registered for tuner kind %q (registered: %v)", kind, tunerCodecKinds())
+	}
 	if _, err := fmt.Fprintf(w, "%s%d", snapMagicPrefix, snapVersion); err != nil {
 		return err
 	}
 	e := newWriter(w)
 	writeDefs(e, s.Defs)
-	writeTuner(e, s.Tuner)
+	e.str(kind)
+	codec.Encode(&Encoder{w: e}, s.Tuner)
 	writeSession(e, &s.Session)
 	crc := e.sum()
 	e.u32(crc)
@@ -97,7 +108,21 @@ func Read(r io.Reader) (*Snapshot, error) {
 	d := newReader(r)
 	s := &Snapshot{}
 	s.Defs = readDefs(d)
-	s.Tuner = readTuner(d, version)
+	kind := "wfit"
+	if version >= 3 {
+		kind = d.str()
+	}
+	if d.err == nil {
+		codec, ok := tunerCodecs[kind]
+		if !ok {
+			return nil, fmt.Errorf("state: snapshot carries tuner kind %q with no registered codec (registered: %v)", kind, tunerCodecKinds())
+		}
+		t, err := codec.Decode(&Decoder{r: d}, version)
+		if err != nil {
+			return nil, fmt.Errorf("state: decoding %q tuner payload: %w", kind, err)
+		}
+		s.Tuner = t
+	}
 	readSession(d, &s.Session, version)
 	want := d.sum()
 	got := d.u32()
@@ -193,8 +218,14 @@ func readDefs(d *reader) []index.Index {
 	})
 }
 
-func writeTuner(e *writer, t *core.TunerState) {
-	o := t.Options
+// writeOptions and readOptions serialize the engine options every tuner
+// payload leads with, in the field order writeTuner has used since v1
+// (RetireAfter appeared in v2). InitialMaterialized is deliberately not
+// serialized here: it travels as the payload's S0 set, and restore paths
+// reinject it (see core.RestoreWFIT).
+//
+//lint:allow parity(InitialMaterialized travels as the payload S0 set, not in the options block)
+func writeOptions(e *writer, o core.Options) {
 	e.intv(o.IdxCnt)
 	e.intv(o.StateCnt)
 	e.intv(o.HistSize)
@@ -205,6 +236,28 @@ func writeTuner(e *writer, t *core.TunerState) {
 	e.intv(o.Workers)
 	e.i64(o.Seed)
 	e.intv(o.RetireAfter)
+}
+
+//lint:allow parity(InitialMaterialized travels as the payload S0 set, not in the options block)
+func readOptions(d *reader, version int) core.Options {
+	var o core.Options
+	o.IdxCnt = d.intv()
+	o.StateCnt = d.intv()
+	o.HistSize = d.intv()
+	o.RandCnt = d.intv()
+	o.MaxPartSize = d.intv()
+	o.DoiThreshold = d.f64()
+	o.AssumeIndependent = d.boolv()
+	o.Workers = d.intv()
+	o.Seed = d.i64()
+	if version >= 2 {
+		o.RetireAfter = d.intv()
+	}
+	return o
+}
+
+func writeTuner(e *writer, t *core.TunerState) {
+	writeOptions(e, t.Options)
 
 	e.intv(t.N)
 	e.intv(t.Repartitions)
@@ -238,18 +291,7 @@ func writeTuner(e *writer, t *core.TunerState) {
 
 func readTuner(d *reader, version int) *core.TunerState {
 	t := &core.TunerState{}
-	t.Options.IdxCnt = d.intv()
-	t.Options.StateCnt = d.intv()
-	t.Options.HistSize = d.intv()
-	t.Options.RandCnt = d.intv()
-	t.Options.MaxPartSize = d.intv()
-	t.Options.DoiThreshold = d.f64()
-	t.Options.AssumeIndependent = d.boolv()
-	t.Options.Workers = d.intv()
-	t.Options.Seed = d.i64()
-	if version >= 2 {
-		t.Options.RetireAfter = d.intv()
-	}
+	t.Options = readOptions(d, version)
 
 	t.N = d.intv()
 	t.Repartitions = d.intv()

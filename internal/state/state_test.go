@@ -80,7 +80,7 @@ func restoreRig(t *testing.T, snap *Snapshot) *tunerRig {
 	}
 	model := cost.NewModel(cat, reg, cost.DefaultParams())
 	opt := whatif.New(model)
-	tuner, err := core.RestoreWFIT(opt, snap.Tuner)
+	tuner, err := core.RestoreWFIT(opt, snap.Tuner.(*core.TunerState))
 	if err != nil {
 		t.Fatalf("restore tuner: %v", err)
 	}

@@ -1,0 +1,216 @@
+package bandit
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/interaction"
+	"repro/internal/state"
+	"repro/internal/tuner"
+	"repro/internal/whatif"
+)
+
+// Vote records one active F+ pin or F− ban: the arm and the statement
+// position of the vote that created it.
+type Vote struct {
+	ID  index.ID
+	Pos int
+}
+
+// State is the bandit engine's full exportable state. Together with the
+// index registry (serialized separately) it determines the engine's
+// future behavior exactly: a restored instance fed the same statement
+// and feedback stream produces bit-identical regressions, super-arms,
+// and recommendations.
+type State struct {
+	Options core.Options // InitialMaterialized carried as S0 below
+
+	N            int
+	Retired      int
+	Reselections int
+
+	S0           index.Set
+	Materialized index.Set
+	Universe     index.Set
+	Selection    index.Set
+
+	// Pinned and Banned carry the active votes in ascending ID order.
+	Pinned []Vote
+	Banned []Vote
+
+	// Gram is the ridge Gram matrix (featDim×featDim, row-major) and
+	// Reward the accumulated reward vector.
+	Gram   []float64
+	Reward []float64
+
+	Stats interaction.BenefitStatsState
+
+	// RandState is the exploration stream position.
+	RandState uint64
+}
+
+// TunerKind tags the state for the snapshot codec's kind dispatch.
+func (s *State) TunerKind() string { return Kind }
+
+// TunerOptions returns the options the exporting engine ran with.
+func (s *State) TunerOptions() core.Options { return s.Options }
+
+// ExportState captures the engine's complete state. The snapshot shares
+// no mutable structure with the engine except the exported statistics
+// windows (see interaction.Window.Export); callers must serialize it
+// before analyzing further statements.
+func (t *Bandit) ExportState() state.TunerState {
+	st := &State{
+		Options:      t.options,
+		N:            t.n,
+		Retired:      t.retired,
+		Reselections: t.reselections,
+		S0:           t.s0,
+		Materialized: t.materialized,
+		Universe:     t.universe,
+		Selection:    t.selection,
+		Pinned:       exportVotes(t.pinned),
+		Banned:       exportVotes(t.banned),
+		Gram:         append([]float64(nil), t.gram...),
+		Reward:       append([]float64(nil), t.reward...),
+		Stats:        t.stats.Export(),
+		RandState:    t.rng.State(),
+	}
+	return st
+}
+
+func exportVotes(votes map[index.ID]int) []Vote {
+	out := make([]Vote, 0, len(votes))
+	for id, pos := range votes {
+		out = append(out, Vote{ID: id, Pos: pos})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Restore rebuilds a bandit engine from an exported state against an
+// optimizer whose registry already holds every referenced arm. The
+// restored instance continues the interrupted one bit-identically.
+func Restore(opt *whatif.Optimizer, st *State) (*Bandit, error) {
+	options := st.Options
+	options.InitialMaterialized = st.S0
+	t := New(opt, options)
+	t.n = st.N
+	t.retired = st.Retired
+	t.reselections = st.Reselections
+	t.materialized = st.Materialized
+	t.universe = st.Universe
+	t.selection = st.Selection
+	for _, v := range st.Pinned {
+		t.pinned[v.ID] = v.Pos
+	}
+	for _, v := range st.Banned {
+		t.banned[v.ID] = v.Pos
+	}
+	if len(st.Gram) != featDim*featDim || len(st.Reward) != featDim {
+		return nil, fmt.Errorf("bandit: state carries a %d/%d regression, want %d/%d", len(st.Gram), len(st.Reward), featDim*featDim, featDim)
+	}
+	copy(t.gram, st.Gram)
+	copy(t.reward, st.Reward)
+	t.rng.SetState(st.RandState)
+
+	regLen := t.reg.Len()
+	check := func(s index.Set) error {
+		if !s.Empty() && int(s.IDs()[s.Len()-1]) > regLen {
+			return fmt.Errorf("bandit: state references index ID %d beyond registry size %d", s.IDs()[s.Len()-1], regLen)
+		}
+		return nil
+	}
+	for _, s := range []index.Set{t.universe, t.selection, t.materialized} {
+		if err := check(s); err != nil {
+			return nil, err
+		}
+	}
+	var err error
+	if t.stats, err = interaction.RestoreBenefitStats(st.Stats); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// restoreEngine adapts Restore to the factory signature.
+func restoreEngine(opt *whatif.Optimizer, st state.TunerState) (tuner.Engine, error) {
+	bs, ok := st.(*State)
+	if !ok {
+		return nil, fmt.Errorf("bandit: restore got %T, want *bandit.State", st)
+	}
+	return Restore(opt, bs)
+}
+
+func init() {
+	state.RegisterTunerCodec(state.TunerCodec{
+		Kind: Kind,
+		Encode: func(e *state.Encoder, st state.TunerState) {
+			encodeState(e, st.(*State))
+		},
+		Decode: func(d *state.Decoder, version int) (state.TunerState, error) {
+			return decodeState(d, version), nil
+		},
+	})
+}
+
+// encodeState and decodeState are the bandit payload codec, registered
+// under the "bandit" kind tag. Field order is fixed; every float64
+// round-trips via its bit pattern.
+func encodeState(e *state.Encoder, st *State) {
+	e.Options(st.Options)
+	e.Int(st.N)
+	e.Int(st.Retired)
+	e.Int(st.Reselections)
+	e.Set(st.S0)
+	e.Set(st.Materialized)
+	e.Set(st.Universe)
+	e.Set(st.Selection)
+	encodeVotes(e, st.Pinned)
+	encodeVotes(e, st.Banned)
+	e.F64s(st.Gram)
+	e.F64s(st.Reward)
+	e.BenefitStats(st.Stats)
+	e.U64(st.RandState)
+}
+
+func decodeState(d *state.Decoder, version int) *State {
+	st := &State{}
+	st.Options = d.Options(version)
+	st.N = d.Int()
+	st.Retired = d.Int()
+	st.Reselections = d.Int()
+	st.S0 = d.Set()
+	st.Materialized = d.Set()
+	st.Universe = d.Set()
+	st.Selection = d.Set()
+	st.Pinned = decodeVotes(d)
+	st.Banned = decodeVotes(d)
+	st.Gram = d.F64s()
+	st.Reward = d.F64s()
+	st.Stats = d.BenefitStats()
+	st.RandState = d.U64()
+	return st
+}
+
+func encodeVotes(e *state.Encoder, votes []Vote) {
+	e.Len(len(votes))
+	for _, v := range votes {
+		e.U32(uint32(v.ID))
+		e.Int(v.Pos)
+	}
+}
+
+func decodeVotes(d *state.Decoder) []Vote {
+	n := d.Len()
+	out := make([]Vote, 0, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		out = append(out, Vote{ID: index.ID(d.U32()), Pos: d.Int()})
+	}
+	if d.Err() != nil {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+// Package tuner defines the engine seam between the online tuning
+// algorithms and everything that drives them. An Engine is the full
+// session contract internal/server consumes — the Analyze/Apply
+// speculation split with epoch validation, recommendation and feedback,
+// materialized-set tracking, registry compaction, status gauges, and
+// versioned state export — and the same contract internal/bench drives
+// in-process. Engines register themselves in a process-global registry
+// keyed by kind, the string that names them in SessionConfig, the HTTP
+// create API, daemon flags, and the kind tag of v3 snapshots.
+//
+// Every engine must be deterministic: a pure function of the statement
+// and feedback stream, drawing randomness only from interaction.Rand
+// (whose position its exported state carries). wfitlint enforces this
+// for the whole package tree.
+package tuner
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/state"
+	"repro/internal/stmt"
+	"repro/internal/whatif"
+)
+
+// Analysis is one in-flight statement analysis: the expensive,
+// side-effect-free stage of an engine's per-statement work (IBG
+// construction, what-if probes, work-function deltas), split off so the
+// server's pipeline can run it concurrently with earlier statements.
+// Run computes; Discard releases resources without applying. The engine
+// that issued the handle is the only one that can apply it.
+type Analysis interface {
+	// Run performs the speculative analysis. It must not mutate engine
+	// state and must not intern new indexes in the registry.
+	Run()
+	// Discard releases the analysis without applying it.
+	Discard()
+}
+
+// Core is the minimal tuning contract shared by every driver: the
+// current recommendation, the DBA feedback channel (§5 F+/F− votes),
+// and the externally-materialized set. bench.Algorithm embeds it, so
+// the experiment harness and the server drive the same surface.
+type Core interface {
+	// Recommend returns the current recommended index set.
+	Recommend() index.Set
+	// Feedback applies DBA votes: plus = F+ (indexes the DBA wants
+	// kept/created), minus = F− (indexes to bias against).
+	Feedback(plus, minus index.Set)
+	// SetMaterialized informs the engine of the externally-materialized
+	// configuration its cost accounting should assume.
+	SetMaterialized(m index.Set)
+}
+
+// CostTuner is the priced-statement tuning contract the experiment
+// baselines implement (WFA+ under a fixed partition, BC): observe one
+// statement already priced by a StatementCost and update the internal
+// recommendation. This is the vestigial core.Tuner, folded into the
+// engine package.
+type CostTuner interface {
+	AnalyzeStatement(sc core.StatementCost)
+	Recommend() index.Set
+}
+
+var _ CostTuner = (*core.WFAPlus)(nil)
+
+// Status is the engine-generic gauge set surfaced through /status and
+// the wfit_session_* metrics. Engines without a notion for a gauge
+// report zero.
+type Status struct {
+	// UniverseSize is the candidate universe size.
+	UniverseSize int
+	// Repartitions counts structural reorganizations of the engine's
+	// internal decomposition (WFIT: stable-partition changes).
+	Repartitions int
+	// Parts and States describe the current decomposition (WFIT: stable
+	// partition part count and Σ 2^|part|; bandit: selection size).
+	Parts  int
+	States int
+	// BenefitWindows and PairWindows count live statistics windows.
+	BenefitWindows int
+	PairWindows    int
+	// Retired counts candidates dropped by idle retirement.
+	Retired int
+}
+
+// Engine is the full tuner contract a server session drives. All
+// methods are single-goroutine except Analysis.Run on handles returned
+// by BeginAnalysis, which may run concurrently with BeginAnalysis calls
+// for later statements (but not with any mutating method).
+type Engine interface {
+	Core
+
+	// Kind returns the engine's registry key (e.g. "wfit", "bandit").
+	Kind() string
+
+	// AnalyzeQuery observes the next statement and updates all internal
+	// state: the serial path, equivalent to BeginAnalysis + Run + Apply.
+	AnalyzeQuery(s *stmt.Statement)
+
+	// BeginAnalysis captures everything the speculative stage needs and
+	// returns a handle whose Run may execute concurrently.
+	BeginAnalysis(s *stmt.Statement, workers int) Analysis
+
+	// AnalysisValid reports whether a still reflects the engine's
+	// current state (no epoch bump or registry growth since capture).
+	AnalysisValid(a Analysis) bool
+
+	// ApplyAnalysis folds a completed analysis into the engine. If the
+	// speculation went stale it transparently re-analyzes serially; the
+	// result is bit-identical either way. Reports whether the
+	// speculative result was usable.
+	ApplyAnalysis(a Analysis) bool
+
+	// Materialized returns the engine's view of the materialized set.
+	Materialized() index.Set
+
+	// CompactRegistry drops every registry entry the engine no longer
+	// references and remaps surviving IDs densely, returning the number
+	// of entries dropped. Invalidates in-flight analyses.
+	CompactRegistry() int
+
+	// Status returns the engine's current gauge values.
+	Status() Status
+
+	// LastIBGNodes reports the node count of the last statement's IBG
+	// (= what-if optimizer calls for that statement).
+	LastIBGNodes() int
+
+	// LastAnalysisDurations reports wall-clock time of the last
+	// statement's speculative and apply stages (observability only; the
+	// values never influence tuning decisions).
+	LastAnalysisDurations() (run, finish time.Duration)
+
+	// ExportState captures the engine's complete state for a snapshot.
+	// The result must be registered with state.RegisterTunerCodec under
+	// the engine's kind, and restoring it through the engine's Factory
+	// must continue the interrupted instance bit-identically.
+	ExportState() state.TunerState
+}
+
+// Factory constructs and restores one engine kind. Engines register a
+// Factory from an init function (like WAL record kinds and snapshot
+// codecs); which engines a binary can serve is exactly which packages
+// it links.
+type Factory struct {
+	// Kind is the registry key, also used as the snapshot kind tag.
+	Kind string
+	// New builds a fresh engine against a what-if optimizer.
+	New func(opt *whatif.Optimizer, options core.Options) Engine
+	// Restore rebuilds an engine from exported state against an
+	// optimizer whose registry already holds every referenced index.
+	Restore func(opt *whatif.Optimizer, st state.TunerState) (Engine, error)
+}
+
+// factories is the process-global engine registry. Registration happens
+// in init functions only, so no locking is needed.
+var factories = map[string]Factory{}
+
+// Register adds a factory to the engine registry. It panics on a
+// duplicate or empty kind — both are wiring bugs.
+func Register(f Factory) {
+	if f.Kind == "" || f.New == nil || f.Restore == nil {
+		panic("tuner: Register with empty kind or nil constructor")
+	}
+	if _, dup := factories[f.Kind]; dup {
+		panic(fmt.Sprintf("tuner: duplicate engine kind %q", f.Kind))
+	}
+	factories[f.Kind] = f
+}
+
+// Lookup returns the factory for kind, if registered.
+func Lookup(kind string) (Factory, bool) {
+	f, ok := factories[kind]
+	return f, ok
+}
+
+// Kinds returns the registered engine kinds in sorted order.
+func Kinds() []string {
+	ks := make([]string, 0, len(factories))
+	for k := range factories {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// New constructs a fresh engine of the given kind, erroring on an
+// unregistered kind (SessionConfig validation normally rejects those
+// earlier, with the same kind list in the message).
+func New(kind string, opt *whatif.Optimizer, options core.Options) (Engine, error) {
+	f, ok := Lookup(kind)
+	if !ok {
+		return nil, fmt.Errorf("tuner: unknown engine kind %q (registered: %v)", kind, Kinds())
+	}
+	return f.New(opt, options), nil
+}
+
+// Restore rebuilds an engine from exported state, dispatching on the
+// state's kind tag — the snapshot decides which engine resumes, not the
+// caller's configuration.
+func Restore(opt *whatif.Optimizer, st state.TunerState) (Engine, error) {
+	f, ok := Lookup(st.TunerKind())
+	if !ok {
+		return nil, fmt.Errorf("tuner: snapshot needs engine kind %q, which is not linked into this binary (registered: %v)", st.TunerKind(), Kinds())
+	}
+	return f.Restore(opt, st)
+}

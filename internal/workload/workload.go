@@ -31,6 +31,69 @@ type Options struct {
 	// QueryTemplates and UpdateTemplates size each phase's pools.
 	QueryTemplates  int
 	UpdateTemplates int
+	// Profile selects a named scenario preset (see Profiles). The zero
+	// value is the benchmark default and generates a byte-identical
+	// stream to pre-profile versions of this package; any other value
+	// reshapes the phase plan and template-draw distribution.
+	Profile string
+}
+
+// Scenario profile names. The empty string is the benchmark default
+// (the paper's 8-phase rotation).
+const (
+	// ProfileAdhoc is exploratory analytics: every phase draws fresh
+	// query templates over all datasets with almost no updates, so no
+	// access pattern recurs long enough to amortize aggressively.
+	ProfileAdhoc = "adhoc"
+	// ProfileHTAP interleaves the analytical rotation with a heavy
+	// transactional update stream on the same focus datasets.
+	ProfileHTAP = "htap"
+	// ProfileWriteHeavy makes updates the dominant statement kind, so
+	// index maintenance costs dwarf most scan benefits.
+	ProfileWriteHeavy = "write-heavy"
+	// ProfileRotating focuses each phase on a single dataset with no
+	// overlap or template carry-over — a schema rotation that
+	// invalidates the previous phase's indexes wholesale.
+	ProfileRotating = "rotating"
+	// ProfileZipfHotspot draws query templates Zipf-skewed around a
+	// hotspot that shifts every phase: a few templates dominate, and
+	// which few keeps moving.
+	ProfileZipfHotspot = "zipf-hotspot"
+)
+
+// Profiles lists every valid Options.Profile value, default first.
+func Profiles() []string {
+	return []string{"", ProfileAdhoc, ProfileHTAP, ProfileWriteHeavy, ProfileRotating, ProfileZipfHotspot}
+}
+
+// profileSpec is the generation plan a profile resolves to. carryNum/5
+// of the query pool carries across phases (integer math, so the default
+// profile's budget is bit-for-bit the historical QueryTemplates*2/5).
+type profileSpec struct {
+	phases   func(n int) []phaseSpec
+	carryNum int
+	// zipfSkew > 0 draws query templates as floor(u^skew * len(pool))
+	// offset by a per-phase rotating hotspot instead of uniformly.
+	zipfSkew float64
+}
+
+func profileFor(name string) profileSpec {
+	switch name {
+	case "":
+		return profileSpec{phases: defaultPhases, carryNum: 2}
+	case ProfileAdhoc:
+		return profileSpec{phases: allDatasetPhases(0.05), carryNum: 0}
+	case ProfileHTAP:
+		return profileSpec{phases: refracPhases(0.45), carryNum: 2}
+	case ProfileWriteHeavy:
+		return profileSpec{phases: refracPhases(0.65), carryNum: 2}
+	case ProfileRotating:
+		return profileSpec{phases: rotatingPhases, carryNum: 0}
+	case ProfileZipfHotspot:
+		return profileSpec{phases: allDatasetPhases(0.15), carryNum: 2, zipfSkew: 3}
+	default:
+		panic("workload: unknown profile " + name)
+	}
 }
 
 // DefaultOptions returns the benchmark defaults.
@@ -83,6 +146,42 @@ func defaultPhases(n int) []phaseSpec {
 	return out
 }
 
+// allDatasetPhases focuses every phase on all datasets at once with a
+// flat update fraction (the ad-hoc and hotspot scenarios: no dataset
+// rotation, the churn comes from the template pools or the draw skew).
+func allDatasetPhases(updateFrac float64) func(n int) []phaseSpec {
+	return func(n int) []phaseSpec {
+		out := make([]phaseSpec, n)
+		for i := range out {
+			out[i] = phaseSpec{datasets: datagen.AllDatasets, updateFrac: updateFrac}
+		}
+		return out
+	}
+}
+
+// refracPhases keeps the default dataset rotation but pins every
+// phase's update fraction (the HTAP and write-heavy scenarios).
+func refracPhases(updateFrac float64) func(n int) []phaseSpec {
+	return func(n int) []phaseSpec {
+		out := defaultPhases(n)
+		for i := range out {
+			out[i].updateFrac = updateFrac
+		}
+		return out
+	}
+}
+
+// rotatingPhases focuses each phase on exactly one dataset with no
+// overlap: each phase boundary is a clean schema rotation.
+func rotatingPhases(n int) []phaseSpec {
+	ds := datagen.AllDatasets
+	out := make([]phaseSpec, n)
+	for i := range out {
+		out[i] = phaseSpec{datasets: []string{ds[i%len(ds)]}, updateFrac: 0.20}
+	}
+	return out
+}
+
 // Generate builds a workload over the catalog and join graph.
 func Generate(cat *catalog.Catalog, joins []datagen.Join, opts Options) *Workload {
 	if opts.Phases <= 0 {
@@ -101,7 +200,8 @@ func Generate(cat *catalog.Catalog, joins []datagen.Join, opts Options) *Workloa
 	w := &Workload{Catalog: cat, Joins: joins}
 	gen := &generator{cat: cat, joins: joins, rng: rng}
 
-	phases := defaultPhases(opts.Phases)
+	prof := profileFor(opts.Profile)
+	phases := prof.phases(opts.Phases)
 	id := 0
 	var prevQueries []*template
 	for pi, spec := range phases {
@@ -111,7 +211,7 @@ func Generate(cat *catalog.Catalog, joins []datagen.Join, opts Options) *Workloa
 		// the previous phase whose tables stay in focus carry over (the
 		// overlap of adjacent phases the benchmark calls for), and the
 		// rest of the pool is fresh.
-		carryBudget := opts.QueryTemplates * 2 / 5
+		carryBudget := opts.QueryTemplates * prof.carryNum / 5
 		for _, tpl := range prevQueries {
 			if len(queries) >= carryBudget {
 				break
@@ -191,9 +291,12 @@ func Generate(cat *catalog.Catalog, joins []datagen.Join, opts Options) *Workloa
 				pool = burstPool
 			}
 			var tpl *template
-			if rng.Float64() < p {
+			switch {
+			case rng.Float64() < p:
 				tpl = pool[rng.Intn(len(pool))]
-			} else {
+			case prof.zipfSkew > 0:
+				tpl = queries[zipfPick(rng, len(queries), prof.zipfSkew, pi)]
+			default:
 				tpl = queries[rng.Intn(len(queries))]
 			}
 			s := gen.instantiate(tpl, id)
@@ -202,6 +305,18 @@ func Generate(cat *catalog.Catalog, joins []datagen.Join, opts Options) *Workloa
 		}
 	}
 	return w
+}
+
+// zipfPick draws an index into a pool of size n with probability mass
+// concentrated near a hotspot: u^skew piles onto small k for skew > 1,
+// and the phase offset rotates which templates sit at the head of the
+// distribution (the "shifting hotspot").
+func zipfPick(rng *rand.Rand, n int, skew float64, phase int) int {
+	k := int(math.Pow(rng.Float64(), skew) * float64(n))
+	if k >= n {
+		k = n - 1
+	}
+	return (phase*3 + k) % n
 }
 
 // predTemplate is one templated predicate.

@@ -243,3 +243,100 @@ func TestGenerateSmallConfigs(t *testing.T) {
 		t.Fatalf("Len = %d", wl.Len())
 	}
 }
+
+// TestProfilesGenerateDistinctValidStreams covers the scenario presets:
+// every named profile must generate a valid, deterministic stream that
+// actually differs from the default, and the profile-specific shape
+// claims (update fractions, fresh pools, single-dataset focus) must
+// hold at least directionally.
+func TestProfilesGenerateDistinctValidStreams(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Phases = 4
+	opts.PerPhase = 60
+	opts.QueryTemplates = 6
+	opts.UpdateTemplates = 2
+
+	updates := func(wl *Workload) int {
+		n := 0
+		for _, s := range wl.Statements {
+			if s.Kind == stmt.Update {
+				n++
+			}
+		}
+		return n
+	}
+	sqlOf := func(wl *Workload) []string {
+		out := make([]string, wl.Len())
+		for i, s := range wl.Statements {
+			out[i] = s.SQL
+		}
+		return out
+	}
+
+	base := generate(t, opts)
+	streams := map[string][]string{"": sqlOf(base)}
+	counts := map[string]int{"": updates(base)}
+	for _, prof := range Profiles() {
+		if prof == "" {
+			continue
+		}
+		o := opts
+		o.Profile = prof
+		wl := generate(t, o)
+		if wl.Len() != base.Len() {
+			t.Fatalf("profile %q generated %d statements, want %d", prof, wl.Len(), base.Len())
+		}
+		for i, s := range wl.Statements {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("profile %q statement %d invalid: %v", prof, i, err)
+			}
+		}
+		streams[prof] = sqlOf(wl)
+		counts[prof] = updates(wl)
+		same := 0
+		for i := range streams[prof] {
+			if streams[prof][i] == streams[""][i] {
+				same++
+			}
+		}
+		if same == base.Len() {
+			t.Fatalf("profile %q generated the default stream verbatim", prof)
+		}
+	}
+
+	if counts[ProfileWriteHeavy] <= counts[""] {
+		t.Fatalf("write-heavy has %d updates, default %d", counts[ProfileWriteHeavy], counts[""])
+	}
+	if counts[ProfileAdhoc] >= counts[""] {
+		t.Fatalf("adhoc has %d updates, default %d", counts[ProfileAdhoc], counts[""])
+	}
+	if counts[ProfileHTAP] <= counts[ProfileAdhoc] {
+		t.Fatalf("htap has %d updates, adhoc %d", counts[ProfileHTAP], counts[ProfileAdhoc])
+	}
+
+	// Rotating: every query touches exactly the phase's single dataset.
+	o := opts
+	o.Profile = ProfileRotating
+	wl := generate(t, o)
+	specs := rotatingPhases(o.Phases)
+	for i, s := range wl.Statements {
+		if s.Kind != stmt.Query {
+			continue
+		}
+		focus := specs[wl.PhaseOf[i]].datasets[0]
+		for _, table := range s.Tables {
+			if table[:indexOfByte(table, '.')] != focus {
+				t.Fatalf("rotating query %d (phase %d) touches %s outside %s",
+					i+1, wl.PhaseOf[i], table, focus)
+			}
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("unknown profile did not panic")
+		}
+	}()
+	o.Profile = "bogus"
+	generate(t, o)
+}
